@@ -1,0 +1,56 @@
+// Diagnostic: ACO convergence behaviour on one hot block.
+//
+// Prints the per-iteration total execution time (TET) and the fraction of
+// operations whose selected probability has passed P_END for the first
+// exploration round of the CRC32 O3 kernel — the classic "ant colony
+// converges" curve, and a window into the trail/merit dynamics of §4.3.
+#include <iostream>
+
+#include "bench_suite/kernels.hpp"
+#include "core/mi_explorer.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace isex;
+
+  const auto machine = sched::MachineConfig::make(2, {6, 3});
+  isa::IsaFormat format;
+  format.reg_file = machine.reg_file;
+  core::ExplorerParams params;
+  params.collect_trace = true;
+  const core::MultiIssueExplorer explorer(machine, format,
+                                          hw::HwLibrary::paper_default(),
+                                          params);
+
+  const auto program = bench_suite::make_program(
+      bench_suite::Benchmark::kCrc32, bench_suite::OptLevel::kO3);
+  const dfg::Graph& block = program.blocks[0].graph;
+
+  Rng rng(17);
+  const core::ExplorationResult result = explorer.explore(block, rng);
+
+  std::cout << "ACO convergence on CRC32/O3 hot block (" << block.num_nodes()
+            << " ops, machine " << machine.label() << ")\n"
+            << "base " << result.base_cycles << " cycles -> final "
+            << result.final_cycles << " cycles in " << result.rounds
+            << " round(s)\n\n";
+
+  TablePrinter table;
+  table.set_header({"round", "iter", "TET", "best TET", "converged ops"});
+  int last_round = -1;
+  for (const core::IterationTrace& t : result.trace) {
+    // Sample the curve: always show a round's first iterations, then every
+    // fifth, to keep the table readable.
+    const bool new_round = t.round != last_round;
+    if (!new_round && t.iteration % 5 != 0) continue;
+    last_round = t.round;
+    table.add_row({std::to_string(t.round + 1), std::to_string(t.iteration + 1),
+                   std::to_string(t.tet), std::to_string(t.best_tet),
+                   TablePrinter::pct(t.converged_fraction, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: TET noise narrows onto the best schedule "
+               "while the converged fraction climbs to 100% within each "
+               "round.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// §2.1's scalability argument, measured: exhaustive candidate enumeration
+// (Pozzi-style) vs the ACO explorer over growing DFG sizes.  The exact
+// method's visited-subgraph count explodes combinatorially (it is capped to
+// stay runnable) while the ACO iteration count stays flat — the reason
+// heuristics exist in this problem space — and on blocks small enough for
+// exact search, the heuristic's schedule quality matches it.
+#include <chrono>
+#include <iostream>
+
+#include "baseline/exact_enumerator.hpp"
+#include "core/mi_explorer.hpp"
+#include "random_dag.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace isex;
+  using Clock = std::chrono::steady_clock;
+
+  const auto machine = sched::MachineConfig::make(2, {6, 3});
+  isa::IsaFormat fmt{{6, 3}};
+  const hw::HwLibrary lib = hw::HwLibrary::paper_default();
+
+  baseline::ExactParams exact_params;
+  exact_params.max_subgraphs = 300000;
+  const baseline::ExactExplorer exact(machine, fmt, lib, exact_params);
+  const core::MultiIssueExplorer aco(machine, fmt, lib);
+
+  std::cout << "Exact enumeration vs ACO exploration (machine "
+            << machine.label() << ")\n\n";
+
+  TablePrinter table;
+  table.set_header({"DFG size", "exact cycles", "ACO cycles", "exact subgraphs",
+                    "ACO iterations", "exact ms", "ACO ms", "truncated"});
+
+  for (const std::size_t n : {10u, 14u, 18u, 24u, 32u, 48u}) {
+    Rng graph_rng(1000 + n);
+    const dfg::Graph g = benchx::random_dag(n, graph_rng, 0.5);
+
+    const auto t0 = Clock::now();
+    const auto exact_result = exact.explore(g);
+    const auto t1 = Clock::now();
+    Rng rng(5);
+    const auto aco_result = aco.explore_best_of(g, 5, rng);
+    const auto t2 = Clock::now();
+
+    const auto ms = [](auto d) {
+      return std::chrono::duration<double, std::milli>(d).count();
+    };
+    // Re-derive the enumeration volume for reporting.
+    hw::GPlus gplus(g, lib);
+    const auto enumerated =
+        baseline::enumerate_candidates(gplus, fmt, exact_params);
+    table.add_row({std::to_string(n), std::to_string(exact_result.final_cycles),
+                   std::to_string(aco_result.final_cycles),
+                   std::to_string(enumerated.subgraphs_visited),
+                   std::to_string(aco_result.total_iterations),
+                   TablePrinter::fmt(ms(t1 - t0), 1),
+                   TablePrinter::fmt(ms(t2 - t1), 1),
+                   enumerated.truncated ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shapes: exact subgraph count explodes with size "
+               "(truncation kicks in) while ACO iterations stay flat; cycle "
+               "counts land in the same band (both commit greedily round by "
+               "round, so neither strictly dominates).\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Regenerates Figure 5.2.2: average execution-time reduction for different
+// numbers of ISEs (1, 2, 4, 8, 16, 32), unconstrained area.
+//
+// Bars as in Fig 5.2.1: {MI, SI} × six machines × {O0, O3}, averaged over
+// the seven benchmarks.
+#include <iostream>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace isex;
+  using benchx::ExploredProgram;
+
+  const std::vector<int> kCounts = {1, 2, 4, 8, 16, 32};
+  const int repeats = benchx::bench_repeats();
+
+  std::cout << "Figure 5.2.2: execution time reduction for different "
+               "number of ISEs\n"
+            << "(avg over 7 benchmarks, best of " << repeats
+            << " explorations per block)\n\n";
+
+  TablePrinter table;
+  {
+    std::vector<std::string> header = {"config"};
+    for (const int n : kCounts) header.push_back(std::to_string(n) + " ISE");
+    table.set_header(header);
+  }
+
+  for (const auto algorithm :
+       {flow::Algorithm::kMultiIssue, flow::Algorithm::kSingleIssue}) {
+    for (const auto& machine : benchx::paper_machines()) {
+      for (const auto level :
+           {bench_suite::OptLevel::kO0, bench_suite::OptLevel::kO3}) {
+        std::vector<ExploredProgram> explored;
+        for (const auto benchmark : bench_suite::all_benchmarks()) {
+          explored.push_back(benchx::explore_program(
+              benchmark, level, machine, algorithm, repeats, /*seed=*/23));
+        }
+        std::vector<std::string> row = {
+            std::string(benchx::algorithm_tag(algorithm)) + machine.label() +
+            ", " + std::string(bench_suite::name(level))};
+        for (const int count : kCounts) {
+          flow::SelectionConstraints constraints;
+          constraints.max_ises = count;
+          std::vector<double> reductions;
+          for (const ExploredProgram& e : explored)
+            reductions.push_back(
+                benchx::evaluate(e, constraints, machine).reduction);
+          row.push_back(TablePrinter::pct(summarize(reductions).mean));
+        }
+        table.add_row(row);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shapes: MI >= SI per row; the first ISE buys most "
+               "of the reduction (compare with Fig 5.2.3).\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "harness_common.hpp"
+
+#include <cstdlib>
+
+#include "baseline/si_explorer.hpp"
+#include "core/mi_explorer.hpp"
+#include "flow/profiling.hpp"
+#include "flow/replacement.hpp"
+#include "util/rng.hpp"
+
+namespace isex::benchx {
+
+std::vector<sched::MachineConfig> paper_machines() {
+  return {
+      sched::MachineConfig::make(2, {4, 2}),
+      sched::MachineConfig::make(2, {6, 3}),
+      sched::MachineConfig::make(3, {6, 3}),
+      sched::MachineConfig::make(3, {8, 4}),
+      sched::MachineConfig::make(4, {8, 4}),
+      sched::MachineConfig::make(4, {10, 5}),
+  };
+}
+
+ExploredProgram explore_program(bench_suite::Benchmark benchmark,
+                                bench_suite::OptLevel level,
+                                const sched::MachineConfig& machine,
+                                flow::Algorithm algorithm, int repeats,
+                                std::uint64_t seed) {
+  ExploredProgram out;
+  out.program = bench_suite::make_program(benchmark, level);
+
+  const auto costs = flow::profile_blocks(out.program, machine);
+  out.hot_blocks = flow::select_hot_blocks(costs, 0.95, 8);
+
+  isa::IsaFormat format;
+  format.reg_file = machine.reg_file;
+
+  Rng rng(seed);
+  std::vector<core::ExplorationResult> results;
+  results.reserve(out.hot_blocks.size());
+  if (algorithm == flow::Algorithm::kMultiIssue) {
+    const core::MultiIssueExplorer explorer(machine, format,
+                                            hw::HwLibrary::paper_default());
+    for (const std::size_t bi : out.hot_blocks) {
+      results.push_back(explorer.explore_best_of(out.program.blocks[bi].graph,
+                                                 repeats, rng));
+    }
+  } else {
+    const baseline::SingleIssueExplorer explorer(
+        format, hw::HwLibrary::paper_default());
+    for (const std::size_t bi : out.hot_blocks) {
+      results.push_back(explorer.explore_best_of(out.program.blocks[bi].graph,
+                                                 repeats, rng));
+    }
+  }
+  out.catalog = flow::build_catalog(out.program, out.hot_blocks, results);
+  return out;
+}
+
+Outcome evaluate(const ExploredProgram& explored,
+                 const flow::SelectionConstraints& constraints,
+                 const sched::MachineConfig& machine) {
+  const flow::SelectionResult selection =
+      flow::select_ises(explored.catalog, constraints);
+  const flow::ReplacementResult replaced =
+      flow::apply_selection(explored.program, selection, machine);
+  Outcome o;
+  o.base_time = replaced.base_time;
+  o.final_time = replaced.final_time;
+  o.reduction = replaced.reduction();
+  o.area = selection.total_area;
+  o.ise_types = selection.num_types;
+  return o;
+}
+
+int bench_repeats() {
+  if (const char* env = std::getenv("ISEX_BENCH_REPEATS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 5;  // §5.1: exploration repeated 5 times per basic block
+}
+
+const char* algorithm_tag(flow::Algorithm algorithm) {
+  return algorithm == flow::Algorithm::kMultiIssue ? "MI" : "SI";
+}
+
+}  // namespace isex::benchx

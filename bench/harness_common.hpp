@@ -1,0 +1,54 @@
+// Shared machinery for the figure-regeneration harnesses.
+//
+// Exploration is by far the expensive step and is independent of the
+// selection constraints (area budget / #ISEs), so each harness explores a
+// (benchmark, flavor, machine, algorithm) combination once and replays
+// selection + replacement per constraint point — exactly how the paper
+// sweeps Figs 5.2.1–5.2.3 from one set of explored candidates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_suite/kernels.hpp"
+#include "flow/design_flow.hpp"
+
+namespace isex::benchx {
+
+/// The six machine configurations of §5.1.
+std::vector<sched::MachineConfig> paper_machines();
+
+/// Candidates explored for one program on one machine with one algorithm.
+struct ExploredProgram {
+  flow::ProfiledProgram program;
+  std::vector<std::size_t> hot_blocks;
+  std::vector<flow::IseCatalogEntry> catalog;
+};
+
+ExploredProgram explore_program(bench_suite::Benchmark benchmark,
+                                bench_suite::OptLevel level,
+                                const sched::MachineConfig& machine,
+                                flow::Algorithm algorithm, int repeats,
+                                std::uint64_t seed);
+
+/// Selection + replacement outcome for one constraint point.
+struct Outcome {
+  std::uint64_t base_time = 0;
+  std::uint64_t final_time = 0;
+  double reduction = 0.0;
+  double area = 0.0;
+  int ise_types = 0;
+};
+
+Outcome evaluate(const ExploredProgram& explored,
+                 const flow::SelectionConstraints& constraints,
+                 const sched::MachineConfig& machine);
+
+/// Repeats used by the harnesses (paper: 5; override with ISEX_BENCH_REPEATS
+/// to trade fidelity for speed).
+int bench_repeats();
+
+const char* algorithm_tag(flow::Algorithm algorithm);
+
+}  // namespace isex::benchx

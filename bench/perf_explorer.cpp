@@ -1,0 +1,114 @@
+// Wall-clock micro-benchmarks (google-benchmark) for the per-iteration
+// stages the complexity analysis (§4.4) covers: one ant walk, one merit
+// update (dominated by Hardware-Grouping's O(k²)), one list schedule, and
+// a full single-round exploration, swept over DFG size k.
+#include <benchmark/benchmark.h>
+
+#include "core/ant_walk.hpp"
+#include "core/merit.hpp"
+#include "core/mi_explorer.hpp"
+#include "sched/list_scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace isex;
+
+dfg::Graph random_dag(std::size_t n, std::uint64_t seed) {
+  static constexpr isa::Opcode kOps[] = {
+      isa::Opcode::kAddu, isa::Opcode::kXor, isa::Opcode::kAnd,
+      isa::Opcode::kSrl,  isa::Opcode::kSubu, isa::Opcode::kOr,
+  };
+  Rng rng(seed);
+  dfg::Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = g.add_node(kOps[i % std::size(kOps)]);
+    int preds = 0;
+    if (i > 0) {
+      for (int k = 0; k < 2; ++k) {
+        if (rng.next_double() < 0.6) {
+          const auto p =
+              static_cast<dfg::NodeId>(rng.next_below(static_cast<std::uint32_t>(i)));
+          if (!g.has_edge(p, v)) {
+            g.add_edge(p, v);
+            ++preds;
+          }
+        }
+      }
+    }
+    g.set_extern_inputs(v, preds >= 2 ? 0 : 2 - preds);
+  }
+  for (dfg::NodeId v = 0; v < g.num_nodes(); ++v)
+    if (g.succs(v).empty()) g.set_live_out(v, true);
+  return g;
+}
+
+void BM_ListSchedule(benchmark::State& state) {
+  const dfg::Graph g = random_dag(static_cast<std::size_t>(state.range(0)), 1);
+  const sched::ListScheduler sched(sched::MachineConfig::make(2, {6, 3}));
+  for (auto _ : state) benchmark::DoNotOptimize(sched.cycles(g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ListSchedule)->Range(16, 256)->Complexity(benchmark::oNSquared);
+
+void BM_AntWalk(benchmark::State& state) {
+  const dfg::Graph g = random_dag(static_cast<std::size_t>(state.range(0)), 2);
+  const hw::HwLibrary lib = hw::HwLibrary::paper_default();
+  const hw::GPlus gplus(g, lib);
+  const core::ExplorerParams params;
+  const core::PheromoneState pheromone(gplus, params);
+  const core::AntWalk walker(gplus, sched::MachineConfig::make(2, {6, 3}),
+                             params);
+  const std::vector<double> sp(g.num_nodes(), 1.0);
+  Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(walker.run(pheromone, sp, rng));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AntWalk)->Range(16, 256)->Complexity(benchmark::oNSquared);
+
+void BM_MeritUpdate(benchmark::State& state) {
+  const dfg::Graph g = random_dag(static_cast<std::size_t>(state.range(0)), 4);
+  const hw::HwLibrary lib = hw::HwLibrary::paper_default();
+  const hw::GPlus gplus(g, lib);
+  const dfg::Reachability reach(g);
+  core::ExplorerParams params;
+  core::PheromoneState pheromone(gplus, params);
+  isa::IsaFormat format;
+  format.reg_file = {6, 3};
+  const core::MeritEngine engine(gplus, format, params);
+  const dfg::PathInfo path =
+      dfg::longest_path(g, [&](dfg::NodeId v) { return gplus.software_cycles(v); });
+  dfg::NodeSet critical = g.all_nodes();
+  std::vector<int> chosen(g.num_nodes(), 1);
+  core::MeritInputs inputs;
+  inputs.chosen = chosen;
+  inputs.critical = &critical;
+  inputs.path = &path;
+  inputs.tet = static_cast<int>(g.num_nodes());
+  for (auto _ : state) {
+    engine.update(pheromone, inputs, reach);
+    benchmark::ClobberMemory();
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MeritUpdate)->Range(16, 256)->Complexity(benchmark::oNSquared);
+
+void BM_ExploreBlock(benchmark::State& state) {
+  const dfg::Graph g = random_dag(static_cast<std::size_t>(state.range(0)), 5);
+  const auto machine = sched::MachineConfig::make(2, {6, 3});
+  isa::IsaFormat format;
+  format.reg_file = machine.reg_file;
+  core::ExplorerParams params;
+  params.max_iterations = 40;  // bounded for benchmarking
+  const core::MultiIssueExplorer explorer(machine, format,
+                                          hw::HwLibrary::paper_default(),
+                                          params);
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(explorer.explore(g, rng));
+  }
+}
+BENCHMARK(BM_ExploreBlock)->Arg(32)->Arg(64)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

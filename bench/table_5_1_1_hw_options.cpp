@@ -1,0 +1,28 @@
+// Regenerates Table 5.1.1: hardware implementation option settings —
+// delay (ns) and area (µm²) for every PISA opcode that may enter an ISE.
+#include <iostream>
+
+#include "hwlib/hw_library.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace isex;
+
+  std::cout << "Table 5.1.1: Hardware implementation option settings\n"
+            << "(0.13 um CMOS @ 100 MHz; software option = 1 cycle, 0 um^2)\n\n";
+
+  const hw::HwLibrary lib = hw::HwLibrary::paper_default();
+  TablePrinter table;
+  table.set_header({"operation", "option", "delay (ns)", "area (um^2)"});
+  for (std::size_t i = 0; i < isa::kOpcodeCount; ++i) {
+    const auto op = static_cast<isa::Opcode>(i);
+    const auto options = lib.hardware_options(op);
+    for (const hw::ImplOption& o : options) {
+      table.add_row({std::string(isa::mnemonic(op)), o.name,
+                     TablePrinter::fmt(o.delay, 2),
+                     TablePrinter::fmt(o.area, 2)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

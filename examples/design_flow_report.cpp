@@ -1,0 +1,48 @@
+// design_flow_report: the full suite at a glance — runs the complete ISE
+// design flow (MI algorithm) over all seven benchmarks in both compiler
+// flavors and prints a per-program summary table.
+//
+//   $ ./design_flow_report [issue_width] [read_ports] [write_ports]
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_suite/kernels.hpp"
+#include "flow/design_flow.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isex;
+
+  const int issue = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int rports = argc > 2 ? std::atoi(argv[2]) : 6;
+  const int wports = argc > 3 ? std::atoi(argv[3]) : 3;
+
+  flow::FlowConfig config;
+  config.machine = sched::MachineConfig::make(issue, {rports, wports});
+  config.constraints.max_ises = 8;
+  config.constraints.area_budget = 80000.0;
+  const hw::HwLibrary library = hw::HwLibrary::paper_default();
+
+  std::cout << "ISE design flow (MI), machine " << config.machine.label()
+            << ", <=8 ISEs, 80000 um^2\n\n";
+
+  TablePrinter table;
+  table.set_header({"benchmark", "opt", "base cycles", "final cycles",
+                    "reduction", "ISE types", "area (um^2)"});
+  for (const auto benchmark : bench_suite::all_benchmarks()) {
+    for (const auto level :
+         {bench_suite::OptLevel::kO0, bench_suite::OptLevel::kO3}) {
+      const auto program = bench_suite::make_program(benchmark, level);
+      const auto result = flow::run_design_flow(program, library, config);
+      table.add_row({std::string(bench_suite::name(benchmark)),
+                     std::string(bench_suite::name(level)),
+                     std::to_string(result.base_time()),
+                     std::to_string(result.final_time()),
+                     TablePrinter::pct(result.reduction()),
+                     std::to_string(result.num_ise_types()),
+                     TablePrinter::fmt(result.total_area(), 1)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

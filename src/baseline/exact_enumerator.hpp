@@ -1,0 +1,72 @@
+// Exhaustive ISE candidate enumeration — the Pozzi-style exact baseline
+// (§2.1, reference [4]).
+//
+// Enumerates every *connected, convex, port-legal* subgraph of a DFG up to
+// a size cap by seeded growth with canonical deduplication.  §2.1 explains
+// why this cannot scale (2^N patterns at N = 100); the enumerator therefore
+// carries hard caps and exists for two purposes: a quality yardstick for
+// the ACO explorer on small blocks (tests assert the heuristic reaches the
+// exhaustive result) and the complexity-crossover benchmark.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mi_explorer.hpp"
+#include "dfg/node_set.hpp"
+#include "hwlib/asfu.hpp"
+#include "hwlib/gplus.hpp"
+#include "isa/register_file.hpp"
+
+namespace isex::baseline {
+
+struct ExactParams {
+  /// Largest candidate size enumerated.
+  std::size_t max_size = 16;
+  /// Safety cap on distinct subgraphs visited (enumeration aborts beyond).
+  std::size_t max_subgraphs = 200000;
+};
+
+struct EnumeratedCandidate {
+  dfg::NodeSet members;
+  /// Chosen hardware option per node (fastest-fit policy, see .cpp).
+  std::vector<int> option;
+  hw::AsfuEvaluation eval;
+  int in_count = 0;
+  int out_count = 0;
+};
+
+struct EnumerationResult {
+  std::vector<EnumeratedCandidate> candidates;
+  /// Distinct connected subgraphs visited (legal or not).
+  std::size_t subgraphs_visited = 0;
+  /// True when max_subgraphs stopped the walk early.
+  bool truncated = false;
+};
+
+/// Enumerates all legal candidates of `gplus.graph()`.
+EnumerationResult enumerate_candidates(const hw::GPlus& gplus,
+                                       const isa::IsaFormat& format,
+                                       const ExactParams& params = {},
+                                       hw::ClockSpec clock = {});
+
+/// Exact exploration: the MI round loop with the exhaustive candidate set —
+/// each round collapses the candidate whose collapse most shortens the
+/// scheduled block (ties: least area) until no candidate gains a cycle.
+class ExactExplorer {
+ public:
+  ExactExplorer(sched::MachineConfig machine, isa::IsaFormat format,
+                const hw::HwLibrary& library, ExactParams params = {},
+                hw::ClockSpec clock = {});
+
+  core::ExplorationResult explore(const dfg::Graph& block) const;
+
+ private:
+  sched::MachineConfig machine_;
+  isa::IsaFormat format_;
+  hw::HwLibrary library_;
+  ExactParams params_;
+  hw::ClockSpec clock_;
+};
+
+}  // namespace isex::baseline

@@ -1,0 +1,20 @@
+#include "baseline/si_explorer.hpp"
+
+namespace isex::baseline {
+namespace {
+
+core::ExplorerParams legality_only(core::ExplorerParams params) {
+  params.locality_aware = false;
+  return params;
+}
+
+}  // namespace
+
+SingleIssueExplorer::SingleIssueExplorer(isa::IsaFormat format,
+                                         const hw::HwLibrary& library,
+                                         core::ExplorerParams params,
+                                         hw::ClockSpec clock)
+    : inner_(sched::MachineConfig::make(1, format.reg_file), format, library,
+             legality_only(params), clock) {}
+
+}  // namespace isex::baseline

@@ -1,0 +1,39 @@
+// Single-issue (legality-only) ISE exploration — the prior-art baseline the
+// paper compares against ("SI", Wu et al., HiPEAC 2007 [8]).
+//
+// Same ACO machinery, two deliberate blind spots (§1.4):
+//   * the internal machine model is single-issue, so execution time is
+//     effectively sequential and *every* operation looks critical — the
+//     explorer never asks where an operation sits in a wide schedule;
+//   * merit ignores operation location entirely (locality_aware = false):
+//     cycle saving is measured against the sequential software time, and the
+//     Max_AEC area-saving branch for off-critical-path candidates never
+//     fires.
+// Candidates found this way are later deployed on the multiple-issue target
+// by the design flow, exactly like the paper's "SI" bars.
+#pragma once
+
+#include "core/mi_explorer.hpp"
+
+namespace isex::baseline {
+
+class SingleIssueExplorer {
+ public:
+  SingleIssueExplorer(isa::IsaFormat format, const hw::HwLibrary& library,
+                      core::ExplorerParams params = {},
+                      hw::ClockSpec clock = {});
+
+  core::ExplorationResult explore(const dfg::Graph& block, Rng& rng) const {
+    return inner_.explore(block, rng);
+  }
+
+  core::ExplorationResult explore_best_of(const dfg::Graph& block, int repeats,
+                                          Rng& rng) const {
+    return inner_.explore_best_of(block, repeats, rng);
+  }
+
+ private:
+  core::MultiIssueExplorer inner_;
+};
+
+}  // namespace isex::baseline

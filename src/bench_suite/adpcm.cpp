@@ -1,0 +1,119 @@
+// ADPCM (IMA) decoder step — branchless vpdiff accumulation.
+//
+// The decoder reconstructs the predicted difference from the 4-bit code:
+// vpdiff = step>>3 (+ step if bit2) (+ step>>1 if bit1) (+ step>>2 if bit0),
+// then saturating-updates the predictor.  gcc lowers the conditionals into
+// mask arithmetic, producing interleaved shift/and/add chains.
+#include "bench_suite/kernels.hpp"
+
+namespace isex::bench_suite {
+namespace {
+
+constexpr std::string_view kVpdiffO3 = R"(
+  s3 = srl step, 3
+  s1 = srl step, 1
+  s2 = srl step, 2
+  b2 = srl delta, 2
+  b2m = andi b2, 1
+  n2 = subu 0, b2m
+  a2 = and step, n2
+  v0 = addu s3, a2
+  b1 = srl delta, 1
+  b1m = andi b1, 1
+  n1 = subu 0, b1m
+  a1 = and s1, n1
+  v1 = addu v0, a1
+  b0m = andi delta, 1
+  n0 = subu 0, b0m
+  a0 = and s2, n0
+  vpdiff = addu v1, a0
+  sgn = srl delta, 3
+  sgnm = andi sgn, 1
+  nsgn = subu 0, sgnm
+  vneg = subu 0, vpdiff
+  vsel0 = and vneg, nsgn
+  nmask = nor nsgn, nsgn
+  vsel1 = and vpdiff, nmask
+  diff = or vsel0, vsel1
+  val = addu valpred, diff
+  live_out val
+)";
+
+constexpr std::string_view kVpdiffO0a = R"(
+  s3 = srl step, 3
+  b2 = srl delta, 2
+  b2m = andi b2, 1
+  n2 = subu 0, b2m
+  a2 = and step, n2
+  v0 = addu s3, a2
+  live_out v0
+)";
+
+constexpr std::string_view kVpdiffO0b = R"(
+  s1 = srl step, 1
+  b1 = srl delta, 1
+  b1m = andi b1, 1
+  n1 = subu 0, b1m
+  a1 = and s1, n1
+  v1 = addu v0, a1
+  t = mov v1
+  live_out t
+)";
+
+constexpr std::string_view kVpdiffO0c = R"(
+  s2 = srl step, 2
+  b0m = andi delta, 1
+  n0 = subu 0, b0m
+  a0 = and s2, n0
+  vpdiff = addu v1, a0
+  val = addu valpred, vpdiff
+  r = mov val
+  live_out r
+)";
+
+// Step-size table advance: index clamp plus table load.
+constexpr std::string_view kStepUpdate = R"(
+  ad0 = sll delta, 2
+  ad1 = addu idxtab, ad0
+  dlt = lw [ad1]
+  idx2 = addu index, dlt
+  c0 = slti idx2, 89
+  n0 = subu 0, c0
+  lo = and idx2, n0
+  hi = nor n0, n0
+  hi2 = andi hi, 88
+  idx3 = or lo, hi2
+  ad2 = sll idx3, 2
+  ad3 = addu steptab, ad2
+  step2 = lw [ad3]
+  live_out idx3, step2
+)";
+
+constexpr std::string_view kOutput = R"(
+  clip0 = slti val, 32767
+  sw [outp], val
+  outp2 = addiu outp, 2
+  c = sltu outp2, outend
+  live_out outp2, c, clip0
+)";
+
+}  // namespace
+
+std::vector<KernelBlockDef> adpcm_blocks(OptLevel level) {
+  std::vector<KernelBlockDef> defs;
+  constexpr std::uint64_t kSamples = 131072;
+  if (level == OptLevel::kO0) {
+    defs.push_back({"adpcm_vp_a", kVpdiffO0a, kSamples});
+    defs.push_back({"adpcm_vp_b", kVpdiffO0b, kSamples});
+    defs.push_back({"adpcm_vp_c", kVpdiffO0c, kSamples});
+    defs.push_back({"adpcm_step", kStepUpdate, kSamples});
+    defs.push_back({"adpcm_out", kOutput, kSamples});
+  } else {
+    defs.push_back({"adpcm_vpdiff", kVpdiffO3, kSamples});
+    defs.push_back({"adpcm_step", kStepUpdate, kSamples});
+    defs.push_back({"adpcm_out", kOutput, kSamples});
+  }
+  return defs;
+}
+
+}  // namespace isex::bench_suite

@@ -1,0 +1,98 @@
+// bitcount — SWAR population count.
+//
+// The parallel-reduction popcount is one unbroken dependence chain of
+// shift/and/add steps finished by a multiply: ISE-perfect at any issue
+// width, which makes it the paper-style best case.  The 32-bit masks
+// (0x55555555, 0x33333333, 0x0F0F0F0F) and the 0x01010101 multiplier do not
+// fit PISA's 16-bit immediates, so — exactly as gcc materializes and hoists
+// them — they enter the loop body as live-in values c55/c33/c0f/c01.
+#include "bench_suite/kernels.hpp"
+
+namespace isex::bench_suite {
+namespace {
+
+constexpr std::string_view kPopcountO3 = R"(
+  t0 = srl x, 1
+  t1 = and t0, c55
+  a = subu x, t1
+  t2 = srl a, 2
+  b0 = and a, c33
+  b1 = and t2, c33
+  b = addu b0, b1
+  t3 = srl b, 4
+  c0 = addu b, t3
+  c = and c0, c0f
+  d = mult c, c01
+  cnt0 = srl d, 24
+  # second word of the unrolled pair
+  u0 = srl y, 1
+  u1 = and u0, c55
+  e = subu y, u1
+  u2 = srl e, 2
+  f0 = and e, c33
+  f1 = and u2, c33
+  f = addu f0, f1
+  u3 = srl f, 4
+  g0 = addu f, u3
+  g = and g0, c0f
+  h = mult g, c01
+  cnt1 = srl h, 24
+  total = addu cnt0, cnt1
+  sum2 = addu sum, total
+  live_out sum2
+)";
+
+constexpr std::string_view kPopcountO0a = R"(
+  t0 = srl x, 1
+  t1 = and t0, c55
+  a = subu x, t1
+  a2 = mov a
+  live_out a2
+)";
+
+constexpr std::string_view kPopcountO0b = R"(
+  t2 = srl a, 2
+  b0 = and a, c33
+  b1 = and t2, c33
+  b = addu b0, b1
+  b2 = mov b
+  live_out b2
+)";
+
+constexpr std::string_view kPopcountO0c = R"(
+  t3 = srl b, 4
+  c0 = addu b, t3
+  c = and c0, c0f
+  d = mult c, c01
+  cnt = srl d, 24
+  sum2 = addu sum, cnt
+  live_out sum2
+)";
+
+constexpr std::string_view kFetchWord = R"(
+  ad = sll i, 2
+  adr = addu buf, ad
+  x = lw [adr]
+  i2 = addiu i, 1
+  c = sltu i2, n
+  live_out x, i2, c
+)";
+
+}  // namespace
+
+std::vector<KernelBlockDef> bitcount_blocks(OptLevel level) {
+  std::vector<KernelBlockDef> defs;
+  constexpr std::uint64_t kWords = 262144;
+  if (level == OptLevel::kO0) {
+    defs.push_back({"bitcnt_a", kPopcountO0a, kWords});
+    defs.push_back({"bitcnt_b", kPopcountO0b, kWords});
+    defs.push_back({"bitcnt_c", kPopcountO0c, kWords});
+    defs.push_back({"bitcnt_fetch", kFetchWord, kWords});
+  } else {
+    defs.push_back({"bitcnt_x2", kPopcountO3, kWords / 2});
+    defs.push_back({"bitcnt_fetch", kFetchWord, kWords / 2});
+  }
+  return defs;
+}
+
+}  // namespace isex::bench_suite

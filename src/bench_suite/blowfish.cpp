@@ -1,0 +1,104 @@
+// Blowfish — one Feistel round.
+//
+// F(xl) = ((S0[a] + S1[b]) ^ S2[c]) + S3[d] with byte extraction feeding
+// four S-box loads.  Loads can never join an ISE (§4.2 constraint 4), so
+// the explorer has to carve ISEs out of the byte-extraction front and the
+// add/xor combine tail around the memory wall — the paper's hardest
+// realistic pressure test.
+#include "bench_suite/kernels.hpp"
+
+namespace isex::bench_suite {
+namespace {
+
+constexpr std::string_view kRoundO3 = R"(
+  xl1 = xor xl, pkey
+  a0 = srl xl1, 24
+  a1 = srl xl1, 16
+  b0 = andi a1, 255
+  a2 = srl xl1, 8
+  c0 = andi a2, 255
+  d0 = andi xl1, 255
+  ia = sll a0, 2
+  ib = sll b0, 2
+  ic = sll c0, 2
+  id = sll d0, 2
+  pa = addu s0, ia
+  pb = addu s1, ib
+  pc = addu s2, ic
+  pd = addu s3, id
+  va = lw [pa]
+  vb = lw [pb]
+  vc = lw [pc]
+  vd = lw [pd]
+  f0 = addu va, vb
+  f1 = xor f0, vc
+  f2 = addu f1, vd
+  xr1 = xor xr, f2
+  live_out xl1, xr1
+)";
+
+constexpr std::string_view kRoundO0a = R"(
+  xl1 = xor xl, pkey
+  a0 = srl xl1, 24
+  a1 = srl xl1, 16
+  b0 = andi a1, 255
+  a2 = srl xl1, 8
+  c0 = andi a2, 255
+  d0 = andi xl1, 255
+  live_out xl1, a0, b0, c0, d0
+)";
+
+constexpr std::string_view kRoundO0b = R"(
+  ia = sll a0, 2
+  ib = sll b0, 2
+  pa = addu s0, ia
+  pb = addu s1, ib
+  va = lw [pa]
+  vb = lw [pb]
+  f0 = addu va, vb
+  live_out f0
+)";
+
+constexpr std::string_view kRoundO0c = R"(
+  ic = sll c0, 2
+  id = sll d0, 2
+  pc = addu s2, ic
+  pd = addu s3, id
+  vc = lw [pc]
+  vd = lw [pd]
+  f1 = xor f0, vc
+  f2 = addu f1, vd
+  xr1 = xor xr, f2
+  live_out xr1
+)";
+
+// Swap halves + key pointer advance between rounds.
+constexpr std::string_view kSwap = R"(
+  tmp = mov xl1
+  xl2 = mov xr1
+  xr2 = mov tmp
+  kp2 = addiu kp, 4
+  pkey2 = lw [kp2]
+  r2 = addiu round, 1
+  c = slti r2, 16
+  live_out xl2, xr2, kp2, pkey2, r2, c
+)";
+
+}  // namespace
+
+std::vector<KernelBlockDef> blowfish_blocks(OptLevel level) {
+  std::vector<KernelBlockDef> defs;
+  constexpr std::uint64_t kRounds = 16 * 8192;  // 16 rounds × 8 KiB blocks
+  if (level == OptLevel::kO0) {
+    defs.push_back({"bf_extract", kRoundO0a, kRounds});
+    defs.push_back({"bf_sbox01", kRoundO0b, kRounds});
+    defs.push_back({"bf_sbox23", kRoundO0c, kRounds});
+    defs.push_back({"bf_swap", kSwap, kRounds});
+  } else {
+    defs.push_back({"bf_round", kRoundO3, kRounds});
+    defs.push_back({"bf_swap", kSwap, kRounds});
+  }
+  return defs;
+}
+
+}  // namespace isex::bench_suite

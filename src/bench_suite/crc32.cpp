@@ -1,0 +1,111 @@
+// CRC32 — bit-at-a-time polynomial division over one input byte.
+//
+// The hot loop xors the next message bit into the low CRC bit, builds a
+// mask from it, and conditionally xors the reflected polynomial 0xEDB88320
+// into the shifted remainder.  The whole step is one long xor/shift/and
+// dependence chain — the classic ISE goldmine.
+#include "bench_suite/kernels.hpp"
+
+namespace isex::bench_suite {
+namespace {
+
+// One CRC step at -O0: the compiler keeps every sub-expression in its own
+// temporary and the loop body is a single small block executed per bit.
+constexpr std::string_view kStepO0 = R"(
+  b0 = andi crc, 1
+  b1 = andi data, 1
+  t0 = xor b0, b1
+  t1 = subu 0, t0
+  m0 = and t1, poly
+  s0 = srl crc, 1
+  d0 = srl data, 1
+  crc_n = xor s0, m0
+  live_out crc_n, d0
+)";
+
+// Bookkeeping block between steps at -O0 (copies + induction update).
+constexpr std::string_view kLatchO0 = R"(
+  crc2 = mov crc_n
+  data2 = mov d0
+  i2 = addiu i, 1
+  c0 = slti i2, 8
+  live_out crc2, data2, i2, c0
+)";
+
+// -O3 unrolls four bit-steps into one block; the chain crc -> crc4 is the
+// critical path, while per-step mask computations run beside it.
+constexpr std::string_view kStepO3 = R"(
+  b0 = andi crc, 1
+  x0 = andi data, 1
+  t0 = xor b0, x0
+  n0 = subu 0, t0
+  m0 = and n0, poly
+  s0 = srl crc, 1
+  crc1 = xor s0, m0
+  d1 = srl data, 1
+  b1 = andi crc1, 1
+  x1 = andi d1, 1
+  t1 = xor b1, x1
+  n1 = subu 0, t1
+  m1 = and n1, poly
+  s1 = srl crc1, 1
+  crc2 = xor s1, m1
+  d2 = srl d1, 1
+  b2 = andi crc2, 1
+  x2 = andi d2, 1
+  t2 = xor b2, x2
+  n2 = subu 0, t2
+  m2 = and n2, poly
+  s2 = srl crc2, 1
+  crc3 = xor s2, m2
+  d3 = srl d2, 1
+  b3 = andi crc3, 1
+  x3 = andi d3, 1
+  t3 = xor b3, x3
+  n3 = subu 0, t3
+  m3 = and n3, poly
+  s3 = srl crc3, 1
+  crc4 = xor s3, m3
+  d4 = srl d3, 1
+  i4 = addiu i, 4
+  c4 = slti i4, 8
+  live_out crc4, d4, i4, c4
+)";
+
+// Byte-fetch block shared by both flavors (cold relative to the bit loop).
+constexpr std::string_view kFetch = R"(
+  ad = addu buf, idx
+  byte = lbu [ad]
+  data = xor crc, byte
+  idx2 = addiu idx, 1
+  c = sltu idx2, len
+  live_out data, idx2, c
+)";
+
+// Table-index epilogue: fold the remainder and store the running CRC.
+constexpr std::string_view kEpilogue = R"(
+  r0 = nor crc, crc
+  sw [out], r0
+  done = addiu flag, 1
+  live_out done
+)";
+
+}  // namespace
+
+std::vector<KernelBlockDef> crc32_blocks(OptLevel level) {
+  std::vector<KernelBlockDef> defs;
+  constexpr std::uint64_t kBytes = 65536;
+  if (level == OptLevel::kO0) {
+    defs.push_back({"crc_step", kStepO0, kBytes * 8});
+    defs.push_back({"crc_latch", kLatchO0, kBytes * 8});
+    defs.push_back({"crc_fetch", kFetch, kBytes});
+    defs.push_back({"crc_epilogue", kEpilogue, 1});
+  } else {
+    defs.push_back({"crc_step4", kStepO3, kBytes * 2});
+    defs.push_back({"crc_fetch", kFetch, kBytes});
+    defs.push_back({"crc_epilogue", kEpilogue, 1});
+  }
+  return defs;
+}
+
+}  // namespace isex::bench_suite

@@ -1,0 +1,96 @@
+// dijkstra — edge-relaxation inner loop.
+//
+// Dominated by loads and compares with only short arithmetic snippets in
+// between: the paper's worst case, where a good explorer should commit very
+// little silicon (and a legality-only one still tries).
+#include "bench_suite/kernels.hpp"
+
+namespace isex::bench_suite {
+namespace {
+
+constexpr std::string_view kRelaxO3 = R"(
+  eoff = sll e, 3
+  ep = addu edges, eoff
+  w = lw [ep]
+  ep2 = addiu ep, 4
+  v = lw [ep2]
+  nd = addu du, w
+  voff = sll v, 2
+  dp = addu dist, voff
+  dv = lw [dp]
+  c = sltu nd, dv
+  n = subu 0, c
+  sel0 = and nd, n
+  nn = nor n, n
+  sel1 = and dv, nn
+  best = or sel0, sel1
+  sw [dp], best
+  e2 = addiu e, 1
+  cc = sltu e2, deg
+  live_out e2, cc
+)";
+
+constexpr std::string_view kRelaxO0a = R"(
+  eoff = sll e, 3
+  ep = addu edges, eoff
+  w = lw [ep]
+  ep2 = addiu ep, 4
+  v = lw [ep2]
+  live_out w, v
+)";
+
+constexpr std::string_view kRelaxO0b = R"(
+  nd = addu du, w
+  voff = sll v, 2
+  dp = addu dist, voff
+  dv = lw [dp]
+  c = sltu nd, dv
+  live_out nd, dp, dv, c
+)";
+
+constexpr std::string_view kRelaxO0c = R"(
+  n = subu 0, c
+  sel0 = and nd, n
+  nn = nor n, n
+  sel1 = and dv, nn
+  best = or sel0, sel1
+  sw [dp], best
+  e2 = addiu e, 1
+  cc = sltu e2, deg
+  live_out e2, cc
+)";
+
+// Priority-queue head extraction (linear scan flavor used by MiBench).
+constexpr std::string_view kScanMin = R"(
+  ioff = sll i, 2
+  ip = addu dist, ioff
+  di = lw [ip]
+  c0 = sltu di, bestd
+  n0 = subu 0, c0
+  s0 = and di, n0
+  nn0 = nor n0, n0
+  s1 = and bestd, nn0
+  bestd2 = or s0, s1
+  i2 = addiu i, 1
+  c = sltu i2, nv
+  live_out bestd2, i2, c
+)";
+
+}  // namespace
+
+std::vector<KernelBlockDef> dijkstra_blocks(OptLevel level) {
+  std::vector<KernelBlockDef> defs;
+  constexpr std::uint64_t kRelaxations = 100000;
+  if (level == OptLevel::kO0) {
+    defs.push_back({"dij_load", kRelaxO0a, kRelaxations});
+    defs.push_back({"dij_cmp", kRelaxO0b, kRelaxations});
+    defs.push_back({"dij_sel", kRelaxO0c, kRelaxations});
+    defs.push_back({"dij_scan", kScanMin, kRelaxations / 2});
+  } else {
+    defs.push_back({"dij_relax", kRelaxO3, kRelaxations});
+    defs.push_back({"dij_scan", kScanMin, kRelaxations / 2});
+  }
+  return defs;
+}
+
+}  // namespace isex::bench_suite

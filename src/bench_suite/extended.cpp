@@ -1,0 +1,299 @@
+#include "bench_suite/extended.hpp"
+
+#include <stdexcept>
+
+#include "isa/tac_parser.hpp"
+#include "util/assert.hpp"
+
+namespace isex::bench_suite {
+namespace {
+
+// ----------------------------------------------------------------- AES ----
+// GF(2^8) xtime + Russian-peasant multiply step, the MixColumns workhorse.
+constexpr std::string_view kAesO3 = R"(
+  # two unrolled gf-multiply steps: (a, b, acc) -> (a2, b2, acc2)
+  hi0 = srl a, 7
+  m0 = subu 0, hi0
+  red0 = andi m0, 27
+  sh0 = sll a, 1
+  shm0 = andi sh0, 255
+  ax = xor shm0, red0
+  lb0 = andi b, 1
+  s0 = subu 0, lb0
+  t0 = and a, s0
+  acc1 = xor acc, t0
+  b1 = srl b, 1
+  hi1 = srl ax, 7
+  m1 = subu 0, hi1
+  red1 = andi m1, 27
+  sh1 = sll ax, 1
+  shm1 = andi sh1, 255
+  a2 = xor shm1, red1
+  lb1 = andi b1, 1
+  s1 = subu 0, lb1
+  t1 = and ax, s1
+  acc2 = xor acc1, t1
+  b2 = srl b1, 1
+  live_out a2, b2, acc2
+)";
+
+constexpr std::string_view kAesO0a = R"(
+  hi0 = srl a, 7
+  m0 = subu 0, hi0
+  red0 = andi m0, 27
+  sh0 = sll a, 1
+  shm0 = andi sh0, 255
+  a2 = xor shm0, red0
+  live_out a2
+)";
+
+constexpr std::string_view kAesO0b = R"(
+  lb0 = andi b, 1
+  s0 = subu 0, lb0
+  t0 = and a, s0
+  acc2 = xor acc, t0
+  b2 = srl b, 1
+  live_out acc2, b2
+)";
+
+// State column load/store around the round (cold relative to gf arithmetic).
+constexpr std::string_view kAesLoad = R"(
+  p0 = addu state, col
+  v0 = lbu [p0]
+  p1 = addiu p0, 4
+  v1 = lbu [p1]
+  p2 = addiu p1, 4
+  v2 = lbu [p2]
+  p3 = addiu p2, 4
+  v3 = lbu [p3]
+  live_out v0, v1, v2, v3
+)";
+
+// -------------------------------------------------------------- SHA-256 ----
+// Message schedule: w16 = sigma1(w2) + w7 + sigma0(w15) + w16old.
+constexpr std::string_view kShaO3 = R"(
+  r7a = srl w15, 7
+  r7b = sll w15, 25
+  r7 = or r7a, r7b
+  r18a = srl w15, 18
+  r18b = sll w15, 14
+  r18 = or r18a, r18b
+  s3 = srl w15, 3
+  x0 = xor r7, r18
+  sig0 = xor x0, s3
+  r17a = srl w2, 17
+  r17b = sll w2, 15
+  r17 = or r17a, r17b
+  r19a = srl w2, 19
+  r19b = sll w2, 13
+  r19 = or r19a, r19b
+  s10 = srl w2, 10
+  x1 = xor r17, r19
+  sig1 = xor x1, s10
+  a0 = addu w16old, sig0
+  a1 = addu a0, w7
+  w16 = addu a1, sig1
+  live_out w16
+)";
+
+constexpr std::string_view kShaO0a = R"(
+  r7a = srl w15, 7
+  r7b = sll w15, 25
+  r7 = or r7a, r7b
+  r18a = srl w15, 18
+  r18b = sll w15, 14
+  r18 = or r18a, r18b
+  s3 = srl w15, 3
+  x0 = xor r7, r18
+  sig0 = xor x0, s3
+  live_out sig0
+)";
+
+constexpr std::string_view kShaO0b = R"(
+  r17a = srl w2, 17
+  r17b = sll w2, 15
+  r17 = or r17a, r17b
+  r19a = srl w2, 19
+  r19b = sll w2, 13
+  r19 = or r19a, r19b
+  s10 = srl w2, 10
+  x1 = xor r17, r19
+  sig1 = xor x1, s10
+  live_out sig1
+)";
+
+constexpr std::string_view kShaO0c = R"(
+  a0 = addu w16old, sig0
+  a1 = addu a0, w7
+  w16 = addu a1, sig1
+  live_out w16
+)";
+
+// Schedule-array maintenance (loads/stores, cold-ish).
+constexpr std::string_view kShaStore = R"(
+  off = sll i, 2
+  p = addu wbase, off
+  sw [p], w16
+  i2 = addiu i, 1
+  c = sltu i2, 64
+  live_out i2, c
+)";
+
+// ---------------------------------------------------------------- Sobel ----
+// 3x3 gradient: gx/gy accumulation plus |gx|+|gy| magnitude.
+constexpr std::string_view kSobelO3 = R"(
+  gx0 = subu p02, p00
+  gx1 = sll p12, 1
+  gx2 = sll p10, 1
+  gx3 = subu gx1, gx2
+  gx4 = addu gx0, gx3
+  gx5 = subu p22, p20
+  gx = addu gx4, gx5
+  gy0 = subu p20, p00
+  gy1 = sll p21, 1
+  gy2 = sll p01, 1
+  gy3 = subu gy1, gy2
+  gy4 = addu gy0, gy3
+  gy5 = subu p22, p02
+  gy = addu gy4, gy5
+  sx = sra gx, 31
+  ax0 = xor gx, sx
+  absx = subu ax0, sx
+  sy = sra gy, 31
+  ay0 = xor gy, sy
+  absy = subu ay0, sy
+  mag = addu absx, absy
+  live_out mag
+)";
+
+constexpr std::string_view kSobelO0a = R"(
+  gx0 = subu p02, p00
+  gx1 = sll p12, 1
+  gx2 = sll p10, 1
+  gx3 = subu gx1, gx2
+  gx4 = addu gx0, gx3
+  gx5 = subu p22, p20
+  gx = addu gx4, gx5
+  live_out gx
+)";
+
+constexpr std::string_view kSobelO0b = R"(
+  gy0 = subu p20, p00
+  gy1 = sll p21, 1
+  gy2 = sll p01, 1
+  gy3 = subu gy1, gy2
+  gy4 = addu gy0, gy3
+  gy5 = subu p22, p02
+  gy = addu gy4, gy5
+  live_out gy
+)";
+
+constexpr std::string_view kSobelO0c = R"(
+  sx = sra gx, 31
+  ax0 = xor gx, sx
+  absx = subu ax0, sx
+  sy = sra gy, 31
+  ay0 = xor gy, sy
+  absy = subu ay0, sy
+  mag = addu absx, absy
+  live_out mag
+)";
+
+// Pixel fetch for the next window column.
+constexpr std::string_view kSobelFetch = R"(
+  p = addu row, x
+  q0 = lbu [p]
+  pr = addu p, stride
+  q1 = lbu [pr]
+  pr2 = addu pr, stride
+  q2 = lbu [pr2]
+  x2 = addiu x, 1
+  c = sltu x2, width
+  live_out q0, q1, q2, x2, c
+)";
+
+}  // namespace
+
+std::vector<ExtraBenchmark> all_extra_benchmarks() {
+  return {ExtraBenchmark::kAes, ExtraBenchmark::kSha256, ExtraBenchmark::kSobel};
+}
+
+std::string_view name(ExtraBenchmark benchmark) {
+  switch (benchmark) {
+    case ExtraBenchmark::kAes: return "aes";
+    case ExtraBenchmark::kSha256: return "sha256";
+    case ExtraBenchmark::kSobel: return "sobel";
+  }
+  return "?";
+}
+
+std::vector<KernelBlockDef> extra_kernel_blocks(ExtraBenchmark benchmark,
+                                                OptLevel level) {
+  std::vector<KernelBlockDef> defs;
+  switch (benchmark) {
+    case ExtraBenchmark::kAes: {
+      constexpr std::uint64_t kSteps = 8 * 16 * 4096;
+      if (level == OptLevel::kO0) {
+        defs.push_back({"aes_xtime", kAesO0a, kSteps});
+        defs.push_back({"aes_accum", kAesO0b, kSteps});
+        defs.push_back({"aes_load", kAesLoad, kSteps / 8});
+      } else {
+        defs.push_back({"aes_gfmul_x2", kAesO3, kSteps / 2});
+        defs.push_back({"aes_load", kAesLoad, kSteps / 8});
+      }
+      break;
+    }
+    case ExtraBenchmark::kSha256: {
+      constexpr std::uint64_t kWords = 48 * 16384;
+      if (level == OptLevel::kO0) {
+        defs.push_back({"sha_sigma0", kShaO0a, kWords});
+        defs.push_back({"sha_sigma1", kShaO0b, kWords});
+        defs.push_back({"sha_sum", kShaO0c, kWords});
+        defs.push_back({"sha_store", kShaStore, kWords});
+      } else {
+        defs.push_back({"sha_schedule", kShaO3, kWords});
+        defs.push_back({"sha_store", kShaStore, kWords});
+      }
+      break;
+    }
+    case ExtraBenchmark::kSobel: {
+      constexpr std::uint64_t kPixels = 640 * 480;
+      if (level == OptLevel::kO0) {
+        defs.push_back({"sobel_gx", kSobelO0a, kPixels});
+        defs.push_back({"sobel_gy", kSobelO0b, kPixels});
+        defs.push_back({"sobel_mag", kSobelO0c, kPixels});
+        defs.push_back({"sobel_fetch", kSobelFetch, kPixels});
+      } else {
+        defs.push_back({"sobel_pixel", kSobelO3, kPixels});
+        defs.push_back({"sobel_fetch", kSobelFetch, kPixels});
+      }
+      break;
+    }
+  }
+  return defs;
+}
+
+std::string_view extra_kernel_source(ExtraBenchmark benchmark, OptLevel level,
+                                     std::string_view block_name) {
+  for (const KernelBlockDef& def : extra_kernel_blocks(benchmark, level)) {
+    if (def.name == block_name) return def.tac;
+  }
+  throw std::out_of_range("no extra kernel block named '" +
+                          std::string(block_name) + "'");
+}
+
+flow::ProfiledProgram make_extra_program(ExtraBenchmark benchmark,
+                                         OptLevel level) {
+  flow::ProfiledProgram program;
+  program.name = std::string(name(benchmark));
+  for (const KernelBlockDef& def : extra_kernel_blocks(benchmark, level)) {
+    flow::ProfiledBlock block;
+    block.name = def.name;
+    block.graph = isa::parse_tac(def.tac).graph;
+    block.exec_count = def.exec_count;
+    program.blocks.push_back(std::move(block));
+  }
+  return program;
+}
+
+}  // namespace isex::bench_suite

@@ -1,0 +1,30 @@
+// Extended kernel suite — three benchmarks beyond the paper's seven.
+//
+// The paper's evaluation predates the ubiquity of crypto and vision
+// workloads on embedded cores; these kernels extend the suite with the hot
+// blocks a 2020s embedded product would profile: an AES round helper
+// (GF(2^8) arithmetic), the SHA-256 message-schedule sigma network, and a
+// Sobel edge-detection stencil.  Same modelling rules as the main suite
+// (O0 split blocks vs O3 unrolled, hot-block-skewed profiles).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "bench_suite/kernels.hpp"
+
+namespace isex::bench_suite {
+
+enum class ExtraBenchmark { kAes, kSha256, kSobel };
+
+std::vector<ExtraBenchmark> all_extra_benchmarks();
+std::string_view name(ExtraBenchmark benchmark);
+
+std::vector<KernelBlockDef> extra_kernel_blocks(ExtraBenchmark benchmark,
+                                                OptLevel level);
+std::string_view extra_kernel_source(ExtraBenchmark benchmark, OptLevel level,
+                                     std::string_view block_name);
+flow::ProfiledProgram make_extra_program(ExtraBenchmark benchmark,
+                                         OptLevel level);
+
+}  // namespace isex::bench_suite

@@ -1,0 +1,108 @@
+// FFT — fixed-point radix-2 decimation-in-time butterfly.
+//
+// Four multiplies feed the twiddle rotation; the add/sub recombination and
+// Q15 rescale form medium-length arithmetic chains with real ILP across the
+// real/imaginary lanes — a good test of critical-path awareness, since only
+// one lane bounds the schedule once multiplies serialize on the single
+// multiplier.
+#include "bench_suite/kernels.hpp"
+
+namespace isex::bench_suite {
+namespace {
+
+constexpr std::string_view kButterflyO3 = R"(
+  m0 = mult wr, xr
+  m1 = mult wi, xi
+  m2 = mult wr, xi
+  m3 = mult wi, xr
+  tr0 = subu m0, m1
+  ti0 = addu m2, m3
+  tr = sra tr0, 15
+  ti = sra ti0, 15
+  yr0 = addu ar, tr
+  yi0 = addu ai, ti
+  yr1 = subu ar, tr
+  yi1 = subu ai, ti
+  # second butterfly of the unrolled pair
+  p0 = mult wr2, ur
+  p1 = mult wi2, ui
+  p2 = mult wr2, ui
+  p3 = mult wi2, ur
+  sr0 = subu p0, p1
+  si0 = addu p2, p3
+  sr = sra sr0, 15
+  si = sra si0, 15
+  zr0 = addu br, sr
+  zi0 = addu bi, si
+  zr1 = subu br, sr
+  zi1 = subu bi, si
+  live_out yr0, yi0, yr1, yi1, zr0, zi0, zr1, zi1
+)";
+
+constexpr std::string_view kButterflyO0a = R"(
+  m0 = mult wr, xr
+  m1 = mult wi, xi
+  tr0 = subu m0, m1
+  tr = sra tr0, 15
+  live_out tr
+)";
+
+constexpr std::string_view kButterflyO0b = R"(
+  m2 = mult wr, xi
+  m3 = mult wi, xr
+  ti0 = addu m2, m3
+  ti = sra ti0, 15
+  live_out ti
+)";
+
+constexpr std::string_view kButterflyO0c = R"(
+  yr0 = addu ar, tr
+  yi0 = addu ai, ti
+  yr1 = subu ar, tr
+  yi1 = subu ai, ti
+  r0 = mov yr0
+  r1 = mov yi0
+  live_out r0, r1, yr1, yi1
+)";
+
+// Twiddle/index update (both flavors).
+constexpr std::string_view kIndexUpdate = R"(
+  j2 = addu j, stride
+  k2 = addiu k, 1
+  half = srl n, 1
+  c = sltu k2, half
+  ad = sll j2, 2
+  adr = addu base, ad
+  wr_n = lw [adr]
+  live_out j2, k2, c, wr_n
+)";
+
+constexpr std::string_view kBitReverse = R"(
+  r0 = srl idx, 1
+  r1 = andi idx, 1
+  r2 = sll acc, 1
+  acc2 = or r2, r1
+  c = sltu r0, n
+  live_out r0, acc2, c
+)";
+
+}  // namespace
+
+std::vector<KernelBlockDef> fft_blocks(OptLevel level) {
+  std::vector<KernelBlockDef> defs;
+  constexpr std::uint64_t kButterflies = 40960;  // N log N for N = 4096
+  if (level == OptLevel::kO0) {
+    defs.push_back({"fft_bfly_a", kButterflyO0a, kButterflies});
+    defs.push_back({"fft_bfly_b", kButterflyO0b, kButterflies});
+    defs.push_back({"fft_bfly_c", kButterflyO0c, kButterflies});
+    defs.push_back({"fft_index", kIndexUpdate, kButterflies});
+    defs.push_back({"fft_bitrev", kBitReverse, 4096});
+  } else {
+    defs.push_back({"fft_bfly_x2", kButterflyO3, kButterflies / 2});
+    defs.push_back({"fft_index", kIndexUpdate, kButterflies / 2});
+    defs.push_back({"fft_bitrev", kBitReverse, 4096});
+  }
+  return defs;
+}
+
+}  // namespace isex::bench_suite

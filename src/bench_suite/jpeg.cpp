@@ -1,0 +1,103 @@
+// jpeg — AAN-style 1-D inverse DCT column pass (even part + dequantize).
+//
+// Wide butterfly fronts (high ILP) feeding multiply/shift rotations: plenty
+// of off-critical-path arithmetic that a legality-only explorer happily
+// wastes area on, which is exactly the behaviour Fig 5.2.1 punishes.
+#include "bench_suite/kernels.hpp"
+
+namespace isex::bench_suite {
+namespace {
+
+constexpr std::string_view kIdctO3 = R"(
+  q0 = mult x0, qt0
+  q2 = mult x2, qt2
+  q4 = mult x4, qt4
+  q6 = mult x6, qt6
+  s0 = sra q0, 3
+  s2 = sra q2, 3
+  s4 = sra q4, 3
+  s6 = sra q6, 3
+  p0 = addu s0, s4
+  p1 = subu s0, s4
+  r0 = addu s2, s6
+  d26 = subu s2, s6
+  m0 = mult d26, 181
+  r1a = sra m0, 7
+  r1 = subu r1a, r0
+  t0 = addu p0, r0
+  t3 = subu p0, r0
+  t1 = addu p1, r1
+  t2 = subu p1, r1
+  o0 = sra t0, 6
+  o1 = sra t1, 6
+  o2 = sra t2, 6
+  o3 = sra t3, 6
+  live_out o0, o1, o2, o3
+)";
+
+constexpr std::string_view kIdctO0a = R"(
+  q0 = mult x0, qt0
+  q4 = mult x4, qt4
+  s0 = sra q0, 3
+  s4 = sra q4, 3
+  p0 = addu s0, s4
+  p1 = subu s0, s4
+  live_out p0, p1
+)";
+
+constexpr std::string_view kIdctO0b = R"(
+  q2 = mult x2, qt2
+  q6 = mult x6, qt6
+  s2 = sra q2, 3
+  s6 = sra q6, 3
+  r0 = addu s2, s6
+  d26 = subu s2, s6
+  m0 = mult d26, 181
+  r1a = sra m0, 7
+  r1 = subu r1a, r0
+  live_out r0, r1
+)";
+
+constexpr std::string_view kIdctO0c = R"(
+  t0 = addu p0, r0
+  t3 = subu p0, r0
+  t1 = addu p1, r1
+  t2 = subu p1, r1
+  o0 = sra t0, 6
+  o1 = sra t1, 6
+  o2 = sra t2, 6
+  o3 = sra t3, 6
+  live_out o0, o1, o2, o3
+)";
+
+// Pixel store with level shift and clamp mask.
+constexpr std::string_view kStoreRow = R"(
+  v0 = addiu o0, 128
+  c0 = slti v0, 256
+  n0 = subu 0, c0
+  v1 = and v0, n0
+  p = addu dst, off
+  sb [p], v1
+  off2 = addiu off, 1
+  c = sltu off2, lim
+  live_out off2, c
+)";
+
+}  // namespace
+
+std::vector<KernelBlockDef> jpeg_blocks(OptLevel level) {
+  std::vector<KernelBlockDef> defs;
+  constexpr std::uint64_t kColumns = 8 * 4096;  // 8 columns × 4096 blocks
+  if (level == OptLevel::kO0) {
+    defs.push_back({"idct_even", kIdctO0a, kColumns});
+    defs.push_back({"idct_rot", kIdctO0b, kColumns});
+    defs.push_back({"idct_comb", kIdctO0c, kColumns});
+    defs.push_back({"idct_store", kStoreRow, kColumns * 4});
+  } else {
+    defs.push_back({"idct_col", kIdctO3, kColumns});
+    defs.push_back({"idct_store", kStoreRow, kColumns * 4});
+  }
+  return defs;
+}
+
+}  // namespace isex::bench_suite

@@ -1,0 +1,69 @@
+#include "bench_suite/kernels.hpp"
+
+#include <stdexcept>
+
+#include "isa/tac_parser.hpp"
+#include "util/assert.hpp"
+
+namespace isex::bench_suite {
+
+std::vector<Benchmark> all_benchmarks() {
+  return {Benchmark::kCrc32,    Benchmark::kFft,  Benchmark::kAdpcm,
+          Benchmark::kBitcount, Benchmark::kBlowfish, Benchmark::kJpeg,
+          Benchmark::kDijkstra};
+}
+
+std::string_view name(Benchmark benchmark) {
+  switch (benchmark) {
+    case Benchmark::kCrc32: return "CRC32";
+    case Benchmark::kFft: return "FFT";
+    case Benchmark::kAdpcm: return "adpcm";
+    case Benchmark::kBitcount: return "bitcount";
+    case Benchmark::kBlowfish: return "blowfish";
+    case Benchmark::kJpeg: return "jpeg";
+    case Benchmark::kDijkstra: return "dijkstra";
+  }
+  return "?";
+}
+
+std::string_view name(OptLevel level) {
+  return level == OptLevel::kO0 ? "O0" : "O3";
+}
+
+std::vector<KernelBlockDef> kernel_blocks(Benchmark benchmark, OptLevel level) {
+  switch (benchmark) {
+    case Benchmark::kCrc32: return crc32_blocks(level);
+    case Benchmark::kFft: return fft_blocks(level);
+    case Benchmark::kAdpcm: return adpcm_blocks(level);
+    case Benchmark::kBitcount: return bitcount_blocks(level);
+    case Benchmark::kBlowfish: return blowfish_blocks(level);
+    case Benchmark::kJpeg: return jpeg_blocks(level);
+    case Benchmark::kDijkstra: return dijkstra_blocks(level);
+  }
+  ISEX_ASSERT_MSG(false, "unknown benchmark");
+  return {};
+}
+
+std::string_view kernel_source(Benchmark benchmark, OptLevel level,
+                               std::string_view block_name) {
+  for (const KernelBlockDef& def : kernel_blocks(benchmark, level)) {
+    if (def.name == block_name) return def.tac;
+  }
+  throw std::out_of_range("no kernel block named '" + std::string(block_name) +
+                          "'");
+}
+
+flow::ProfiledProgram make_program(Benchmark benchmark, OptLevel level) {
+  flow::ProfiledProgram program;
+  program.name = std::string(name(benchmark));
+  for (const KernelBlockDef& def : kernel_blocks(benchmark, level)) {
+    flow::ProfiledBlock block;
+    block.name = def.name;
+    block.graph = isa::parse_tac(def.tac).graph;
+    block.exec_count = def.exec_count;
+    program.blocks.push_back(std::move(block));
+  }
+  return program;
+}
+
+}  // namespace isex::bench_suite

@@ -1,0 +1,67 @@
+// Benchmark kernel suite (§5.1): seven MiBench-style applications as
+// profiled basic-block sets, each in two compiler flavors.
+//
+// The paper compiles CRC32, FFT, adpcm, bitcount, blowfish, jpeg, and
+// dijkstra with gcc 2.7.2.3 -O0 / -O3 for PISA and profiles them on
+// SimpleScalar.  Without that toolchain, this module models each program's
+// *hot* basic blocks directly in the TAC frontend:
+//   * O0 — small blocks, redundant temporaries and moves, low ILP, higher
+//     block execution counts (the loop body spans several blocks);
+//   * O3 — unrolled/inlined bodies: one large block with long dependence
+//     chains and higher ILP.
+// Execution counts reproduce the hot-block skew the paper's Fig 5.2.3
+// analysis relies on (most time in very few blocks).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "flow/program.hpp"
+
+namespace isex::bench_suite {
+
+enum class Benchmark {
+  kCrc32,
+  kFft,
+  kAdpcm,
+  kBitcount,
+  kBlowfish,
+  kJpeg,
+  kDijkstra,
+};
+
+enum class OptLevel { kO0, kO3 };
+
+std::vector<Benchmark> all_benchmarks();
+std::string_view name(Benchmark benchmark);
+std::string_view name(OptLevel level);
+
+/// One modelled basic block: name, raw TAC source, and profile count.
+/// Exposing the source keeps the kernels *executable* — the exec module's
+/// semantic tests run them against reference implementations.
+struct KernelBlockDef {
+  std::string name;
+  std::string_view tac;
+  std::uint64_t exec_count = 1;
+};
+
+/// Block definitions for one (benchmark, flavor) pair, hottest first.
+std::vector<KernelBlockDef> kernel_blocks(Benchmark benchmark, OptLevel level);
+
+/// TAC source of one named block; throws std::out_of_range if absent.
+std::string_view kernel_source(Benchmark benchmark, OptLevel level,
+                               std::string_view block_name);
+
+/// Builds the profiled program for one (benchmark, flavor) pair.
+flow::ProfiledProgram make_program(Benchmark benchmark, OptLevel level);
+
+// Per-benchmark definition tables (implemented one per translation unit).
+std::vector<KernelBlockDef> crc32_blocks(OptLevel level);
+std::vector<KernelBlockDef> fft_blocks(OptLevel level);
+std::vector<KernelBlockDef> adpcm_blocks(OptLevel level);
+std::vector<KernelBlockDef> bitcount_blocks(OptLevel level);
+std::vector<KernelBlockDef> blowfish_blocks(OptLevel level);
+std::vector<KernelBlockDef> jpeg_blocks(OptLevel level);
+std::vector<KernelBlockDef> dijkstra_blocks(OptLevel level);
+
+}  // namespace isex::bench_suite

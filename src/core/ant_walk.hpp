@@ -1,0 +1,74 @@
+// One ACO iteration: an ant constructs a complete solution — an
+// implementation option *and* a time slot for every operation — by walking
+// the search tree level by level (§3.2).
+//
+// At each step the Ready-Matrix holds every implementation option of every
+// ready operation (Fig 4.3.2); one entry is drawn with the chosen
+// probability of Eq. 1, and the operation is placed by Operation-Scheduling:
+// software options list-schedule under issue/FU/port limits (Fig 4.3.3),
+// hardware options pack into a parent's virtual ISE group in the same slot
+// when legal, else open a new group (Fig 4.3.4).  Virtual groups accumulate
+// combinational depth; a group occupies ⌈depth/clock⌉ cycles and its results
+// become visible when the whole group finishes.
+#pragma once
+
+#include <vector>
+
+#include "core/explorer_params.hpp"
+#include "core/pheromone.hpp"
+#include "dfg/node_set.hpp"
+#include "hwlib/gplus.hpp"
+#include "sched/machine_config.hpp"
+#include "util/rng.hpp"
+
+namespace isex::core {
+
+/// A virtual ISE group growing during the walk.
+struct GroupState {
+  dfg::NodeSet members;
+  int start = 0;          ///< issue cycle
+  double depth_ns = 0.0;  ///< combinational critical path inside the group
+  int cycles = 1;         ///< ⌈depth/clock⌉
+  int reads = 0;          ///< IN(members)
+  int writes = 0;         ///< OUT(members)
+};
+
+struct WalkResult {
+  /// Implementation option chosen per node (IO-table index).
+  std::vector<int> chosen;
+  /// Issue cycle per node.
+  std::vector<int> slot;
+  /// Position of the node in the ant's pick sequence.
+  std::vector<int> order;
+  /// Virtual group membership, -1 for software-scheduled nodes.
+  std::vector<int> group_id;
+  std::vector<GroupState> groups;
+  /// Total execution time of the constructed schedule, cycles.
+  int tet = 0;
+
+  /// Cycle at which the node's result becomes available.
+  int finish_of(dfg::NodeId v) const;
+
+ private:
+  friend class AntWalk;
+  std::vector<int> finish_;
+};
+
+class AntWalk {
+ public:
+  AntWalk(const hw::GPlus& gplus, const sched::MachineConfig& machine,
+          const ExplorerParams& params, hw::ClockSpec clock = {});
+
+  /// Runs one iteration.  `sp_score[v]` is the scheduling-priority term of
+  /// Eq. 1, pre-scaled to the merit scale.
+  WalkResult run(const PheromoneState& pheromone,
+                 std::span<const double> sp_score, Rng& rng) const;
+
+ private:
+  const hw::GPlus* gplus_;
+  sched::MachineConfig machine_;
+  const ExplorerParams* params_;
+  hw::ClockSpec clock_;
+};
+
+}  // namespace isex::core

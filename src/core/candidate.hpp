@@ -1,0 +1,39 @@
+// ISE candidate extraction from a converged round.
+//
+// An ISE is a set of connected/reachable operations whose *taken*
+// implementation option is hardware (§4.3).  Extraction takes the per-node
+// taken options, forms the hardware clusters, applies Make-Convex and port
+// legalization, and evaluates each surviving piece's ASFU.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dfg/analysis.hpp"
+#include "dfg/node_set.hpp"
+#include "hwlib/asfu.hpp"
+#include "hwlib/gplus.hpp"
+#include "isa/register_file.hpp"
+
+namespace isex::core {
+
+struct IseCandidate {
+  /// Members, in the coordinates of the round's graph.
+  dfg::NodeSet members;
+  /// IO-table option index per node (only members meaningful).
+  std::vector<int> option;
+  hw::AsfuEvaluation eval;
+  int in_count = 0;
+  int out_count = 0;
+
+  std::size_t size() const { return members.count(); }
+};
+
+/// Extracts all legal candidates (size ≥ 2) implied by `taken`.
+std::vector<IseCandidate> extract_candidates(const hw::GPlus& gplus,
+                                             const isa::IsaFormat& format,
+                                             std::span<const int> taken,
+                                             const dfg::Reachability& reach,
+                                             hw::ClockSpec clock = {});
+
+}  // namespace isex::core

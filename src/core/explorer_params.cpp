@@ -1,0 +1,3 @@
+#include "core/explorer_params.hpp"
+
+// Header-only data; this TU anchors the target.

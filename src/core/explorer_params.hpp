@@ -1,0 +1,68 @@
+// Tunables of the ACO ISE exploration (§5.1 lists the paper's values).
+#pragma once
+
+#include <cstdint>
+
+#include "sched/priority.hpp"
+
+namespace isex::core {
+
+struct ExplorerParams {
+  // --- probability mixing (Eqs. 1 and 3) ---
+  /// Relative influence of trail vs merit: p ∝ α·trail + (1−α)·merit + λ·SP.
+  double alpha = 0.25;
+  /// Relative influence of the scheduling priority (SP) term.  The paper
+  /// lists λ as a parameter without publishing its value; 0.3 with SP
+  /// normalized to [0, merit_scale] reproduces the reported behaviour.
+  double lambda = 0.3;
+
+  // --- trail update (Fig 4.3.5 evaporating factors) ---
+  double rho1 = 4.0;  ///< reward for the chosen option on improvement
+  double rho2 = 2.0;  ///< decay for unchosen options on improvement
+  double rho3 = 2.0;  ///< penalty for the chosen option on regression
+  double rho4 = 2.0;  ///< reward for unchosen options on regression
+  double rho5 = 0.4;  ///< extra penalty for reordered operations on regression
+
+  // --- merit function constants (Fig 4.3.7) ---
+  double beta_cp = 0.9;      ///< critical-path boost divisor (case 1)
+  double beta_size = 0.7;    ///< singleton-candidate decay (case 2)
+  double beta_io = 0.8;      ///< I/O-constraint-violation decay (case 3)
+  double beta_convex = 0.4;  ///< convexity-violation decay (case 3)
+  double beta_timing = 0.6;  ///< pipestage-timing-violation decay (case 3)
+
+  // --- initial values / scales ---
+  double initial_merit_software = 100.0;
+  double initial_merit_hardware = 200.0;
+  /// Per-node merits are renormalized so the best option carries this value.
+  double merit_scale = 200.0;
+  double initial_trail = 0.0;
+  /// Trail values are clamped into [0, trail_max].
+  double trail_max = 1000.0;
+
+  // --- convergence ---
+  /// A round converges when every operation has an option whose selected
+  /// probability (Eq. 3) exceeds this.
+  double p_end = 0.99;
+  /// Hard cap on iterations per round (safety net for the heuristic).
+  int max_iterations = 250;
+  /// Hard cap on rounds (ISEs explored per basic block).
+  int max_rounds = 64;
+
+  /// When false, the merit function treats every operation as if it were on
+  /// the critical path and skips the Max_AEC area-saving branch — this is
+  /// exactly the single-issue (legality-only) behaviour of the prior art
+  /// baseline [Wu et al., HiPEAC'07].
+  bool locality_aware = true;
+
+  /// Scheduling-priority (SP) function for Eq. 1's λ·SP term.  The paper
+  /// uses the child count and names mobility-based priorities as future
+  /// work (Ch. 6); both are available here.
+  sched::PriorityKind sp_priority = sched::PriorityKind::kChildCount;
+
+  /// Record per-iteration diagnostics (TET curve, convergence fraction) in
+  /// ExplorationResult::trace.  Off by default: the trace grows with
+  /// iterations × rounds.
+  bool collect_trace = false;
+};
+
+}  // namespace isex::core

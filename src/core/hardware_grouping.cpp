@@ -1,0 +1,95 @@
+#include "core/hardware_grouping.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace isex::core {
+
+HardwareGrouping::HardwareGrouping(const hw::GPlus& gplus,
+                                   const isa::IsaFormat& format,
+                                   hw::ClockSpec clock)
+    : gplus_(&gplus), format_(format), clock_(clock) {}
+
+VirtualCandidate HardwareGrouping::group(dfg::NodeId x,
+                                         std::span<const int> prev_chosen,
+                                         const dfg::Reachability& reach) const {
+  const dfg::Graph& graph = gplus_->graph();
+  const std::size_t n = graph.num_nodes();
+  ISEX_ASSERT(prev_chosen.size() == n);
+  ISEX_ASSERT(x < n);
+
+  VirtualCandidate cand;
+  cand.members.resize(n);
+
+  auto chose_hardware = [&](dfg::NodeId u) {
+    const int o = prev_chosen[u];
+    return o >= 0 && gplus_->table(u).is_hardware(static_cast<std::size_t>(o));
+  };
+
+  // Grow the hardware cluster around x (x joins unconditionally).
+  std::vector<dfg::NodeId> stack{x};
+  cand.members.insert(x);
+  while (!stack.empty()) {
+    const dfg::NodeId v = stack.back();
+    stack.pop_back();
+    auto visit = [&](dfg::NodeId u) {
+      if (!cand.members.contains(u) && chose_hardware(u)) {
+        cand.members.insert(u);
+        stack.push_back(u);
+      }
+    };
+    for (const dfg::NodeId u : graph.succs(v)) visit(u);
+    for (const dfg::NodeId u : graph.preds(v)) visit(u);
+  }
+
+  cand.in_count = dfg::count_inputs(graph, cand.members);
+  cand.out_count = dfg::count_outputs(graph, cand.members);
+  cand.io_violation = cand.in_count > format_.max_ise_inputs() ||
+                      cand.out_count > format_.max_ise_outputs();
+  cand.convex_violation = !dfg::is_convex(graph, cand.members, reach);
+
+  // Software reference times.
+  cand.sw_depth_cycles = dfg::induced_critical_path(
+      graph, cand.members,
+      [&](dfg::NodeId v) { return gplus_->software_cycles(v); });
+  cand.members.for_each([&](dfg::NodeId v) {
+    cand.sw_seq_cycles += gplus_->software_cycles(v);
+  });
+
+  // Evaluate vS_{x,HW-j} for each hardware option j of x.  Other members use
+  // the hardware option they chose previously; a member whose previous
+  // option index is software cannot occur (membership requires hardware).
+  const hw::IoTable& x_table = gplus_->table(x);
+  cand.per_option.resize(x_table.size());
+  for (std::size_t j = 0; j < x_table.size(); ++j) {
+    if (!x_table.is_hardware(j)) continue;
+    auto delay_of = [&](dfg::NodeId v) {
+      const std::size_t o = (v == x) ? j : static_cast<std::size_t>(prev_chosen[v]);
+      return gplus_->table(v).option(o).delay;
+    };
+    VirtualCandidate::OptionEval eval;
+    eval.valid = true;
+    eval.depth_ns = dfg::induced_critical_path(graph, cand.members, delay_of);
+    eval.cycles = clock_.cycles_for(eval.depth_ns);
+    double area = 0.0;
+    cand.members.for_each([&](dfg::NodeId v) {
+      const std::size_t o = (v == x) ? j : static_cast<std::size_t>(prev_chosen[v]);
+      area += gplus_->table(v).option(o).area;
+    });
+    eval.area = area;
+    cand.per_option[j] = eval;
+  }
+  if (format_.max_ise_latency_cycles > 0) {
+    int best_cycles = -1;
+    for (const auto& eval : cand.per_option) {
+      if (eval.valid && (best_cycles < 0 || eval.cycles < best_cycles))
+        best_cycles = eval.cycles;
+    }
+    cand.timing_violation =
+        best_cycles > format_.max_ise_latency_cycles;
+  }
+  return cand;
+}
+
+}  // namespace isex::core

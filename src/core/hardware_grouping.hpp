@@ -1,0 +1,67 @@
+// Hardware-Grouping (§4.3, Fig 4.3.6).
+//
+// For an operation x, the virtual ISE candidate vS_x is x together with
+// every node reachable from it through nodes that chose a *hardware*
+// implementation option in the previous iteration.  For each hardware option
+// j of x, vS_{x,HW-j} is evaluated: combinational depth (critical path of the
+// grouped cells), ASFU cycles, silicon area, and the legality signals the
+// merit function consumes (I/O ports, convexity).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dfg/analysis.hpp"
+#include "dfg/node_set.hpp"
+#include "hwlib/gplus.hpp"
+#include "isa/register_file.hpp"
+
+namespace isex::core {
+
+struct VirtualCandidate {
+  dfg::NodeSet members;
+  int in_count = 0;
+  int out_count = 0;
+  bool io_violation = false;
+  bool convex_violation = false;
+  /// True when even the fastest option mix exceeds the ISA's pipestage
+  /// timing cap (IsaFormat::max_ise_latency_cycles).
+  bool timing_violation = false;
+  /// Multi-issue software execution time of the members: dependence depth in
+  /// cycles (each member on its 1-cycle software option).
+  double sw_depth_cycles = 0.0;
+  /// Single-issue software execution time: Σ member software cycles.
+  double sw_seq_cycles = 0.0;
+
+  /// Evaluation of vS_{x,HW-j}; indexed like x's IO table (software slots
+  /// unused).
+  struct OptionEval {
+    bool valid = false;
+    double depth_ns = 0.0;
+    int cycles = 1;
+    double area = 0.0;
+  };
+  std::vector<OptionEval> per_option;
+
+  std::size_t size() const { return members.count(); }
+};
+
+class HardwareGrouping {
+ public:
+  HardwareGrouping(const hw::GPlus& gplus, const isa::IsaFormat& format,
+                   hw::ClockSpec clock = {});
+
+  /// Builds and evaluates vS_x.  `prev_chosen[u]` is the option each node
+  /// picked in the previous iteration (-1 before the first); nodes whose
+  /// previous option is hardware are absorbed.  x itself is always a member.
+  /// `reach` must belong to the same graph.
+  VirtualCandidate group(dfg::NodeId x, std::span<const int> prev_chosen,
+                         const dfg::Reachability& reach) const;
+
+ private:
+  const hw::GPlus* gplus_;
+  isa::IsaFormat format_;
+  hw::ClockSpec clock_;
+};
+
+}  // namespace isex::core

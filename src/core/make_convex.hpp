@@ -1,0 +1,32 @@
+// Make-Convex and port legalization (§4.3).
+//
+// After convergence the taken hardware operations form clusters that may
+// violate the §4.2 constraints.  Make-Convex repeatedly divides a non-convex
+// cluster into smaller ones until every piece is convex; port legalization
+// trims members from a piece whose IN(S)/OUT(S) exceed the register-file
+// ports.  Both return candidate pieces of size ≥ 1; callers discard
+// singletons.
+#pragma once
+
+#include <vector>
+
+#include "dfg/analysis.hpp"
+#include "dfg/node_set.hpp"
+#include "isa/register_file.hpp"
+
+namespace isex::core {
+
+/// Splits `cluster` into convex, weakly-connected pieces.
+std::vector<dfg::NodeSet> make_convex(const dfg::Graph& graph,
+                                      const dfg::NodeSet& cluster,
+                                      const dfg::Reachability& reach);
+
+/// Greedily removes members until IN(S) ≤ Nin and OUT(S) ≤ Nout, then
+/// re-splits into connected convex pieces (removal can disconnect or even
+/// un-convex a piece).  Pieces returned satisfy all §4.2 constraints.
+std::vector<dfg::NodeSet> legalize_ports(const dfg::Graph& graph,
+                                         const dfg::NodeSet& piece,
+                                         const isa::IsaFormat& format,
+                                         const dfg::Reachability& reach);
+
+}  // namespace isex::core

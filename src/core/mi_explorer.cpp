@@ -1,0 +1,257 @@
+#include "core/mi_explorer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/ant_walk.hpp"
+#include "core/candidate.hpp"
+#include "core/merit.hpp"
+#include "core/pheromone.hpp"
+#include "dfg/analysis.hpp"
+#include "hwlib/gplus.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/priority.hpp"
+#include "util/assert.hpp"
+
+namespace isex::core {
+namespace {
+
+/// Critical operations of an ant-walk schedule: fixpoint over (a) nodes
+/// finishing at the makespan, (b) tight producers (finish == consumer's
+/// start), and (c) whole virtual groups once any member is critical — a
+/// group issues as one instruction.
+dfg::NodeSet walk_critical_nodes(const dfg::Graph& graph,
+                                 const WalkResult& walk) {
+  const std::size_t n = graph.num_nodes();
+  dfg::NodeSet critical(n);
+  for (dfg::NodeId v = 0; v < n; ++v)
+    if (walk.finish_of(v) == walk.tet) critical.insert(v);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (dfg::NodeId v = 0; v < n; ++v) {
+      if (!critical.contains(v)) continue;
+      for (const dfg::NodeId p : graph.preds(v)) {
+        if (!critical.contains(p) && walk.finish_of(p) == walk.slot[v]) {
+          critical.insert(p);
+          changed = true;
+        }
+      }
+      const int gid = walk.group_id[v];
+      if (gid >= 0) {
+        walk.groups[static_cast<std::size_t>(gid)].members.for_each(
+            [&](dfg::NodeId m) {
+              if (!critical.contains(m)) {
+                critical.insert(m);
+                changed = true;
+              }
+            });
+      }
+    }
+  }
+  return critical;
+}
+
+}  // namespace
+
+double ExplorationResult::total_area() const {
+  double area = 0.0;
+  for (const ExploredIse& ise : ises) area += ise.eval.area;
+  return area;
+}
+
+MultiIssueExplorer::MultiIssueExplorer(sched::MachineConfig machine,
+                                       isa::IsaFormat format,
+                                       const hw::HwLibrary& library,
+                                       ExplorerParams params,
+                                       hw::ClockSpec clock)
+    : machine_(machine),
+      format_(format),
+      library_(library),
+      params_(params),
+      clock_(clock) {}
+
+ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
+                                              Rng& rng) const {
+  ExplorationResult result;
+  const sched::ListScheduler scheduler(machine_);
+  if (block.empty()) return result;
+
+  dfg::Graph current = block;
+  // Original node ids represented by each current node.
+  std::vector<dfg::NodeSet> origin(block.num_nodes());
+  for (dfg::NodeId v = 0; v < block.num_nodes(); ++v) {
+    origin[v].resize(block.num_nodes());
+    origin[v].insert(v);
+  }
+
+  result.base_cycles = scheduler.cycles(current);
+  int current_cycles = result.base_cycles;
+
+  for (int round = 0; round < params_.max_rounds; ++round) {
+    const hw::GPlus gplus(current, library_);
+
+    // A block with no hardware-capable node can never yield an ISE.
+    bool any_hardware = false;
+    for (dfg::NodeId v = 0; v < current.num_nodes() && !any_hardware; ++v)
+      any_hardware = gplus.hardware_capable(v);
+    if (!any_hardware) break;
+
+    const dfg::Reachability reach(current);
+    const dfg::PathInfo path = dfg::longest_path(
+        current, [&](dfg::NodeId v) { return gplus.software_cycles(v); });
+
+    // Scheduling-priority term, scaled to the merit scale (Eq. 1's λ·SP).
+    std::vector<double> sp =
+        sched::compute_priorities(current, params_.sp_priority);
+    double sp_max = 0.0;
+    for (const double s : sp) sp_max = std::max(sp_max, s);
+    if (sp_max > 0.0) {
+      for (double& s : sp) s = s / sp_max * params_.merit_scale;
+    }
+
+    PheromoneState pheromone(gplus, params_);
+    const AntWalk walker(gplus, machine_, params_, clock_);
+    const MeritEngine merit(gplus, format_, params_, clock_);
+
+    std::vector<int> prev_order(current.num_nodes(), -1);
+    std::vector<int> best_chosen;
+    int tet_old = std::numeric_limits<int>::max();
+    int iterations = 0;
+
+    for (; iterations < params_.max_iterations; ++iterations) {
+      const WalkResult walk = walker.run(pheromone, sp, rng);
+      const bool improved = walk.tet <= tet_old;
+
+      std::vector<bool> reordered(current.num_nodes(), false);
+      for (dfg::NodeId v = 0; v < current.num_nodes(); ++v)
+        reordered[v] = prev_order[v] >= 0 && walk.order[v] < prev_order[v];
+
+      pheromone.update_trails(walk.chosen, reordered, improved);
+
+      const dfg::NodeSet critical = walk_critical_nodes(current, walk);
+      MeritInputs inputs;
+      inputs.chosen = walk.chosen;
+      inputs.critical = &critical;
+      inputs.path = &path;
+      inputs.tet = walk.tet;
+      merit.update(pheromone, inputs, reach);
+
+      if (improved) {
+        tet_old = walk.tet;
+        best_chosen = walk.chosen;
+      }
+      prev_order = walk.order;
+      if (params_.collect_trace) {
+        IterationTrace t;
+        t.round = round;
+        t.iteration = iterations;
+        t.tet = walk.tet;
+        t.best_tet = tet_old;
+        t.converged_fraction = pheromone.converged_fraction();
+        result.trace.push_back(t);
+      }
+      if (pheromone.converged()) {
+        ++iterations;
+        break;
+      }
+    }
+    result.total_iterations += iterations;
+    ++result.rounds;
+
+    // Taken option per node after convergence.
+    std::vector<int> taken(current.num_nodes());
+    for (dfg::NodeId v = 0; v < current.num_nodes(); ++v)
+      taken[v] = static_cast<int>(pheromone.best_option(v));
+
+    const std::vector<IseCandidate> candidates =
+        extract_candidates(gplus, format_, taken, reach, clock_);
+    if (candidates.empty()) break;
+
+    // Commit the candidate with the largest scheduled gain; require > 0.
+    int best_gain = 0;
+    double best_area = std::numeric_limits<double>::max();
+    int best_index = -1;
+    int best_cycles_after = current_cycles;
+    std::vector<dfg::Graph> collapsed(candidates.size());
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const IseCandidate& cand = candidates[c];
+      dfg::IseInfo info;
+      info.latency_cycles = cand.eval.latency_cycles;
+      info.area = cand.eval.area;
+      info.num_inputs = cand.in_count;
+      info.num_outputs = cand.out_count;
+      collapsed[c] = current.collapse(cand.members, info);
+      const int cycles_after = scheduler.cycles(collapsed[c]);
+      const int gain = current_cycles - cycles_after;
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && cand.eval.area < best_area)) {
+        best_gain = gain;
+        best_area = cand.eval.area;
+        best_index = static_cast<int>(c);
+        best_cycles_after = cycles_after;
+      }
+    }
+    if (best_index < 0) break;  // no valid operation left (§4.0 step 3)
+
+    const IseCandidate& winner = candidates[static_cast<std::size_t>(best_index)];
+    ExploredIse record;
+    record.original_nodes.resize(block.num_nodes());
+    winner.members.for_each([&](dfg::NodeId m) {
+      record.original_nodes |= origin[m];
+      const dfg::Node& n = current.node(m);
+      record.member_labels.push_back(
+          n.label.empty() ? std::string(isa::mnemonic(n.opcode)) : n.label);
+    });
+    record.eval = winner.eval;
+    record.in_count = winner.in_count;
+    record.out_count = winner.out_count;
+    record.gain_cycles = best_gain;
+    result.ises.push_back(std::move(record));
+
+    // Re-derive the collapse with the origin mapping and advance the round.
+    std::vector<dfg::NodeId> old_to_new;
+    dfg::IseInfo info;
+    info.latency_cycles = winner.eval.latency_cycles;
+    info.area = winner.eval.area;
+    info.num_inputs = winner.in_count;
+    info.num_outputs = winner.out_count;
+    dfg::Graph next = current.collapse(winner.members, info, &old_to_new);
+
+    std::vector<dfg::NodeSet> next_origin(next.num_nodes());
+    for (auto& s : next_origin) s.resize(block.num_nodes());
+    for (dfg::NodeId v = 0; v < current.num_nodes(); ++v)
+      next_origin[old_to_new[v]] |= origin[v];
+
+    current = std::move(next);
+    origin = std::move(next_origin);
+    current_cycles = best_cycles_after;
+  }
+
+  result.final_cycles = current_cycles;
+  return result;
+}
+
+ExplorationResult MultiIssueExplorer::explore_best_of(const dfg::Graph& block,
+                                                      int repeats,
+                                                      Rng& rng) const {
+  ISEX_ASSERT(repeats >= 1);
+  ExplorationResult best;
+  bool have_best = false;
+  for (int r = 0; r < repeats; ++r) {
+    Rng child = rng.split();
+    ExplorationResult attempt = explore(block, child);
+    const bool better =
+        !have_best || attempt.final_cycles < best.final_cycles ||
+        (attempt.final_cycles == best.final_cycles &&
+         attempt.total_area() < best.total_area());
+    if (better) {
+      best = std::move(attempt);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace isex::core

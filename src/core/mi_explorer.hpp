@@ -1,0 +1,97 @@
+// MultiIssueExplorer — the paper's contribution (Ch. 3–4).
+//
+// Round loop over one basic block's DFG:
+//   1. run ACO iterations (AntWalk → trail update → Hardware-Grouping +
+//      merit update) until every operation's selected probability exceeds
+//      P_END or the iteration cap is hit;
+//   2. extract legal ISE candidates from the taken options (Make-Convex +
+//      port legalization);
+//   3. commit the candidate whose collapse shortens the *scheduled* block
+//      the most (ties: smaller ASFU area); stop when no candidate wins a
+//      cycle — packing off-critical-path operations never commits.
+// The critical path is re-identified every iteration by scheduling, so it
+// may move between rounds exactly as §1.4 requires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/explorer_params.hpp"
+#include "dfg/graph.hpp"
+#include "dfg/node_set.hpp"
+#include "hwlib/asfu.hpp"
+#include "hwlib/hw_library.hpp"
+#include "isa/register_file.hpp"
+#include "sched/machine_config.hpp"
+#include "util/rng.hpp"
+
+namespace isex::core {
+
+/// One committed ISE, reported in the coordinates of the *original* block.
+struct ExploredIse {
+  /// Members as node ids of the graph passed to explore().
+  dfg::NodeSet original_nodes;
+  hw::AsfuEvaluation eval;
+  int in_count = 0;
+  int out_count = 0;
+  /// Scheduled-cycle reduction this ISE bought when committed (given the
+  /// ISEs committed before it).
+  int gain_cycles = 0;
+  std::vector<std::string> member_labels;
+};
+
+/// One ACO iteration's vital signs (collected when
+/// ExplorerParams::collect_trace is set).
+struct IterationTrace {
+  int round = 0;
+  int iteration = 0;
+  /// Total execution time of the ant's schedule.
+  int tet = 0;
+  /// Best TET seen so far in the round.
+  int best_tet = 0;
+  /// Fraction of operations whose best option already exceeds P_END.
+  double converged_fraction = 0.0;
+};
+
+struct ExplorationResult {
+  std::vector<ExploredIse> ises;
+  /// Scheduled block cycles with no ISE.
+  int base_cycles = 0;
+  /// Scheduled block cycles with every committed ISE.
+  int final_cycles = 0;
+  int rounds = 0;
+  int total_iterations = 0;
+  /// Per-iteration diagnostics; empty unless params.collect_trace.
+  std::vector<IterationTrace> trace;
+
+  double total_area() const;
+  int total_gain() const { return base_cycles - final_cycles; }
+};
+
+class MultiIssueExplorer {
+ public:
+  MultiIssueExplorer(sched::MachineConfig machine, isa::IsaFormat format,
+                     const hw::HwLibrary& library, ExplorerParams params = {},
+                     hw::ClockSpec clock = {});
+
+  /// Explores one basic block.  Deterministic given `rng`'s state.
+  ExplorationResult explore(const dfg::Graph& block, Rng& rng) const;
+
+  /// Paper §5.1: repeat the exploration `repeats` times and keep the best
+  /// result (fewest final cycles, then least area).
+  ExplorationResult explore_best_of(const dfg::Graph& block, int repeats,
+                                    Rng& rng) const;
+
+  const sched::MachineConfig& machine() const { return machine_; }
+  const isa::IsaFormat& format() const { return format_; }
+  const ExplorerParams& params() const { return params_; }
+
+ private:
+  sched::MachineConfig machine_;
+  isa::IsaFormat format_;
+  hw::HwLibrary library_;  // owned copy: callers may pass temporaries
+  ExplorerParams params_;
+  hw::ClockSpec clock_;
+};
+
+}  // namespace isex::core

@@ -1,0 +1,128 @@
+#include "core/pheromone.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace isex::core {
+
+PheromoneState::PheromoneState(const hw::GPlus& gplus,
+                               const ExplorerParams& params)
+    : params_(&params) {
+  const std::size_t n = gplus.graph().num_nodes();
+  trail_.resize(n);
+  merit_.resize(n);
+  for (dfg::NodeId v = 0; v < n; ++v) {
+    const hw::IoTable& table = gplus.table(v);
+    trail_[v].assign(table.size(), params.initial_trail);
+    merit_[v].resize(table.size());
+    for (std::size_t o = 0; o < table.size(); ++o) {
+      merit_[v][o] = table.is_hardware(o) ? params.initial_merit_hardware
+                                          : params.initial_merit_software;
+    }
+  }
+}
+
+double PheromoneState::trail(dfg::NodeId v, std::size_t option) const {
+  ISEX_ASSERT(v < trail_.size() && option < trail_[v].size());
+  return trail_[v][option];
+}
+
+double PheromoneState::merit(dfg::NodeId v, std::size_t option) const {
+  ISEX_ASSERT(v < merit_.size() && option < merit_[v].size());
+  return merit_[v][option];
+}
+
+void PheromoneState::set_merit(dfg::NodeId v, std::size_t option, double value) {
+  ISEX_ASSERT(v < merit_.size() && option < merit_[v].size());
+  merit_[v][option] = std::max(value, 0.0);
+}
+
+void PheromoneState::scale_merit(dfg::NodeId v, std::size_t option,
+                                 double factor) {
+  ISEX_ASSERT(v < merit_.size() && option < merit_[v].size());
+  ISEX_ASSERT(factor >= 0.0);
+  merit_[v][option] *= factor;
+}
+
+void PheromoneState::normalize_merit(dfg::NodeId v) {
+  ISEX_ASSERT(v < merit_.size());
+  double best = 0.0;
+  for (const double m : merit_[v]) best = std::max(best, m);
+  if (best <= 0.0) {
+    // Degenerate (all merits decayed away): reset to a uniform floor so the
+    // ant can still make a choice.
+    for (double& m : merit_[v]) m = params_->merit_scale;
+    return;
+  }
+  const double factor = params_->merit_scale / best;
+  // Keep a tiny floor so no option's probability hits exactly zero — the
+  // paper argues excluded options may become optimal later (case 3 note).
+  constexpr double kFloor = 1e-6;
+  for (double& m : merit_[v]) m = std::max(m * factor, kFloor);
+}
+
+void PheromoneState::update_trails(std::span<const int> chosen,
+                                   const std::vector<bool>& reordered,
+                                   bool improved) {
+  ISEX_ASSERT(chosen.size() == trail_.size());
+  ISEX_ASSERT(reordered.size() == trail_.size());
+  const ExplorerParams& p = *params_;
+  for (dfg::NodeId v = 0; v < trail_.size(); ++v) {
+    for (std::size_t o = 0; o < trail_[v].size(); ++o) {
+      double t = trail_[v][o];
+      const bool was_chosen = chosen[v] == static_cast<int>(o);
+      if (improved) {
+        t += was_chosen ? p.rho1 : -p.rho2;
+      } else {
+        t += was_chosen ? -p.rho3 : p.rho4;
+        if (reordered[v]) t -= p.rho5;
+      }
+      trail_[v][o] = std::clamp(t, 0.0, p.trail_max);
+    }
+  }
+}
+
+double PheromoneState::weight(dfg::NodeId v, std::size_t option) const {
+  const ExplorerParams& p = *params_;
+  return p.alpha * trail(v, option) + (1.0 - p.alpha) * merit(v, option);
+}
+
+double PheromoneState::selected_probability(dfg::NodeId v,
+                                            std::size_t option) const {
+  double denom = 0.0;
+  for (std::size_t o = 0; o < trail_[v].size(); ++o) denom += weight(v, o);
+  if (denom <= 0.0) return 1.0 / static_cast<double>(trail_[v].size());
+  return weight(v, option) / denom;
+}
+
+std::size_t PheromoneState::best_option(dfg::NodeId v) const {
+  ISEX_ASSERT(v < trail_.size() && !trail_[v].empty());
+  std::size_t best = 0;
+  for (std::size_t o = 1; o < trail_[v].size(); ++o) {
+    if (weight(v, o) > weight(v, best)) best = o;
+  }
+  return best;
+}
+
+bool PheromoneState::converged() const {
+  for (dfg::NodeId v = 0; v < trail_.size(); ++v) {
+    if (trail_[v].size() <= 1) continue;  // single option: trivially decided
+    const std::size_t best = best_option(v);
+    if (selected_probability(v, best) <= params_->p_end) return false;
+  }
+  return true;
+}
+
+double PheromoneState::converged_fraction() const {
+  if (trail_.empty()) return 1.0;
+  std::size_t done = 0;
+  for (dfg::NodeId v = 0; v < trail_.size(); ++v) {
+    if (trail_[v].size() <= 1 ||
+        selected_probability(v, best_option(v)) > params_->p_end)
+      ++done;
+  }
+  return static_cast<double>(done) / static_cast<double>(trail_.size());
+}
+
+}  // namespace isex::core

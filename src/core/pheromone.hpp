@@ -1,0 +1,65 @@
+// Trail (pheromone) and merit state of one exploration round.
+//
+// Both are (node × implementation-option) matrices over the round's G+.
+// Trail counts *valid* choices — how often an option was picked in
+// iterations that did not regress total execution time (Fig 4.3.5).  Merit
+// is the domain heuristic recomputed each iteration (Fig 4.3.7).  The
+// selected probability sp (Eq. 3) mixes the two per operation; convergence
+// is "every operation has an option with sp > P_END".
+#pragma once
+
+#include <vector>
+
+#include "core/explorer_params.hpp"
+#include "dfg/node_set.hpp"
+#include "hwlib/gplus.hpp"
+
+namespace isex::core {
+
+class PheromoneState {
+ public:
+  PheromoneState(const hw::GPlus& gplus, const ExplorerParams& params);
+
+  std::size_t num_nodes() const { return trail_.size(); }
+  std::size_t num_options(dfg::NodeId v) const { return trail_[v].size(); }
+
+  double trail(dfg::NodeId v, std::size_t option) const;
+  double merit(dfg::NodeId v, std::size_t option) const;
+
+  void set_merit(dfg::NodeId v, std::size_t option, double value);
+  void scale_merit(dfg::NodeId v, std::size_t option, double factor);
+
+  /// Renormalizes node v's merits so its best option carries
+  /// params.merit_scale (paper step 8's normalization); preserves ratios.
+  void normalize_merit(dfg::NodeId v);
+
+  /// Trail update after an iteration (Fig 4.3.5).
+  /// `chosen[v]` is the option each node used; `reordered[v]` is true when v
+  /// ran earlier in the pick order than in the previous iteration.
+  void update_trails(std::span<const int> chosen,
+                     const std::vector<bool>& reordered, bool improved);
+
+  /// Selected probability of `option` at node v (Eq. 3).
+  double selected_probability(dfg::NodeId v, std::size_t option) const;
+
+  /// Option with maximal sp at node v (the *taken* option once converged).
+  std::size_t best_option(dfg::NodeId v) const;
+
+  /// True when every node has an option with sp > params.p_end.
+  bool converged() const;
+
+  /// Fraction of nodes whose best option already exceeds P_END (1.0 at
+  /// convergence; diagnostic for the trace).
+  double converged_fraction() const;
+
+  /// Raw chosen-probability numerator (Eq. 1 numerator, without SP):
+  /// α·trail + (1−α)·merit.
+  double weight(dfg::NodeId v, std::size_t option) const;
+
+ private:
+  const ExplorerParams* params_;
+  std::vector<std::vector<double>> trail_;
+  std::vector<std::vector<double>> merit_;
+};
+
+}  // namespace isex::core

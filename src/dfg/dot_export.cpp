@@ -1,0 +1,59 @@
+#include "dfg/dot_export.hpp"
+
+#include <array>
+#include <ostream>
+#include <sstream>
+
+namespace isex::dfg {
+namespace {
+
+constexpr std::array<const char*, 6> kPalette = {
+    "#fde2b9", "#c6e2ff", "#d5f5d5", "#f5d5e5", "#e5d5f5", "#f5f5c6",
+};
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Graph& graph, const DotOptions& options) {
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const Node& n = graph.node(v);
+    os << "  n" << v << " [label=\"";
+    if (n.is_ise) {
+      os << "ISE(" << n.ise.member_labels.size() << " ops, "
+         << n.ise.latency_cycles << "c)";
+    } else {
+      os << isa::mnemonic(n.opcode);
+      if (!n.label.empty()) os << "\\n" << n.label;
+    }
+    if (options.show_io) {
+      if (graph.extern_inputs(v) > 0) os << "\\nin:" << graph.extern_inputs(v);
+      if (graph.live_out(v)) os << "\\nlive-out";
+    }
+    os << "\"";
+    for (std::size_t h = 0; h < options.highlights.size(); ++h) {
+      if (options.highlights[h].contains(v)) {
+        os << ", style=filled, fillcolor=\"" << kPalette[h % kPalette.size()]
+           << "\"";
+        break;
+      }
+    }
+    if (n.is_ise && options.highlights.empty())
+      os << ", style=filled, fillcolor=\"#ffd4d4\"";
+    os << "];\n";
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const NodeId s : graph.succs(v)) {
+      os << "  n" << v << " -> n" << s << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Graph& graph, const DotOptions& options) {
+  std::ostringstream ss;
+  write_dot(ss, graph, options);
+  return ss.str();
+}
+
+}  // namespace isex::dfg

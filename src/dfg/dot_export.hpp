@@ -1,0 +1,28 @@
+// Graphviz DOT rendering of DFGs, with optional highlighting of ISE
+// candidates — handy when inspecting what the explorer picked.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "dfg/graph.hpp"
+#include "dfg/node_set.hpp"
+
+namespace isex::dfg {
+
+struct DotOptions {
+  std::string graph_name = "dfg";
+  /// Node sets to shade; each gets a distinct fill colour (cycled).
+  std::span<const NodeSet> highlights;
+  /// Render extern-input counts / live-out markers.
+  bool show_io = true;
+};
+
+/// Writes the graph in DOT syntax to `os`.
+void write_dot(std::ostream& os, const Graph& graph, const DotOptions& options = {});
+
+/// Convenience: DOT text as a string.
+std::string to_dot(const Graph& graph, const DotOptions& options = {});
+
+}  // namespace isex::dfg

@@ -1,0 +1,69 @@
+// Dense bitset keyed by DFG node id.
+//
+// ISE candidates, reachability rows, and critical-path markings are all sets
+// of node ids over a fixed-size graph; a word-packed bitset makes the
+// convexity and grouping checks (which dominate the inner loop) cheap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace isex::dfg {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Fixed-universe bitset over node ids [0, size).
+class NodeSet {
+ public:
+  NodeSet() = default;
+  explicit NodeSet(std::size_t universe) { resize(universe); }
+
+  void resize(std::size_t universe);
+  std::size_t universe() const { return universe_; }
+
+  void insert(NodeId id);
+  void erase(NodeId id);
+  bool contains(NodeId id) const;
+  void clear();
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool empty() const { return count() == 0; }
+
+  /// In-place union / intersection / difference. Universes must match.
+  NodeSet& operator|=(const NodeSet& other);
+  NodeSet& operator&=(const NodeSet& other);
+  NodeSet& operator-=(const NodeSet& other);
+
+  bool intersects(const NodeSet& other) const;
+  bool is_subset_of(const NodeSet& other) const;
+
+  friend bool operator==(const NodeSet&, const NodeSet&) = default;
+
+  /// Ascending list of members.
+  std::vector<NodeId> to_vector() const;
+
+  /// Calls `fn(NodeId)` for each member in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = count_trailing_zeros(bits);
+        fn(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Builds a set from an explicit member list.
+  static NodeSet of(std::size_t universe, std::initializer_list<NodeId> members);
+
+ private:
+  static int count_trailing_zeros(std::uint64_t v);
+  std::size_t universe_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace isex::dfg

@@ -1,0 +1,26 @@
+// Operational semantics of the PISA ALU subset.
+//
+// Gives the library a functional ground truth: the evaluator uses these to
+// *execute* TAC blocks, and the test suite checks that the benchmark
+// kernels compute what their names promise (the CRC step really advances a
+// CRC-32, the SWAR block really counts bits, ...).  Keeping semantics in
+// one place also pins down the conventions the rest of the library only
+// implies: 32-bit two's-complement registers, shift amounts masked to five
+// bits, `mult` yielding the low 32 product bits.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcode.hpp"
+
+namespace isex::exec {
+
+/// Applies a (non-memory, non-branch) opcode to its operand values.
+/// For immediate forms, `b` carries the immediate.  Unary forms (mov, lui)
+/// ignore `b` / use only `a` as documented per opcode.
+std::uint32_t apply_alu(isa::Opcode op, std::uint32_t a, std::uint32_t b);
+
+/// True when apply_alu() defines the opcode's semantics.
+bool alu_defined(isa::Opcode op);
+
+}  // namespace isex::exec

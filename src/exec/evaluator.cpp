@@ -1,0 +1,93 @@
+#include "exec/evaluator.hpp"
+
+#include "exec/alu.hpp"
+#include "util/assert.hpp"
+
+namespace isex::exec {
+
+void Evaluator::set(const std::string& name, std::uint32_t value) {
+  vars_[name] = value;
+}
+
+std::uint32_t Evaluator::get(const std::string& name) const {
+  const auto it = vars_.find(name);
+  if (it == vars_.end())
+    throw EvalError("read of undefined variable '" + name + "'");
+  return it->second;
+}
+
+bool Evaluator::has(const std::string& name) const {
+  return vars_.contains(name);
+}
+
+std::uint32_t Evaluator::operand_value(const isa::TacOperand& operand) const {
+  switch (operand.kind) {
+    case isa::TacOperand::Kind::kImmediate:
+      return static_cast<std::uint32_t>(operand.imm);
+    case isa::TacOperand::Kind::kVar:
+    case isa::TacOperand::Kind::kMemAddr:
+      return get(operand.name);
+  }
+  ISEX_ASSERT_MSG(false, "unreachable operand kind");
+  return 0;
+}
+
+void Evaluator::run(const isa::ParsedBlock& block) {
+  using isa::Opcode;
+  for (const isa::TacStatement& stmt : block.statements) {
+    if (isa::is_load(stmt.op)) {
+      const std::uint32_t addr = operand_value(stmt.operands.at(0));
+      std::uint32_t value = 0;
+      switch (stmt.op) {
+        case Opcode::kLw: value = memory_.load_word(addr); break;
+        case Opcode::kLh:
+          value = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+              static_cast<std::int16_t>(memory_.load_half(addr))));
+          break;
+        case Opcode::kLhu: value = memory_.load_half(addr); break;
+        case Opcode::kLb:
+          value = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+              static_cast<std::int8_t>(memory_.load_byte(addr))));
+          break;
+        case Opcode::kLbu: value = memory_.load_byte(addr); break;
+        default: throw EvalError("unhandled load opcode");
+      }
+      vars_[stmt.dest] = value;
+    } else if (isa::is_store(stmt.op)) {
+      const std::uint32_t addr = operand_value(stmt.operands.at(0));
+      const std::uint32_t value = operand_value(stmt.operands.at(1));
+      switch (stmt.op) {
+        case Opcode::kSw: memory_.store_word(addr, value); break;
+        case Opcode::kSh:
+          memory_.store_half(addr, static_cast<std::uint16_t>(value));
+          break;
+        case Opcode::kSb:
+          memory_.store_byte(addr, static_cast<std::uint8_t>(value));
+          break;
+        default: throw EvalError("unhandled store opcode");
+      }
+    } else if (isa::is_branch(stmt.op)) {
+      // Evaluate for effect-freedom; a block body takes no branches.
+      for (const auto& operand : stmt.operands) (void)operand_value(operand);
+    } else if (stmt.op == Opcode::kNop) {
+      // nothing
+    } else {
+      const std::uint32_t a =
+          stmt.operands.empty() ? 0 : operand_value(stmt.operands[0]);
+      const std::uint32_t b =
+          stmt.operands.size() < 2 ? 0 : operand_value(stmt.operands[1]);
+      if (!alu_defined(stmt.op))
+        throw EvalError(std::string("no semantics for opcode '") +
+                        std::string(isa::mnemonic(stmt.op)) + "'");
+      vars_[stmt.dest] = apply_alu(stmt.op, a, b);
+    }
+  }
+}
+
+std::uint32_t Evaluator::run_for(const isa::ParsedBlock& block,
+                                 const std::string& out) {
+  run(block);
+  return get(out);
+}
+
+}  // namespace isex::exec

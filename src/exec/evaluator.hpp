@@ -1,0 +1,55 @@
+// TAC-block evaluator: executes a ParsedBlock's statements over a variable
+// environment and a sparse memory, giving the benchmark kernels (and any
+// user kernel) testable functional semantics.
+//
+// Dataflow note: because a block is SSA and statements are in program
+// order, executing statements sequentially is exactly a topological
+// evaluation of the DFG — the same values an ASFU computing a fused ISE
+// would produce, which is why collapse-based replacement is semantics-
+// preserving by construction.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "exec/memory.hpp"
+#include "isa/tac_parser.hpp"
+
+namespace isex::exec {
+
+/// Raised on undefined live-in reads or non-executable statements.
+class EvalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Evaluator {
+ public:
+  /// Binds a live-in (or overrides any variable) by name.
+  void set(const std::string& name, std::uint32_t value);
+
+  /// Reads a variable; throws EvalError when it was never defined.
+  std::uint32_t get(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  Memory& memory() { return memory_; }
+  const Memory& memory() const { return memory_; }
+
+  /// Executes every statement of `block` in program order.  Branch
+  /// statements evaluate their condition but transfer no control (a basic
+  /// block has a single exit by definition).
+  void run(const isa::ParsedBlock& block);
+
+  /// Convenience: run and return one output.
+  std::uint32_t run_for(const isa::ParsedBlock& block, const std::string& out);
+
+ private:
+  std::uint32_t operand_value(const isa::TacOperand& operand) const;
+
+  std::unordered_map<std::string, std::uint32_t> vars_;
+  Memory memory_;
+};
+
+}  // namespace isex::exec

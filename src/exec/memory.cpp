@@ -1,0 +1,42 @@
+#include "exec/memory.hpp"
+
+namespace isex::exec {
+
+std::uint8_t Memory::load_byte(std::uint32_t addr) const {
+  const auto it = bytes_.find(addr);
+  return it == bytes_.end() ? 0 : it->second;
+}
+
+std::uint16_t Memory::load_half(std::uint32_t addr) const {
+  return static_cast<std::uint16_t>(load_byte(addr) |
+                                    (load_byte(addr + 1) << 8U));
+}
+
+std::uint32_t Memory::load_word(std::uint32_t addr) const {
+  return static_cast<std::uint32_t>(load_byte(addr)) |
+         (static_cast<std::uint32_t>(load_byte(addr + 1)) << 8U) |
+         (static_cast<std::uint32_t>(load_byte(addr + 2)) << 16U) |
+         (static_cast<std::uint32_t>(load_byte(addr + 3)) << 24U);
+}
+
+void Memory::store_byte(std::uint32_t addr, std::uint8_t value) {
+  if (value == 0) {
+    bytes_.erase(addr);  // keep the map sparse; absent bytes read as zero
+  } else {
+    bytes_[addr] = value;
+  }
+}
+
+void Memory::store_half(std::uint32_t addr, std::uint16_t value) {
+  store_byte(addr, static_cast<std::uint8_t>(value & 0xFFU));
+  store_byte(addr + 1, static_cast<std::uint8_t>(value >> 8U));
+}
+
+void Memory::store_word(std::uint32_t addr, std::uint32_t value) {
+  store_byte(addr, static_cast<std::uint8_t>(value & 0xFFU));
+  store_byte(addr + 1, static_cast<std::uint8_t>((value >> 8U) & 0xFFU));
+  store_byte(addr + 2, static_cast<std::uint8_t>((value >> 16U) & 0xFFU));
+  store_byte(addr + 3, static_cast<std::uint8_t>((value >> 24U) & 0xFFU));
+}
+
+}  // namespace isex::exec

@@ -1,0 +1,30 @@
+// Sparse byte-addressed little-endian memory for TAC-block execution.
+//
+// Backs the load/store opcodes of the evaluator; untouched bytes read as
+// zero, so kernels can be driven with small synthetic tables (S-boxes,
+// step tables, adjacency lists) without pre-sizing anything.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace isex::exec {
+
+class Memory {
+ public:
+  std::uint8_t load_byte(std::uint32_t addr) const;
+  std::uint16_t load_half(std::uint32_t addr) const;
+  std::uint32_t load_word(std::uint32_t addr) const;
+
+  void store_byte(std::uint32_t addr, std::uint8_t value);
+  void store_half(std::uint32_t addr, std::uint16_t value);
+  void store_word(std::uint32_t addr, std::uint32_t value);
+
+  /// Number of bytes ever written (for tests).
+  std::size_t footprint() const { return bytes_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint8_t> bytes_;
+};
+
+}  // namespace isex::exec

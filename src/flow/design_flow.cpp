@@ -1,0 +1,53 @@
+#include "flow/design_flow.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace isex::flow {
+
+FlowResult run_design_flow(const ProfiledProgram& program,
+                           const hw::HwLibrary& library,
+                           const FlowConfig& config) {
+  FlowResult result;
+
+  // 1. Profiling + hot-block selection.
+  const std::vector<BlockCost> costs = profile_blocks(program, config.machine);
+  result.hot_blocks =
+      select_hot_blocks(costs, config.hot_coverage, config.max_hot_blocks);
+
+  // 2. Exploration per hot block (best of `repeats`).
+  isa::IsaFormat format;
+  format.reg_file = config.machine.reg_file;
+  format.max_ises = config.constraints.max_ises;
+
+  Rng rng(config.seed);
+  std::vector<core::ExplorationResult> explorations;
+  explorations.reserve(result.hot_blocks.size());
+  if (config.algorithm == Algorithm::kMultiIssue) {
+    const core::MultiIssueExplorer explorer(config.machine, format, library,
+                                            config.params);
+    for (const std::size_t bi : result.hot_blocks) {
+      explorations.push_back(explorer.explore_best_of(
+          program.blocks[bi].graph, config.repeats, rng));
+    }
+  } else {
+    const baseline::SingleIssueExplorer explorer(format, library,
+                                                 config.params);
+    for (const std::size_t bi : result.hot_blocks) {
+      explorations.push_back(explorer.explore_best_of(
+          program.blocks[bi].graph, config.repeats, rng));
+    }
+  }
+
+  // 3. Merging + selection with hardware sharing.
+  const std::vector<IseCatalogEntry> catalog =
+      build_catalog(program, result.hot_blocks, explorations);
+  result.selection = select_ises(catalog, config.constraints);
+
+  // 4. Replacement and final scheduling.
+  result.replacement = apply_selection(program, result.selection,
+                                       config.machine, config.replacement);
+  return result;
+}
+
+}  // namespace isex::flow

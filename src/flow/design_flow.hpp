@@ -1,0 +1,56 @@
+// End-to-end ISE design flow (Fig 3.1.1): profiling → basic-block selection
+// → ISE exploration (MI, the paper's algorithm, or SI, the legality-only
+// baseline) → merging + selection with hardware sharing → replacement and
+// final scheduling.
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/si_explorer.hpp"
+#include "core/mi_explorer.hpp"
+#include "flow/profiling.hpp"
+#include "flow/program.hpp"
+#include "flow/replacement.hpp"
+#include "flow/selection.hpp"
+#include "hwlib/hw_library.hpp"
+#include "sched/machine_config.hpp"
+
+namespace isex::flow {
+
+enum class Algorithm {
+  kMultiIssue,   ///< the paper's schedule-aware exploration ("MI")
+  kSingleIssue,  ///< legality-only prior art ("SI", Wu et al. [8])
+};
+
+struct FlowConfig {
+  sched::MachineConfig machine = sched::MachineConfig::make(2, {4, 2});
+  core::ExplorerParams params{};
+  SelectionConstraints constraints{};
+  ReplacementOptions replacement{};
+  Algorithm algorithm = Algorithm::kMultiIssue;
+  /// ISA opcode budget (mirrors constraints.max_ises by default).
+  int repeats = 5;  ///< §5.1: best of 5 explorations per block
+  std::uint64_t seed = 1;
+  double hot_coverage = 0.95;
+  std::size_t max_hot_blocks = 8;
+};
+
+struct FlowResult {
+  ReplacementResult replacement;
+  SelectionResult selection;
+  /// Blocks exploration actually ran on.
+  std::vector<std::size_t> hot_blocks;
+
+  std::uint64_t base_time() const { return replacement.base_time; }
+  std::uint64_t final_time() const { return replacement.final_time; }
+  double reduction() const { return replacement.reduction(); }
+  double total_area() const { return selection.total_area; }
+  int num_ise_types() const { return selection.num_types; }
+};
+
+/// Runs the complete flow on `program`.  Deterministic in config.seed.
+FlowResult run_design_flow(const ProfiledProgram& program,
+                           const hw::HwLibrary& library,
+                           const FlowConfig& config);
+
+}  // namespace isex::flow

@@ -1,0 +1,82 @@
+#include "flow/listing.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "isa/opcode.hpp"
+
+namespace isex::flow {
+namespace {
+
+std::string render_instruction(const dfg::Graph& graph, dfg::NodeId v,
+                               const std::map<dfg::NodeId, int>& ise_names,
+                               const ListingOptions& options) {
+  const dfg::Node& n = graph.node(v);
+  std::ostringstream ss;
+  if (n.is_ise) {
+    ss << "ise" << ise_names.at(v) << "/" << n.ise.num_inputs << ">"
+       << n.ise.num_outputs;
+    if (n.ise.latency_cycles > 1) ss << " (" << n.ise.latency_cycles << "c)";
+  } else {
+    ss << isa::mnemonic(n.opcode);
+    if (options.show_labels && !n.label.empty()) ss << " " << n.label;
+  }
+  std::string text = ss.str();
+  if (static_cast<int>(text.size()) > options.column_width - 1)
+    text.resize(static_cast<std::size_t>(options.column_width - 1));
+  return text;
+}
+
+}  // namespace
+
+void write_listing(std::ostream& os, const dfg::Graph& graph,
+                   const sched::MachineConfig& machine,
+                   const ListingOptions& options) {
+  const sched::ListScheduler scheduler(machine);
+  const sched::Schedule schedule = scheduler.run(graph);
+
+  // Stable ISE numbering by node id.
+  std::map<dfg::NodeId, int> ise_names;
+  for (dfg::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.node(v).is_ise)
+      ise_names.emplace(v, static_cast<int>(ise_names.size()));
+  }
+
+  // Bucket instructions per cycle, assigning issue slots in node order.
+  std::vector<std::vector<dfg::NodeId>> per_cycle(
+      static_cast<std::size_t>(std::max(schedule.cycles, 0)));
+  for (dfg::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    per_cycle[static_cast<std::size_t>(schedule.slot[v])].push_back(v);
+  }
+
+  os << "; " << machine.label() << ", " << schedule.cycles << " cycles, "
+     << graph.num_nodes() << " instructions\n";
+  for (std::size_t cycle = 0; cycle < per_cycle.size(); ++cycle) {
+    os << "C" << cycle + 1 << ":";
+    const std::string indent(cycle + 1 < 9 ? 2 : 1, ' ');
+    os << indent;
+    for (int slot = 0; slot < machine.issue_width; ++slot) {
+      std::string cell =
+          slot < static_cast<int>(per_cycle[cycle].size())
+              ? render_instruction(graph, per_cycle[cycle][static_cast<std::size_t>(slot)],
+                                   ise_names, options)
+              : std::string("-");
+      cell.resize(static_cast<std::size_t>(options.column_width), ' ');
+      os << "| " << cell;
+    }
+    os << "|\n";
+  }
+}
+
+std::string to_listing(const dfg::Graph& graph,
+                       const sched::MachineConfig& machine,
+                       const ListingOptions& options) {
+  std::ostringstream ss;
+  write_listing(ss, graph, machine, options);
+  return ss.str();
+}
+
+}  // namespace isex::flow

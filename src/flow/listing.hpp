@@ -1,0 +1,34 @@
+// VLIW-style assembly listing of a scheduled block.
+//
+// The design flow's human-readable output: one row per cycle, one column
+// per issue slot, ISE supernodes rendered as custom opcodes (ise0, ise1, …)
+// with their operand counts — what the generated code would look like to a
+// firmware engineer reading the disassembly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dfg/graph.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace isex::flow {
+
+struct ListingOptions {
+  /// Show per-instruction destination labels.
+  bool show_labels = true;
+  /// Column width per issue slot.
+  int column_width = 18;
+};
+
+/// Schedules `graph` on `machine` and writes the cycle-by-slot listing.
+void write_listing(std::ostream& os, const dfg::Graph& graph,
+                   const sched::MachineConfig& machine,
+                   const ListingOptions& options = {});
+
+/// Convenience: listing as a string.
+std::string to_listing(const dfg::Graph& graph,
+                       const sched::MachineConfig& machine,
+                       const ListingOptions& options = {});
+
+}  // namespace isex::flow

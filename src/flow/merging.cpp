@@ -1,0 +1,16 @@
+#include "flow/merging.hpp"
+
+#include "flow/subgraph_match.hpp"
+
+namespace isex::flow {
+
+MergeRelation classify_merge(const dfg::Graph& pattern, const dfg::Graph& other) {
+  const bool forward = is_subgraph_of(pattern, other);
+  const bool backward = is_subgraph_of(other, pattern);
+  if (forward && backward) return MergeRelation::kEqual;
+  if (forward) return MergeRelation::kIntoOther;
+  if (backward) return MergeRelation::kFromOther;
+  return MergeRelation::kNone;
+}
+
+}  // namespace isex::flow

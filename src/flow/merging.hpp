@@ -1,0 +1,26 @@
+// ISE merging (design-flow stage, Fig 3.1.1).
+//
+// If ISE B's pattern is a subgraph of ISE A's, B needs no ASFU of its own:
+// A's datapath computes B's function through output taps.  The paper merges
+// under two conditions — (1) B standalone is no faster than the identical
+// subgraph inside A (true here because both run the same library cells), and
+// (2) A and B never execute simultaneously (guaranteed by giving the shared
+// ASFU to one issue slot; the scheduler charges each ISE an issue slot, and
+// a shared ASFU is a single unit).
+#pragma once
+
+#include "dfg/graph.hpp"
+
+namespace isex::flow {
+
+enum class MergeRelation {
+  kNone,       ///< unrelated datapaths
+  kEqual,      ///< label-preserving isomorphic (full hardware sharing)
+  kIntoOther,  ///< this pattern is a subgraph of the other (merge into it)
+  kFromOther,  ///< the other pattern is a subgraph of this one
+};
+
+/// Classifies how `pattern` relates to `other` for merging purposes.
+MergeRelation classify_merge(const dfg::Graph& pattern, const dfg::Graph& other);
+
+}  // namespace isex::flow

@@ -1,0 +1,54 @@
+#include "flow/profiling.hpp"
+
+#include <algorithm>
+
+#include "sched/list_scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace isex::flow {
+
+std::vector<BlockCost> profile_blocks(const ProfiledProgram& program,
+                                      const sched::MachineConfig& machine) {
+  const sched::ListScheduler scheduler(machine);
+  std::vector<BlockCost> costs;
+  costs.reserve(program.blocks.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < program.blocks.size(); ++i) {
+    const ProfiledBlock& b = program.blocks[i];
+    BlockCost c;
+    c.block_index = i;
+    c.sw_cycles = scheduler.cycles(b.graph);
+    c.exec_count = b.exec_count;
+    c.time = static_cast<std::uint64_t>(c.sw_cycles) * b.exec_count;
+    total += c.time;
+    costs.push_back(c);
+  }
+  for (BlockCost& c : costs) {
+    c.time_share =
+        total == 0 ? 0.0
+                   : static_cast<double>(c.time) / static_cast<double>(total);
+  }
+  std::sort(costs.begin(), costs.end(), [](const BlockCost& a, const BlockCost& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.block_index < b.block_index;
+  });
+  return costs;
+}
+
+std::vector<std::size_t> select_hot_blocks(const std::vector<BlockCost>& costs,
+                                           double coverage,
+                                           std::size_t max_blocks) {
+  ISEX_ASSERT(coverage >= 0.0 && coverage <= 1.0);
+  std::vector<std::size_t> hot;
+  double covered = 0.0;
+  for (const BlockCost& c : costs) {
+    if (hot.size() >= max_blocks) break;
+    if (covered >= coverage && !hot.empty()) break;
+    if (c.time == 0) break;
+    hot.push_back(c.block_index);
+    covered += c.time_share;
+  }
+  return hot;
+}
+
+}  // namespace isex::flow

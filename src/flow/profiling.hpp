@@ -1,0 +1,39 @@
+// Application profiling and basic-block selection (design-flow stages 1–2,
+// Fig 3.1.1).
+//
+// Blocks are ranked by their share of total software execution time
+// (scheduled cycles × execution count); exploration then runs only on the
+// hot blocks that cover a configurable fraction of the program.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/program.hpp"
+#include "sched/machine_config.hpp"
+
+namespace isex::flow {
+
+struct BlockCost {
+  std::size_t block_index = 0;
+  int sw_cycles = 0;
+  std::uint64_t exec_count = 0;
+  /// cycles × count.
+  std::uint64_t time = 0;
+  /// Fraction of total program time.
+  double time_share = 0.0;
+};
+
+/// Schedules every block (no ISEs) on `machine` and attributes program time.
+/// Result is sorted by descending time.
+std::vector<BlockCost> profile_blocks(const ProfiledProgram& program,
+                                      const sched::MachineConfig& machine);
+
+/// Picks hot blocks: the shortest descending-time prefix covering at least
+/// `coverage` of program time, capped at `max_blocks`.  Returns block
+/// indices (into program.blocks).
+std::vector<std::size_t> select_hot_blocks(const std::vector<BlockCost>& costs,
+                                           double coverage,
+                                           std::size_t max_blocks);
+
+}  // namespace isex::flow

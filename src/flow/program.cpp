@@ -1,0 +1,40 @@
+#include "flow/program.hpp"
+
+#include "util/assert.hpp"
+
+namespace isex::flow {
+
+std::size_t ProfiledProgram::total_operations() const {
+  std::size_t total = 0;
+  for (const ProfiledBlock& b : blocks) total += b.graph.num_nodes();
+  return total;
+}
+
+dfg::Graph induced_subgraph(const dfg::Graph& graph, const dfg::NodeSet& members) {
+  ISEX_ASSERT(members.universe() == graph.num_nodes());
+  dfg::Graph sub;
+  std::vector<dfg::NodeId> remap(graph.num_nodes(), dfg::kInvalidNode);
+  members.for_each([&](dfg::NodeId v) {
+    const dfg::Node& n = graph.node(v);
+    remap[v] = n.is_ise ? sub.add_ise_node(n.ise, n.label)
+                        : sub.add_node(n.opcode, n.label);
+  });
+  members.for_each([&](dfg::NodeId v) {
+    int extern_ins = graph.extern_inputs(v);
+    for (const dfg::NodeId p : graph.preds(v)) {
+      if (members.contains(p)) {
+        sub.add_edge(remap[p], remap[v]);
+      } else {
+        ++extern_ins;  // producer outside the pattern becomes a live-in
+      }
+    }
+    sub.set_extern_inputs(remap[v], extern_ins);
+    bool escapes = graph.live_out(v);
+    for (const dfg::NodeId c : graph.succs(v))
+      escapes = escapes || !members.contains(c);
+    sub.set_live_out(remap[v], escapes);
+  });
+  return sub;
+}
+
+}  // namespace isex::flow

@@ -1,0 +1,36 @@
+// Profiled program model: the unit the ISE design flow consumes.
+//
+// SimpleScalar profiling in the paper boils down to per-basic-block
+// execution counts; a ProfiledProgram carries exactly that — each block's
+// DFG plus how often it executes.  Total program execution time is
+// Σ (scheduled block cycles × execution count).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace isex::flow {
+
+struct ProfiledBlock {
+  std::string name;
+  dfg::Graph graph;
+  std::uint64_t exec_count = 1;
+};
+
+struct ProfiledProgram {
+  std::string name;
+  std::vector<ProfiledBlock> blocks;
+
+  std::size_t total_operations() const;
+};
+
+/// Node-induced subgraph of `members` with remapped ids; preserves opcodes,
+/// labels, internal edges, extern-input counts, and marks values escaping
+/// `members` as live-out.  Used as the "pattern graph" of an ISE for
+/// merging, hardware sharing, and replacement matching.
+dfg::Graph induced_subgraph(const dfg::Graph& graph, const dfg::NodeSet& members);
+
+}  // namespace isex::flow

@@ -1,0 +1,54 @@
+// ISE replacement and final scheduling (design-flow last stage, Fig 3.1.1).
+//
+// Applies a SelectionResult to the whole program: every selected candidate
+// collapses into an ISE supernode in its home block (in commit order), and —
+// optionally — each selected pattern is matched against the remaining blocks
+// so other occurrences of the same dataflow shape reuse the ASFU too.
+// Cross-block matches are only kept when convex, port-legal, and when the
+// rescheduled block actually gets faster (a match off the critical path is
+// reverted, in the spirit of the paper's prioritized replacement).
+#pragma once
+
+#include <vector>
+
+#include "flow/program.hpp"
+#include "flow/selection.hpp"
+#include "sched/machine_config.hpp"
+
+namespace isex::flow {
+
+struct ReplacementOptions {
+  bool cross_block_matching = true;
+  /// Cap on matches tried per (pattern, block) pair.
+  std::size_t max_matches_per_block = 8;
+};
+
+struct BlockOutcome {
+  std::string name;
+  std::uint64_t exec_count = 0;
+  int base_cycles = 0;
+  int final_cycles = 0;
+  /// ISEs instantiated in this block (home + cross-block matches).
+  int ise_uses = 0;
+};
+
+struct ReplacementResult {
+  std::vector<dfg::Graph> rewritten;  ///< one per program block
+  std::vector<BlockOutcome> outcomes;
+  std::uint64_t base_time = 0;   ///< Σ base cycles × count
+  std::uint64_t final_time = 0;  ///< Σ final cycles × count
+
+  double reduction() const {
+    return base_time == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(final_time) /
+                           static_cast<double>(base_time);
+  }
+};
+
+ReplacementResult apply_selection(const ProfiledProgram& program,
+                                  const SelectionResult& selection,
+                                  const sched::MachineConfig& machine,
+                                  const ReplacementOptions& options = {});
+
+}  // namespace isex::flow

@@ -1,0 +1,68 @@
+#include "flow/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/table_printer.hpp"
+
+namespace isex::flow {
+
+void write_report(std::ostream& os, const ProfiledProgram& program,
+                  const FlowResult& result, const ReportOptions& options) {
+  os << "# ISE design report: " << program.name << "\n\n";
+  os << "- blocks: " << program.blocks.size() << " ("
+     << program.total_operations() << " operations), explored: "
+     << result.hot_blocks.size() << " hot block(s)\n";
+  os << "- execution time: " << result.base_time() << " -> "
+     << result.final_time() << " cycles ("
+     << TablePrinter::pct(result.reduction()) << " reduction)\n";
+  os << "- ISE types: " << result.num_ise_types() << ", total ASFU area: "
+     << TablePrinter::fmt(result.total_area(), 1) << " um^2\n\n";
+
+  if (options.per_ise && !result.selection.selected.empty()) {
+    os << "## Selected ISEs\n\n";
+    TablePrinter table;
+    table.set_header({"type", "home block", "ops", "latency", "IN", "OUT",
+                      "area (um^2)", "gain/exec", "sharing"});
+    for (const SelectedIse& sel : result.selection.selected) {
+      const auto& ise = sel.entry.ise;
+      table.add_row({std::to_string(sel.type_id),
+                     program.blocks[sel.entry.block_index].name,
+                     std::to_string(ise.original_nodes.count()),
+                     std::to_string(ise.eval.latency_cycles),
+                     std::to_string(ise.in_count),
+                     std::to_string(ise.out_count),
+                     TablePrinter::fmt(ise.eval.area, 1),
+                     std::to_string(ise.gain_cycles),
+                     sel.hardware_shared ? "shared ASFU" : "own ASFU"});
+    }
+    std::ostringstream body;
+    table.print(body);
+    os << body.str() << "\n";
+  }
+
+  if (options.per_block) {
+    os << "## Per-block outcome\n\n";
+    TablePrinter table;
+    table.set_header({"block", "exec count", "cycles before", "cycles after",
+                      "ISE uses"});
+    for (const BlockOutcome& b : result.replacement.outcomes) {
+      table.add_row({b.name, std::to_string(b.exec_count),
+                     std::to_string(b.base_cycles),
+                     std::to_string(b.final_cycles),
+                     std::to_string(b.ise_uses)});
+    }
+    std::ostringstream body;
+    table.print(body);
+    os << body.str();
+  }
+}
+
+std::string to_report(const ProfiledProgram& program, const FlowResult& result,
+                      const ReportOptions& options) {
+  std::ostringstream ss;
+  write_report(ss, program, result, options);
+  return ss.str();
+}
+
+}  // namespace isex::flow

@@ -1,0 +1,28 @@
+// Human-readable design-flow report.
+//
+// Renders a FlowResult as markdown: program summary, the selected ISEs with
+// their ASFU characteristics and sharing relations, and per-block outcomes —
+// the artifact a designer reviews before committing silicon.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "flow/design_flow.hpp"
+
+namespace isex::flow {
+
+struct ReportOptions {
+  /// Include the per-block outcome table.
+  bool per_block = true;
+  /// Include one line per selected ISE.
+  bool per_ise = true;
+};
+
+void write_report(std::ostream& os, const ProfiledProgram& program,
+                  const FlowResult& result, const ReportOptions& options = {});
+
+std::string to_report(const ProfiledProgram& program, const FlowResult& result,
+                      const ReportOptions& options = {});
+
+}  // namespace isex::flow

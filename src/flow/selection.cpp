@@ -1,0 +1,112 @@
+#include "flow/selection.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "flow/merging.hpp"
+#include "util/assert.hpp"
+
+namespace isex::flow {
+
+bool SelectionResult::block_has(std::size_t block_index) const {
+  return std::any_of(selected.begin(), selected.end(),
+                     [&](const SelectedIse& s) {
+                       return s.entry.block_index == block_index;
+                     });
+}
+
+std::vector<IseCatalogEntry> build_catalog(
+    const ProfiledProgram& program,
+    const std::vector<std::size_t>& block_indices,
+    const std::vector<core::ExplorationResult>& results) {
+  ISEX_ASSERT(block_indices.size() == results.size());
+  std::vector<IseCatalogEntry> catalog;
+  for (std::size_t i = 0; i < block_indices.size(); ++i) {
+    const std::size_t bi = block_indices[i];
+    const ProfiledBlock& block = program.blocks[bi];
+    for (std::size_t k = 0; k < results[i].ises.size(); ++k) {
+      const core::ExploredIse& ise = results[i].ises[k];
+      IseCatalogEntry entry;
+      entry.block_index = bi;
+      entry.position = k;
+      entry.ise = ise;
+      entry.pattern = induced_subgraph(block.graph, ise.original_nodes);
+      entry.benefit = static_cast<std::uint64_t>(
+                          std::max(0, ise.gain_cycles)) *
+                      block.exec_count;
+      catalog.push_back(std::move(entry));
+    }
+  }
+  return catalog;
+}
+
+SelectionResult select_ises(const std::vector<IseCatalogEntry>& catalog,
+                            const SelectionConstraints& constraints) {
+  SelectionResult result;
+
+  // Per-block cursor enforcing prefix order, and a done flag set once a
+  // block's head cannot be afforded (everything after is unreachable).
+  std::map<std::size_t, std::size_t> next_position;
+  std::map<std::size_t, bool> block_done;
+  for (const IseCatalogEntry& e : catalog) {
+    next_position.try_emplace(e.block_index, 0);
+    block_done.try_emplace(e.block_index, false);
+  }
+
+  // Representative pattern per selected type for sharing/merging checks.
+  std::vector<const dfg::Graph*> type_patterns;
+  std::vector<double> type_area;
+
+  for (;;) {
+    // Gather current heads.
+    const IseCatalogEntry* best = nullptr;
+    for (const IseCatalogEntry& e : catalog) {
+      if (block_done[e.block_index]) continue;
+      if (e.position != next_position[e.block_index]) continue;
+      if (e.benefit == 0) continue;
+      if (best == nullptr || e.benefit > best->benefit ||
+          (e.benefit == best->benefit && e.ise.eval.area < best->ise.eval.area)) {
+        best = &e;
+      }
+    }
+    if (best == nullptr) break;
+
+    // Sharing/merging: find an existing type this pattern folds into.
+    int share_type = -1;
+    for (std::size_t t = 0; t < type_patterns.size() && share_type < 0; ++t) {
+      const MergeRelation rel = classify_merge(best->pattern, *type_patterns[t]);
+      if (rel == MergeRelation::kEqual || rel == MergeRelation::kIntoOther)
+        share_type = static_cast<int>(t);
+    }
+
+    const double charge = share_type >= 0 ? 0.0 : best->ise.eval.area;
+    const bool needs_new_type = share_type < 0;
+    const bool area_ok = result.total_area + charge <= constraints.area_budget;
+    const bool type_ok =
+        !needs_new_type || result.num_types < constraints.max_ises;
+
+    if (!area_ok || !type_ok) {
+      // The head is unaffordable; later candidates of this block are gated
+      // on it, so retire the whole block.
+      block_done[best->block_index] = true;
+      continue;
+    }
+
+    SelectedIse sel;
+    sel.entry = *best;
+    if (needs_new_type) {
+      sel.type_id = result.num_types++;
+      type_patterns.push_back(&best->pattern);
+      type_area.push_back(best->ise.eval.area);
+      result.total_area += charge;
+    } else {
+      sel.type_id = share_type;
+      sel.hardware_shared = true;
+    }
+    result.selected.push_back(std::move(sel));
+    next_position[best->block_index] += 1;
+  }
+  return result;
+}
+
+}  // namespace isex::flow

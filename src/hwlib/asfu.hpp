@@ -1,0 +1,34 @@
+// ASFU (application-specific functional unit) evaluation.
+//
+// Given an ISE candidate — a node set plus a chosen hardware option per
+// member — this computes the datapath's combinational depth (critical path
+// through the members' cell delays), the resulting instruction latency in
+// core cycles, and the silicon area (sum of member cells).
+#pragma once
+
+#include <span>
+
+#include "dfg/analysis.hpp"
+#include "dfg/graph.hpp"
+#include "dfg/node_set.hpp"
+#include "hwlib/gplus.hpp"
+
+namespace isex::hw {
+
+struct AsfuEvaluation {
+  /// Longest combinational path through the candidate, ns.
+  double depth_ns = 0.0;
+  /// ⌈depth / clock period⌉, at least 1.
+  int latency_cycles = 1;
+  /// Σ member cell areas, µm².
+  double area = 0.0;
+};
+
+/// Evaluates the candidate `members` of `gplus.graph()`.
+/// `chosen_option[v]` gives the IO-table index each node currently uses; only
+/// members are read and each member's chosen option must be hardware.
+AsfuEvaluation evaluate_asfu(const GPlus& gplus, const dfg::NodeSet& members,
+                             std::span<const int> chosen_option,
+                             const ClockSpec& clock = {});
+
+}  // namespace isex::hw

@@ -1,0 +1,35 @@
+#include "hwlib/gplus.hpp"
+
+#include "util/assert.hpp"
+
+namespace isex::hw {
+
+GPlus::GPlus(const dfg::Graph& graph, const HwLibrary& library) : graph_(&graph) {
+  tables_.reserve(graph.num_nodes());
+  for (dfg::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const dfg::Node& n = graph.node(v);
+    if (n.is_ise) {
+      // A committed ISE executes as one (possibly multi-cycle) instruction;
+      // it cannot be re-absorbed during exploration (merging handles reuse).
+      tables_.emplace_back(std::vector<ImplOption>{
+          {ImplKind::kSoftware, "ISE", static_cast<double>(n.ise.latency_cycles),
+           0.0}});
+    } else if (isa::ise_eligible(n.opcode) && library.has_hardware(n.opcode)) {
+      tables_.push_back(library.make_io_table(n.opcode));
+    } else {
+      tables_.emplace_back(
+          std::vector<ImplOption>{{ImplKind::kSoftware, "SW-1", 1.0, 0.0}});
+    }
+  }
+}
+
+const IoTable& GPlus::table(dfg::NodeId id) const {
+  ISEX_ASSERT(id < tables_.size());
+  return tables_[id];
+}
+
+double GPlus::software_cycles(dfg::NodeId id) const {
+  return table(id).option(table(id).first_software()).delay;
+}
+
+}  // namespace isex::hw

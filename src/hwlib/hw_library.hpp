@@ -1,0 +1,36 @@
+// Hardware implementation library — the paper's Table 5.1.1.
+//
+// Maps each PISA opcode to its synthesized hardware options (0.13 µm CMOS,
+// Synopsys Design Compiler / Chalmers arithmetic database numbers).  Opcodes
+// without an entry (memory, branches, division) cannot join an ISE.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hwlib/impl_option.hpp"
+#include "isa/opcode.hpp"
+
+namespace isex::hw {
+
+class HwLibrary {
+ public:
+  /// The exact Table 5.1.1 database.
+  static HwLibrary paper_default();
+
+  /// Replaces the hardware options of one opcode (for ablations/tests).
+  void set_hardware_options(isa::Opcode op, std::vector<ImplOption> options);
+
+  std::span<const ImplOption> hardware_options(isa::Opcode op) const;
+  bool has_hardware(isa::Opcode op) const;
+
+  /// Full IO table for an opcode: the canonical 1-cycle software option
+  /// followed by the library's hardware options.
+  IoTable make_io_table(isa::Opcode op) const;
+
+ private:
+  std::vector<std::vector<ImplOption>> by_opcode_ =
+      std::vector<std::vector<ImplOption>>(isa::kOpcodeCount);
+};
+
+}  // namespace isex::hw

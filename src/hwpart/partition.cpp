@@ -1,0 +1,288 @@
+#include "hwpart/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace isex::hwpart {
+namespace {
+
+Target target_of(const TaskGraph& graph, const Assignment& a, TaskId t) {
+  return graph.task(t).options[static_cast<std::size_t>(a.option[t])].target;
+}
+
+double time_of(const TaskGraph& graph, const Assignment& a, TaskId t) {
+  return graph.task(t).options[static_cast<std::size_t>(a.option[t])].time;
+}
+
+/// Critical tasks of an evaluated assignment: tasks on a tight chain
+/// realizing the makespan (dependence- or resource-tight).
+std::vector<bool> critical_tasks(const TaskGraph& graph, const Assignment& a,
+                                 const std::vector<double>& start,
+                                 const std::vector<double>& finish) {
+  const std::size_t n = graph.num_tasks();
+  std::vector<bool> critical(n, false);
+  constexpr double kEps = 1e-9;
+  for (TaskId t = 0; t < n; ++t)
+    if (finish[t] >= a.makespan - kEps) critical[t] = true;
+  // Backward closure over tight dependences.
+  const std::vector<TaskId> topo = graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskId v = *it;
+    if (!critical[v]) continue;
+    for (const TaskId p : graph.preds(v)) {
+      const double comm = target_of(graph, a, p) != target_of(graph, a, v)
+                              ? graph.comm_cost(p, v)
+                              : 0.0;
+      if (finish[p] + comm >= start[v] - kEps) critical[p] = true;
+    }
+  }
+  return critical;
+}
+
+struct ScheduleDetail {
+  std::vector<double> start;
+  std::vector<double> finish;
+};
+
+ScheduleDetail schedule(const TaskGraph& graph, Assignment& a) {
+  const std::size_t n = graph.num_tasks();
+  ScheduleDetail detail;
+  detail.start.assign(n, 0.0);
+  detail.finish.assign(n, 0.0);
+  double cpu_free = 0.0;
+  double hw_free = 0.0;
+  double makespan = 0.0;
+  double area = 0.0;
+
+  // Serve tasks in topological order; within the order, both resources are
+  // sequential queues (list scheduling with the topological priority).
+  for (const TaskId t : graph.topological_order()) {
+    const Target tgt = target_of(graph, a, t);
+    double ready = 0.0;
+    for (const TaskId p : graph.preds(t)) {
+      const double comm =
+          target_of(graph, a, p) != tgt ? graph.comm_cost(p, t) : 0.0;
+      ready = std::max(ready, detail.finish[p] + comm);
+    }
+    double& resource_free = (tgt == Target::kSoftware) ? cpu_free : hw_free;
+    const double begin = std::max(ready, resource_free);
+    const double end = begin + time_of(graph, a, t);
+    detail.start[t] = begin;
+    detail.finish[t] = end;
+    resource_free = end;
+    makespan = std::max(makespan, end);
+    area += graph.task(t).options[static_cast<std::size_t>(a.option[t])].area;
+  }
+  a.makespan = makespan;
+  a.hw_area = area;
+  return detail;
+}
+
+/// Repairs an over-budget choice: flips the hardware task with the worst
+/// (time saved / area) ratio back to software until the budget holds.
+void repair_budget(const TaskGraph& graph, Assignment& a, double budget) {
+  for (;;) {
+    double area = 0.0;
+    for (TaskId t = 0; t < graph.num_tasks(); ++t)
+      area += graph.task(t).options[static_cast<std::size_t>(a.option[t])].area;
+    if (area <= budget) return;
+    TaskId worst = kInvalidTask;
+    double worst_ratio = std::numeric_limits<double>::max();
+    for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+      const auto& opts = graph.task(t).options;
+      const auto idx = static_cast<std::size_t>(a.option[t]);
+      if (opts[idx].target != Target::kHardware) continue;
+      const double saved = opts[0].time - opts[idx].time;
+      const double ratio = opts[idx].area > 0.0
+                               ? saved / opts[idx].area
+                               : std::numeric_limits<double>::max();
+      if (ratio < worst_ratio) {
+        worst_ratio = ratio;
+        worst = t;
+      }
+    }
+    ISEX_ASSERT_MSG(worst != kInvalidTask, "over budget with no hw tasks");
+    a.option[worst] = 0;
+  }
+}
+
+}  // namespace
+
+bool Assignment::software_only() const {
+  return std::all_of(option.begin(), option.end(),
+                     [](int o) { return o == 0; });
+}
+
+void evaluate(const TaskGraph& graph, Assignment& assignment) {
+  ISEX_ASSERT(assignment.option.size() == graph.num_tasks());
+  (void)schedule(graph, assignment);
+}
+
+Assignment all_software(const TaskGraph& graph) {
+  Assignment a;
+  a.option.assign(graph.num_tasks(), 0);
+  evaluate(graph, a);
+  return a;
+}
+
+Assignment all_hardware(const TaskGraph& graph) {
+  Assignment a;
+  a.option.assign(graph.num_tasks(), 0);
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const auto& opts = graph.task(t).options;
+    int best = 0;
+    for (std::size_t o = 1; o < opts.size(); ++o) {
+      if (best == 0 || opts[o].time < opts[static_cast<std::size_t>(best)].time)
+        best = static_cast<int>(o);
+    }
+    a.option[t] = best;
+  }
+  evaluate(graph, a);
+  return a;
+}
+
+Assignment greedy_partition(const TaskGraph& graph, double area_budget) {
+  Assignment current = all_software(graph);
+  double remaining = area_budget;
+  for (;;) {
+    TaskId best_task = kInvalidTask;
+    int best_option = 0;
+    double best_ratio = 0.0;
+    Assignment best_candidate;
+    for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+      if (current.option[t] != 0) continue;  // already in hardware
+      const auto& opts = graph.task(t).options;
+      for (std::size_t o = 1; o < opts.size(); ++o) {
+        if (opts[o].area > remaining) continue;
+        Assignment trial = current;
+        trial.option[t] = static_cast<int>(o);
+        evaluate(graph, trial);
+        const double gain = current.makespan - trial.makespan;
+        if (gain <= 0.0) continue;
+        const double ratio =
+            opts[o].area > 0.0 ? gain / opts[o].area
+                               : std::numeric_limits<double>::max();
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_task = t;
+          best_option = static_cast<int>(o);
+          best_candidate = std::move(trial);
+        }
+      }
+    }
+    if (best_task == kInvalidTask) return current;
+    remaining -=
+        graph.task(best_task).options[static_cast<std::size_t>(best_option)].area;
+    current = std::move(best_candidate);
+  }
+}
+
+Assignment PartitionExplorer::explore(const TaskGraph& graph, Rng& rng) const {
+  const std::size_t n = graph.num_tasks();
+  Assignment best = all_software(graph);
+  if (n == 0) return best;
+
+  // Trail and merit per (task, option).
+  std::vector<std::vector<double>> trail(n);
+  std::vector<std::vector<double>> merit(n);
+  for (TaskId t = 0; t < n; ++t) {
+    const std::size_t k = graph.task(t).options.size();
+    trail[t].assign(k, 0.0);
+    merit[t].assign(k, params_.merit_scale);
+  }
+  auto weight = [&](TaskId t, std::size_t o) {
+    return params_.alpha * trail[t][o] + (1.0 - params_.alpha) * merit[t][o];
+  };
+
+  double previous_makespan = std::numeric_limits<double>::max();
+  std::vector<double> weights;
+  for (int iteration = 0; iteration < params_.max_iterations; ++iteration) {
+    // Construct one assignment stochastically.
+    Assignment a;
+    a.option.assign(n, 0);
+    for (TaskId t = 0; t < n; ++t) {
+      const std::size_t k = graph.task(t).options.size();
+      weights.clear();
+      for (std::size_t o = 0; o < k; ++o) weights.push_back(weight(t, o));
+      a.option[t] = static_cast<int>(rng.weighted_pick(weights));
+    }
+    repair_budget(graph, a, params_.area_budget);
+    const ScheduleDetail detail = schedule(graph, a);
+
+    const bool improved = a.makespan <= previous_makespan;
+    previous_makespan = std::min(previous_makespan, a.makespan);
+    if (a.makespan < best.makespan ||
+        (a.makespan == best.makespan && a.hw_area < best.hw_area)) {
+      best = a;
+    }
+
+    // Trail update.
+    for (TaskId t = 0; t < n; ++t) {
+      for (std::size_t o = 0; o < trail[t].size(); ++o) {
+        const bool chosen = a.option[t] == static_cast<int>(o);
+        double v = trail[t][o];
+        v += (chosen == improved) ? params_.rho_reward : -params_.rho_decay;
+        trail[t][o] = std::clamp(v, 0.0, 1000.0);
+      }
+    }
+
+    // Merit update: hardware merit scales with the time the variant saves;
+    // off-critical tasks decay (moving them to hardware cannot shorten the
+    // makespan — the Ch. 6 translation of "operation location").
+    const std::vector<bool> critical =
+        critical_tasks(graph, a, detail.start, detail.finish);
+    for (TaskId t = 0; t < n; ++t) {
+      const auto& opts = graph.task(t).options;
+      for (std::size_t o = 1; o < opts.size(); ++o) {
+        const double saving = std::max(0.0, opts[0].time - opts[o].time);
+        merit[t][o] *= 1.0 + saving / std::max(1.0, opts[0].time);
+        if (!critical[t]) merit[t][o] *= params_.beta_offcrit;
+        if (opts[o].area > params_.area_budget) merit[t][o] *= 0.5;
+      }
+      // Renormalize so the best option carries merit_scale.
+      double best_merit = 0.0;
+      for (const double m : merit[t]) best_merit = std::max(best_merit, m);
+      if (best_merit > 0.0) {
+        const double f = params_.merit_scale / best_merit;
+        for (double& m : merit[t]) m = std::max(m * f, 1e-6);
+      }
+    }
+
+    // Convergence: selected probability of the best option per task.
+    bool converged = true;
+    for (TaskId t = 0; t < n && converged; ++t) {
+      if (trail[t].size() <= 1) continue;
+      double total = 0.0;
+      double top = 0.0;
+      for (std::size_t o = 0; o < trail[t].size(); ++o) {
+        const double w = weight(t, o);
+        total += w;
+        top = std::max(top, w);
+      }
+      converged = total <= 0.0 || top / total > params_.p_end;
+    }
+    if (converged) break;
+  }
+  return best;
+}
+
+Assignment PartitionExplorer::explore_best_of(const TaskGraph& graph,
+                                              int repeats, Rng& rng) const {
+  ISEX_ASSERT(repeats >= 1);
+  Assignment best;
+  bool have = false;
+  for (int r = 0; r < repeats; ++r) {
+    Rng child = rng.split();
+    Assignment a = explore(graph, child);
+    if (!have || a.makespan < best.makespan ||
+        (a.makespan == best.makespan && a.hw_area < best.hw_area)) {
+      best = std::move(a);
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace isex::hwpart

@@ -1,0 +1,72 @@
+// ACO hardware/software partitioning (the Ch. 6 adaptation).
+//
+// Two sequential resources — a CPU executing software tasks and a hardware
+// region executing hardware tasks — plus a bus charging each boundary
+// crossing its communication cost.  The explorer reuses the ISE machinery's
+// shape one level up: per-task implementation options, trail + merit
+// stochastic choice, schedule-derived criticality steering merit, and
+// convergence by selected probability.  Baselines (all-software,
+// all-hardware, greedy ratio) calibrate the benchmark harness.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "hwpart/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace isex::hwpart {
+
+/// A complete partitioning decision: one option index per task.
+struct Assignment {
+  std::vector<int> option;
+  double makespan = 0.0;
+  double hw_area = 0.0;
+
+  bool software_only() const;
+};
+
+/// List-schedules `assignment` on {CPU, HW} and fills makespan/hw_area.
+/// Both resources are sequential; a dependence crossing the boundary delays
+/// the consumer by its comm_cost.
+void evaluate(const TaskGraph& graph, Assignment& assignment);
+
+/// Everything on the CPU.
+Assignment all_software(const TaskGraph& graph);
+
+/// Every task on its fastest hardware variant (tasks without one stay in
+/// software); ignores any area budget — an upper bound on spending.
+Assignment all_hardware(const TaskGraph& graph);
+
+/// Classic ratio greedy: repeatedly move the task with the best
+/// (time saved / area) ratio to hardware while the budget allows and the
+/// makespan improves.
+Assignment greedy_partition(const TaskGraph& graph, double area_budget);
+
+struct PartitionParams {
+  double area_budget = std::numeric_limits<double>::infinity();
+  // ACO knobs (same roles as in core::ExplorerParams).
+  double alpha = 0.25;
+  double rho_reward = 4.0;
+  double rho_decay = 2.0;
+  double beta_offcrit = 0.85;  ///< decay for hw options of off-critical tasks
+  double merit_scale = 200.0;
+  double p_end = 0.98;
+  int max_iterations = 200;
+};
+
+class PartitionExplorer {
+ public:
+  explicit PartitionExplorer(PartitionParams params = {}) : params_(params) {}
+
+  /// Runs the ACO search; the result always satisfies the area budget.
+  Assignment explore(const TaskGraph& graph, Rng& rng) const;
+
+  /// Best of `repeats` independent runs.
+  Assignment explore_best_of(const TaskGraph& graph, int repeats, Rng& rng) const;
+
+ private:
+  PartitionParams params_;
+};
+
+}  // namespace isex::hwpart

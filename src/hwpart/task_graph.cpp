@@ -1,0 +1,86 @@
+#include "hwpart/task_graph.hpp"
+
+#include "util/assert.hpp"
+
+namespace isex::hwpart {
+
+TaskId TaskGraph::add_task(Task task) {
+  ISEX_ASSERT_MSG(!task.options.empty(), "task needs at least one option");
+  ISEX_ASSERT_MSG(task.options[0].target == Target::kSoftware,
+                  "option 0 must be the software implementation");
+  for (std::size_t i = 1; i < task.options.size(); ++i) {
+    ISEX_ASSERT_MSG(task.options[i].target == Target::kHardware,
+                    "options after the first must be hardware variants");
+    ISEX_ASSERT(task.options[i].time > 0.0 && task.options[i].area >= 0.0);
+  }
+  const auto id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(std::move(task));
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return id;
+}
+
+TaskId TaskGraph::add_task(
+    std::string name, double sw_time,
+    std::initializer_list<std::pair<double, double>> hw_variants) {
+  Task task;
+  task.name = std::move(name);
+  task.options.push_back(TaskOption{Target::kSoftware, sw_time, 0.0});
+  for (const auto& [time, area] : hw_variants) {
+    task.options.push_back(TaskOption{Target::kHardware, time, area});
+  }
+  return add_task(std::move(task));
+}
+
+void TaskGraph::add_dependence(TaskId from, TaskId to, double comm_cost) {
+  ISEX_ASSERT(from < tasks_.size() && to < tasks_.size());
+  ISEX_ASSERT_MSG(from != to, "self-dependence");
+  ISEX_ASSERT(comm_cost >= 0.0);
+  deps_.push_back(Dependence{from, to, comm_cost});
+  succs_[from].push_back(to);
+  preds_[to].push_back(from);
+}
+
+const Task& TaskGraph::task(TaskId id) const {
+  ISEX_ASSERT(id < tasks_.size());
+  return tasks_[id];
+}
+
+std::span<const TaskId> TaskGraph::preds(TaskId id) const {
+  ISEX_ASSERT(id < tasks_.size());
+  return preds_[id];
+}
+
+std::span<const TaskId> TaskGraph::succs(TaskId id) const {
+  ISEX_ASSERT(id < tasks_.size());
+  return succs_[id];
+}
+
+double TaskGraph::comm_cost(TaskId from, TaskId to) const {
+  for (const Dependence& d : deps_) {
+    if (d.from == from && d.to == to) return d.comm_cost;
+  }
+  return 0.0;
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  std::vector<int> in_degree(tasks_.size(), 0);
+  for (TaskId v = 0; v < tasks_.size(); ++v)
+    in_degree[v] = static_cast<int>(preds_[v].size());
+  std::vector<TaskId> ready;
+  for (TaskId v = 0; v < tasks_.size(); ++v)
+    if (in_degree[v] == 0) ready.push_back(v);
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (const TaskId s : succs_[v])
+      if (--in_degree[s] == 0) ready.push_back(s);
+  }
+  ISEX_ASSERT_MSG(order.size() == tasks_.size(), "task graph has a cycle");
+  return order;
+}
+
+}  // namespace isex::hwpart

@@ -1,0 +1,76 @@
+// Task graphs for hardware/software partitioning.
+//
+// Ch. 6 of the paper observes that the ISE exploration algorithm maps, with
+// slight modification, onto the classic co-design problem (Chatha-Vemuri,
+// Kalavade-Lee): hardware/software partitioning ↔ choosing implementation
+// options, design-space exploration ↔ selecting among several hardware
+// variants per task, and scheduling ↔ identifying the critical path.  This
+// module realizes that adaptation: coarse-grain *tasks* (not single
+// operations) with one software and any number of hardware implementations,
+// dependence edges carrying a communication cost paid whenever producer and
+// consumer end up on different sides of the HW/SW boundary.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace isex::hwpart {
+
+using TaskId = std::uint32_t;
+inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
+
+enum class Target : std::uint8_t { kSoftware, kHardware };
+
+struct TaskOption {
+  Target target = Target::kSoftware;
+  /// Execution time in abstract time units.
+  double time = 1.0;
+  /// Silicon area for hardware options; 0 for software.
+  double area = 0.0;
+};
+
+struct Task {
+  std::string name;
+  /// Option 0 must be the software implementation; hardware variants follow.
+  std::vector<TaskOption> options;
+};
+
+struct Dependence {
+  TaskId from = kInvalidTask;
+  TaskId to = kInvalidTask;
+  /// Extra latency when `from` and `to` execute on different targets
+  /// (bus transfer of the produced data).
+  double comm_cost = 0.0;
+};
+
+class TaskGraph {
+ public:
+  /// Adds a task; option 0 must be software.  Returns its id.
+  TaskId add_task(Task task);
+
+  /// Convenience: software time + a list of (hw time, hw area) variants.
+  TaskId add_task(std::string name, double sw_time,
+                  std::initializer_list<std::pair<double, double>> hw_variants);
+
+  void add_dependence(TaskId from, TaskId to, double comm_cost = 0.0);
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  const Task& task(TaskId id) const;
+  std::span<const Dependence> dependences() const { return deps_; }
+  std::span<const TaskId> preds(TaskId id) const;
+  std::span<const TaskId> succs(TaskId id) const;
+  double comm_cost(TaskId from, TaskId to) const;
+
+  /// Topological order; asserts acyclicity.
+  std::vector<TaskId> topological_order() const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<Dependence> deps_;
+  std::vector<std::vector<TaskId>> preds_;
+  std::vector<std::vector<TaskId>> succs_;
+};
+
+}  // namespace isex::hwpart

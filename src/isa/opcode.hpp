@@ -1,0 +1,85 @@
+// PISA-like instruction set model.
+//
+// The paper evaluates on the Portable Instruction Set Architecture (PISA), a
+// MIPS-like ISA used by SimpleScalar.  This module defines the opcode subset
+// the exploration operates on and the static traits the algorithm queries:
+// which functional-unit class executes an opcode, whether it touches memory
+// (memory operations may never enter an ISE, §4.2 constraint 4), and a
+// human-readable mnemonic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace isex::isa {
+
+/// PISA opcode subset.  Covers every opcode in the paper's Table 5.1.1 plus
+/// the memory/branch/move operations needed to express realistic basic
+/// blocks.
+enum class Opcode : std::uint8_t {
+  // Arithmetic
+  kAdd, kAddi, kAddu, kAddiu,
+  kSub, kSubu,
+  kMult, kMultu,
+  kDiv, kDivu,
+  // Logic
+  kAnd, kAndi,
+  kOr, kOri,
+  kXor, kXori,
+  kNor,
+  // Shifts
+  kSll, kSllv, kSrl, kSrlv, kSra, kSrav,
+  // Compare / set
+  kSlt, kSlti, kSltu, kSltiu,
+  // Immediates / moves
+  kLui, kMov,
+  // Memory
+  kLw, kLh, kLhu, kLb, kLbu,
+  kSw, kSh, kSb,
+  // Control (kept for completeness; always excluded from ISEs)
+  kBeq, kBne,
+  kNop,
+};
+
+/// Number of distinct opcodes (for table sizing / iteration).
+inline constexpr std::size_t kOpcodeCount = static_cast<std::size_t>(Opcode::kNop) + 1;
+
+/// Functional-unit class an opcode issues to in the core pipeline.
+enum class FuClass : std::uint8_t { kAlu, kMult, kDiv, kMem, kBranch };
+
+/// Coarse semantic category, used by the kernel generators and by tests.
+enum class OpCategory : std::uint8_t {
+  kArith, kLogic, kShift, kCompare, kMove, kLoad, kStore, kBranch, kNop,
+};
+
+struct OpcodeTraits {
+  std::string_view mnemonic;
+  FuClass fu = FuClass::kAlu;
+  OpCategory category = OpCategory::kArith;
+  /// Number of register source operands (immediate forms have 1).
+  std::uint8_t num_srcs = 2;
+  /// True when the opcode produces a register result.
+  bool has_dst = true;
+};
+
+/// Static traits lookup; total over all opcodes.
+const OpcodeTraits& traits(Opcode op);
+
+inline std::string_view mnemonic(Opcode op) { return traits(op).mnemonic; }
+
+inline bool is_load(Opcode op) { return traits(op).category == OpCategory::kLoad; }
+inline bool is_store(Opcode op) { return traits(op).category == OpCategory::kStore; }
+inline bool is_memory(Opcode op) { return is_load(op) || is_store(op); }
+inline bool is_branch(Opcode op) { return traits(op).category == OpCategory::kBranch; }
+
+/// True when the §4.2 formulation permits the opcode inside an ISE subgraph:
+/// no loads, no stores, no branches (load-store architecture limitation).
+inline bool ise_eligible(Opcode op) {
+  return !is_memory(op) && !is_branch(op) && op != Opcode::kNop;
+}
+
+/// Parses a mnemonic ("addu", "xor", ...) back to its opcode.
+std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic);
+
+}  // namespace isex::isa

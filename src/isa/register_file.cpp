@@ -1,0 +1,9 @@
+#include "isa/register_file.hpp"
+
+namespace isex::isa {
+
+std::string RegisterFileConfig::label() const {
+  return std::to_string(read_ports) + "/" + std::to_string(write_ports);
+}
+
+}  // namespace isex::isa

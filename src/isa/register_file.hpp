@@ -1,0 +1,43 @@
+// Register-file model.
+//
+// The ISA format constrains ISEs in two ways (§1.2): the number of register
+// read/write ports bounds IN(S)/OUT(S) of any ISE, and the free opcode space
+// bounds how many ISEs a design may add.  This model captures both, plus the
+// port configurations the evaluation sweeps (4/2, 6/3, 8/4, 10/5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace isex::isa {
+
+/// Register-file port configuration.  `read_ports`/`write_ports` are the
+/// totals available per cycle; an ISE reading k operands consumes k read
+/// ports in its issue cycle.
+struct RegisterFileConfig {
+  int read_ports = 4;
+  int write_ports = 2;
+
+  /// Paper shorthand, e.g. "6/3".
+  std::string label() const;
+
+  friend bool operator==(const RegisterFileConfig&, const RegisterFileConfig&) = default;
+};
+
+/// ISA-format envelope for ISEs: the port-derived operand bounds plus the
+/// unused-opcode budget.
+struct IsaFormat {
+  RegisterFileConfig reg_file;
+  /// Maximum number of distinct ISEs the opcode space admits.
+  int max_ises = 32;
+  /// Pipestage timing constraint: hard cap on an ISE's ASFU latency in
+  /// cycles (0 = unbounded).  §5.1 assumes both explorers honour it.
+  int max_ise_latency_cycles = 0;
+
+  /// IN(S) bound for a single ISE (§4.2 constraint 1).
+  int max_ise_inputs() const { return reg_file.read_ports; }
+  /// OUT(S) bound for a single ISE (§4.2 constraint 2).
+  int max_ise_outputs() const { return reg_file.write_ports; }
+};
+
+}  // namespace isex::isa

@@ -1,0 +1,288 @@
+#include "isa/tac_parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+namespace isex::isa {
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kEquals, kComma, kLBracket, kRBracket, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  Lexer(std::string_view line, int line_no) : line_(line), line_no_(line_no) {}
+
+  Token next() {
+    skip_space();
+    if (pos_ >= line_.size() || line_[pos_] == '#') return {Token::Kind::kEnd, ""};
+    const char c = line_[pos_];
+    if (c == '=') { ++pos_; return {Token::Kind::kEquals, "="}; }
+    if (c == ',') { ++pos_; return {Token::Kind::kComma, ","}; }
+    if (c == '[') { ++pos_; return {Token::Kind::kLBracket, "["}; }
+    if (c == ']') { ++pos_; return {Token::Kind::kRBracket, "]"}; }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '-' && pos_ + 1 < line_.size() &&
+         std::isdigit(static_cast<unsigned char>(line_[pos_ + 1])) != 0)) {
+      return lex_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      return lex_ident();
+    }
+    throw ParseError(line_no_, std::string("unexpected character '") + c + "'");
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])) != 0)
+      ++pos_;
+  }
+
+  Token lex_number() {
+    const std::size_t start = pos_;
+    if (line_[pos_] == '-') ++pos_;
+    // Accept decimal and 0x... hex.
+    if (pos_ + 1 < line_.size() && line_[pos_] == '0' &&
+        (line_[pos_ + 1] == 'x' || line_[pos_ + 1] == 'X')) {
+      pos_ += 2;
+      while (pos_ < line_.size() &&
+             std::isxdigit(static_cast<unsigned char>(line_[pos_])) != 0)
+        ++pos_;
+    } else {
+      while (pos_ < line_.size() &&
+             std::isdigit(static_cast<unsigned char>(line_[pos_])) != 0)
+        ++pos_;
+    }
+    return {Token::Kind::kNumber, std::string(line_.substr(start, pos_ - start))};
+  }
+
+  Token lex_ident() {
+    const std::size_t start = pos_;
+    while (pos_ < line_.size() &&
+           (std::isalnum(static_cast<unsigned char>(line_[pos_])) != 0 ||
+            line_[pos_] == '_'))
+      ++pos_;
+    return {Token::Kind::kIdent, std::string(line_.substr(start, pos_ - start))};
+  }
+
+  std::string_view line_;
+  std::size_t pos_ = 0;
+  int line_no_;
+};
+
+class BlockParser {
+ public:
+  ParsedBlock parse(std::string_view source) {
+    int line_no = 0;
+    std::size_t start = 0;
+    while (start <= source.size()) {
+      const std::size_t nl = source.find('\n', start);
+      const std::size_t end = (nl == std::string_view::npos) ? source.size() : nl;
+      ++line_no;
+      parse_line(source.substr(start, end - start), line_no);
+      if (nl == std::string_view::npos) break;
+      start = nl + 1;
+    }
+    apply_implicit_live_out();
+    return std::move(block_);
+  }
+
+ private:
+  void parse_line(std::string_view line, int line_no) {
+    Lexer lex(line, line_no);
+    Token first = lex.next();
+    if (first.kind == Token::Kind::kEnd) return;
+    if (first.kind != Token::Kind::kIdent)
+      throw ParseError(line_no, "statement must start with an identifier");
+
+    if (first.text == "live_out") {
+      parse_live_out(lex, line_no);
+      return;
+    }
+
+    // Disambiguate "dest = op ..." from "store_op [addr], val" by the next
+    // token, so variables may shadow store mnemonics (a value named "sh"
+    // stays a variable).
+    const Token second = lex.next();
+    if (second.kind != Token::Kind::kEquals) {
+      if (auto op = opcode_from_mnemonic(first.text);
+          op && is_store(*op) && second.kind == Token::Kind::kLBracket) {
+        parse_store_after_bracket(*op, lex, line_no);
+        return;
+      }
+      throw ParseError(line_no, "expected '=' after destination");
+    }
+
+    const std::string dest = first.text;
+    const Token mn = lex.next();
+    if (mn.kind != Token::Kind::kIdent)
+      throw ParseError(line_no, "expected mnemonic after '='");
+    const auto op = opcode_from_mnemonic(mn.text);
+    if (!op) throw ParseError(line_no, "unknown mnemonic '" + mn.text + "'");
+    if (is_store(*op))
+      throw ParseError(line_no, "store cannot have a destination");
+    if (!traits(*op).has_dst)
+      throw ParseError(line_no, "'" + mn.text + "' produces no result");
+
+    std::vector<TacOperand> operands = parse_operands(lex, line_no);
+    define(dest, *op, operands, line_no);
+  }
+
+  void parse_live_out(Lexer& lex, int line_no) {
+    for (;;) {
+      const Token t = lex.next();
+      if (t.kind != Token::Kind::kIdent)
+        throw ParseError(line_no, "live_out expects variable names");
+      explicit_live_out_.push_back({t.text, line_no});
+      const Token sep = lex.next();
+      if (sep.kind == Token::Kind::kEnd) return;
+      if (sep.kind != Token::Kind::kComma)
+        throw ParseError(line_no, "expected ',' in live_out list");
+    }
+  }
+
+  /// Parses "... addr], value" — the leading "sw [" was already consumed.
+  void parse_store_after_bracket(Opcode op, Lexer& lex, int line_no) {
+    const Token inner = lex.next();
+    if (inner.kind != Token::Kind::kIdent)
+      throw ParseError(line_no, "memory operand must name a variable");
+    expect(lex, Token::Kind::kRBracket, line_no, "expected ']'");
+    expect(lex, Token::Kind::kComma, line_no, "store form is: sw [addr], value");
+    const Token value = lex.next();
+    std::vector<TacOperand> operands;
+    TacOperand addr;
+    addr.kind = TacOperand::Kind::kMemAddr;
+    addr.name = inner.text;
+    operands.push_back(std::move(addr));
+    if (value.kind == Token::Kind::kIdent) {
+      TacOperand v;
+      v.name = value.text;
+      operands.push_back(std::move(v));
+    } else if (value.kind == Token::Kind::kNumber) {
+      TacOperand v;
+      v.kind = TacOperand::Kind::kImmediate;
+      v.imm = static_cast<std::int64_t>(std::strtoll(value.text.c_str(), nullptr, 0));
+      operands.push_back(std::move(v));
+    } else {
+      throw ParseError(line_no, "store form is: sw [addr], value");
+    }
+    if (lex.next().kind != Token::Kind::kEnd)
+      throw ParseError(line_no, "unexpected text after store");
+    make_node(op, "", operands, line_no);
+  }
+
+  std::vector<TacOperand> parse_operands(Lexer& lex, int line_no) {
+    std::vector<TacOperand> ops;
+    for (;;) {
+      Token t = lex.next();
+      if (t.kind == Token::Kind::kEnd) {
+        if (ops.empty()) return ops;
+        throw ParseError(line_no, "trailing comma");
+      }
+      if (t.kind == Token::Kind::kLBracket) {
+        const Token inner = lex.next();
+        if (inner.kind != Token::Kind::kIdent)
+          throw ParseError(line_no, "memory operand must name a variable");
+        expect(lex, Token::Kind::kRBracket, line_no, "expected ']'");
+        TacOperand o;
+        o.kind = TacOperand::Kind::kMemAddr;
+        o.name = inner.text;
+        ops.push_back(std::move(o));
+      } else if (t.kind == Token::Kind::kIdent) {
+        TacOperand o;
+        o.name = t.text;
+        ops.push_back(std::move(o));
+      } else if (t.kind == Token::Kind::kNumber) {
+        TacOperand o;
+        o.kind = TacOperand::Kind::kImmediate;
+        o.imm = static_cast<std::int64_t>(std::strtoll(t.text.c_str(), nullptr, 0));
+        ops.push_back(std::move(o));
+      } else {
+        throw ParseError(line_no, "bad operand");
+      }
+      const Token sep = lex.next();
+      if (sep.kind == Token::Kind::kEnd) return ops;
+      if (sep.kind != Token::Kind::kComma)
+        throw ParseError(line_no, "expected ',' between operands");
+    }
+  }
+
+  void define(const std::string& dest, Opcode op,
+              const std::vector<TacOperand>& operands, int line_no) {
+    if (block_.defs.contains(dest))
+      throw ParseError(line_no, "variable '" + dest + "' redefined (block is SSA)");
+    const dfg::NodeId id = make_node(op, dest, operands, line_no);
+    block_.defs.emplace(dest, id);
+  }
+
+  dfg::NodeId make_node(Opcode op, const std::string& label,
+                        const std::vector<TacOperand>& operands, int line_no) {
+    if (is_load(op) &&
+        (operands.size() != 1 || operands[0].kind != TacOperand::Kind::kMemAddr))
+      throw ParseError(line_no, "load form is: dst = lw [addr]");
+
+    const dfg::NodeId id = block_.graph.add_node(op, label);
+    std::vector<int> extern_ids;
+    for (const TacOperand& o : operands) {
+      if (o.kind == TacOperand::Kind::kImmediate) continue;  // encoded immediate
+      const auto it = block_.defs.find(o.name);
+      if (it != block_.defs.end()) {
+        block_.graph.add_edge(it->second, id);
+        consumed_.insert(it->second);
+      } else {
+        // Live-in value: one id per variable, shared across all uses so
+        // IN(S) counts the value once.
+        const auto [live_it, unused] =
+            live_in_ids_.try_emplace(o.name, static_cast<int>(live_in_ids_.size()));
+        extern_ids.push_back(live_it->second);
+      }
+    }
+    block_.graph.set_extern_input_ids(id, std::move(extern_ids));
+    TacStatement stmt;
+    stmt.op = op;
+    stmt.dest = label;
+    stmt.operands = operands;
+    stmt.line = line_no;
+    stmt.node = id;
+    block_.statements.push_back(std::move(stmt));
+    return id;
+  }
+
+  void apply_implicit_live_out() {
+    for (const auto& [name, line_no] : explicit_live_out_) {
+      const auto it = block_.defs.find(name);
+      if (it == block_.defs.end())
+        throw ParseError(line_no, "live_out of undefined variable '" + name + "'");
+      block_.graph.set_live_out(it->second, true);
+    }
+    // A defined value nobody in the block consumes must escape the block.
+    for (const auto& [name, id] : block_.defs) {
+      if (!consumed_.contains(id)) block_.graph.set_live_out(id, true);
+    }
+  }
+
+  static void expect(Lexer& lex, Token::Kind kind, int line_no, const char* msg) {
+    if (lex.next().kind != kind) throw ParseError(line_no, msg);
+  }
+
+  ParsedBlock block_;
+  std::unordered_map<std::string, int> live_in_ids_;
+  std::unordered_set<dfg::NodeId> consumed_;
+  std::vector<std::pair<std::string, int>> explicit_live_out_;
+};
+
+}  // namespace
+
+ParsedBlock parse_tac(std::string_view source) {
+  BlockParser parser;
+  return parser.parse(source);
+}
+
+}  // namespace isex::isa

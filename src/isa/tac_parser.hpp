@@ -1,0 +1,78 @@
+// Three-address-code (TAC) frontend.
+//
+// The paper extracts DFGs from PISA binaries compiled with gcc 2.7.2.3; this
+// repository substitutes a small textual three-address form so that basic
+// blocks can be written, versioned, and unit-tested directly.  One line is
+// one operation; SSA-style: each variable is defined at most once per block.
+//
+// Grammar (one statement per line, '#' starts a comment):
+//
+//   dest = MNEMONIC src [, src ...]        e.g.  t1 = addu a, b
+//   dest = LOAD [addr]                     e.g.  t2 = lw [p]
+//   STORE [addr], value                    e.g.  sw [p], t2
+//   live_out var [, var ...]               marks block outputs
+//
+// Operands are identifiers or integer literals.  Literals are immediates
+// (encoded in the instruction; they create no edge and no live-in value).
+// An identifier with no in-block definition is a live-in value and counts
+// toward the defining node's extern-input tally.  A defined variable with no
+// in-block consumer is implicitly live-out.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "dfg/graph.hpp"
+
+namespace isex::isa {
+
+/// Parse failure; carries the 1-based source line.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// One parsed operand, preserving what the DFG abstracts away (immediates,
+/// operand order, memory addressing) so the block stays *executable* — the
+/// exec::Evaluator runs on statements, not on the graph.
+struct TacOperand {
+  enum class Kind : std::uint8_t { kVar, kImmediate, kMemAddr };
+  Kind kind = Kind::kVar;
+  /// Variable name (kVar / kMemAddr).
+  std::string name;
+  /// Immediate value (kImmediate).
+  std::int64_t imm = 0;
+};
+
+struct TacStatement {
+  Opcode op = Opcode::kNop;
+  /// Destination variable; empty for stores.
+  std::string dest;
+  std::vector<TacOperand> operands;
+  /// 1-based source line.
+  int line = 0;
+  /// The DFG node this statement became.
+  dfg::NodeId node = dfg::kInvalidNode;
+};
+
+struct ParsedBlock {
+  dfg::Graph graph;
+  /// Variable name -> defining node.
+  std::unordered_map<std::string, dfg::NodeId> defs;
+  /// Statements in program order (executable form).
+  std::vector<TacStatement> statements;
+};
+
+/// Parses a whole basic block.  Throws ParseError on malformed input,
+/// unknown mnemonics, or variable redefinition.
+ParsedBlock parse_tac(std::string_view source);
+
+}  // namespace isex::isa

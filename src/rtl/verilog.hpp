@@ -1,0 +1,34 @@
+// Structural Verilog emission for ASFU datapaths.
+//
+// An accepted ISE candidate is a combinational dataflow over library cells;
+// this module renders it as a synthesizable Verilog-2001 module so the
+// design can continue into the paper's physical flow (the Table 5.1.1
+// numbers came from Synopsys synthesis of exactly such netlists).  Inputs
+// are the candidate's IN(S) operands, outputs its OUT(S) escaping values;
+// the expression per operation mirrors exec::apply_alu's semantics.
+//
+// Emission works from the executable TAC form (statements carry the
+// immediates and operand order the bare DFG erases).
+#pragma once
+
+#include <string>
+
+#include "dfg/node_set.hpp"
+#include "hwlib/asfu.hpp"
+#include "isa/tac_parser.hpp"
+
+namespace isex::rtl {
+
+struct VerilogOptions {
+  std::string module_name = "asfu";
+  /// Optional evaluation to record in the header comment (depth/area).
+  const hw::AsfuEvaluation* evaluation = nullptr;
+};
+
+/// Emits a combinational module for the candidate `members` of `block`.
+/// Preconditions: every member is ISE-eligible (no loads/stores/branches)
+/// and `members` is non-empty.
+std::string emit_asfu(const isa::ParsedBlock& block, const dfg::NodeSet& members,
+                      const VerilogOptions& options = {});
+
+}  // namespace isex::rtl

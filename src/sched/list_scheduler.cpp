@@ -1,0 +1,123 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+
+#include "isa/opcode.hpp"
+#include "util/assert.hpp"
+
+namespace isex::sched {
+namespace {
+
+/// Mutable per-cycle resource ledger.
+struct CycleResources {
+  int issue_used = 0;
+  int reads_used = 0;
+  int writes_used = 0;
+  std::array<int, kNumFuClasses> fu_used{};
+};
+
+isa::FuClass fu_class_of(const dfg::Graph& graph, dfg::NodeId v) {
+  const dfg::Node& n = graph.node(v);
+  // ISE supernodes execute on their ASFU, not a core FU; model them as not
+  // competing for FU slots (they still consume an issue slot and ports).
+  return n.is_ise ? isa::FuClass::kAlu : isa::traits(n.opcode).fu;
+}
+
+bool fits(const MachineConfig& cfg, const CycleResources& res,
+          const dfg::Graph& graph, dfg::NodeId v) {
+  if (res.issue_used + 1 > cfg.issue_width) return false;
+  if (res.reads_used + read_ports_used(graph, v) > cfg.reg_file.read_ports)
+    return false;
+  if (res.writes_used + write_ports_used(graph, v) > cfg.reg_file.write_ports)
+    return false;
+  if (!graph.node(v).is_ise) {
+    const auto cls = static_cast<std::size_t>(fu_class_of(graph, v));
+    if (res.fu_used[cls] + 1 > cfg.fu_counts[cls]) return false;
+  }
+  return true;
+}
+
+void charge(CycleResources& res, const dfg::Graph& graph, dfg::NodeId v) {
+  res.issue_used += 1;
+  res.reads_used += read_ports_used(graph, v);
+  res.writes_used += write_ports_used(graph, v);
+  if (!graph.node(v).is_ise)
+    res.fu_used[static_cast<std::size_t>(fu_class_of(graph, v))] += 1;
+}
+
+}  // namespace
+
+Schedule ListScheduler::run(const dfg::Graph& graph) const {
+  const std::size_t n = graph.num_nodes();
+  Schedule sched;
+  sched.slot.assign(n, -1);
+  if (n == 0) return sched;
+
+  const std::vector<double> priority = compute_priorities(graph, priority_);
+
+  std::vector<int> unresolved(n, 0);
+  std::vector<int> ready_at(n, 0);  // earliest cycle dependences allow
+  for (dfg::NodeId v = 0; v < n; ++v)
+    unresolved[v] = static_cast<int>(graph.preds(v).size());
+
+  std::vector<dfg::NodeId> ready;
+  for (dfg::NodeId v = 0; v < n; ++v)
+    if (unresolved[v] == 0) ready.push_back(v);
+
+  // Deferred arrivals: nodes whose dependences resolve at a future cycle.
+  std::vector<std::vector<dfg::NodeId>> arriving;
+
+  std::size_t scheduled = 0;
+  int cycle = 0;
+  int makespan = 0;
+  std::vector<dfg::NodeId> pending;  // ready but beyond current cycle
+
+  while (scheduled < n) {
+    if (static_cast<std::size_t>(cycle) < arriving.size()) {
+      for (const dfg::NodeId v : arriving[cycle]) ready.push_back(v);
+      arriving[cycle].clear();
+    }
+
+    // Highest priority first; ties broken by node id for determinism.
+    std::sort(ready.begin(), ready.end(), [&](dfg::NodeId a, dfg::NodeId b) {
+      if (priority[a] != priority[b]) return priority[a] > priority[b];
+      return a < b;
+    });
+
+    CycleResources res;
+    std::vector<dfg::NodeId> leftover;
+    for (const dfg::NodeId v : ready) {
+      if (ready_at[v] <= cycle && fits(config_, res, graph, v)) {
+        charge(res, graph, v);
+        sched.slot[v] = cycle;
+        ++scheduled;
+        const int finish = cycle + node_latency(graph, v);
+        makespan = std::max(makespan, finish);
+        for (const dfg::NodeId s : graph.succs(v)) {
+          ready_at[s] = std::max(ready_at[s], finish);
+          if (--unresolved[s] == 0) {
+            if (static_cast<std::size_t>(ready_at[s]) >= arriving.size())
+              arriving.resize(static_cast<std::size_t>(ready_at[s]) + 1);
+            if (ready_at[s] <= cycle + 1) {
+              leftover.push_back(s);
+            } else {
+              arriving[static_cast<std::size_t>(ready_at[s])].push_back(s);
+            }
+          }
+        }
+      } else {
+        leftover.push_back(v);
+      }
+    }
+    ready = std::move(leftover);
+    ++cycle;
+    ISEX_ASSERT_MSG(cycle <= static_cast<int>(n) * 64 + 64,
+                    "scheduler failed to make progress");
+  }
+
+  sched.cycles = makespan;
+  ISEX_ASSERT(respects_dependences(graph, sched));
+  return sched;
+}
+
+}  // namespace isex::sched

@@ -1,0 +1,42 @@
+// Resource-constrained list scheduler for one basic block.
+//
+// Cycle-by-cycle list scheduling: at each cycle, ready operations (all
+// dependences resolved and producer latencies elapsed) issue in priority
+// order as long as issue slots, register ports, and functional units remain.
+// ISE supernodes issue like any instruction but occupy IN(S)/OUT(S) register
+// ports and run for their ASFU latency (the ASFU is treated as pipelined, so
+// only dependences serialize back-to-back ISE issues).
+//
+// This is both the evaluation scheduler (final execution-time measurement
+// after ISE replacement) and the reference the explorer's internal
+// Operation-Scheduling is validated against.
+#pragma once
+
+#include "dfg/graph.hpp"
+#include "sched/machine_config.hpp"
+#include "sched/priority.hpp"
+#include "sched/schedule.hpp"
+
+namespace isex::sched {
+
+class ListScheduler {
+ public:
+  explicit ListScheduler(MachineConfig config,
+                         PriorityKind priority = PriorityKind::kChildCount)
+      : config_(config), priority_(priority) {}
+
+  const MachineConfig& config() const { return config_; }
+
+  /// Schedules `graph`; the result satisfies respects_dependences() and all
+  /// per-cycle resource limits.
+  Schedule run(const dfg::Graph& graph) const;
+
+  /// Convenience: makespan only.
+  int cycles(const dfg::Graph& graph) const { return run(graph).cycles; }
+
+ private:
+  MachineConfig config_;
+  PriorityKind priority_;
+};
+
+}  // namespace isex::sched

@@ -1,0 +1,21 @@
+#include "sched/machine_config.hpp"
+
+#include "util/assert.hpp"
+
+namespace isex::sched {
+
+MachineConfig MachineConfig::make(int issue_width,
+                                  isa::RegisterFileConfig reg_file) {
+  ISEX_ASSERT(issue_width >= 1);
+  MachineConfig cfg;
+  cfg.issue_width = issue_width;
+  cfg.reg_file = reg_file;
+  cfg.fu_counts = {issue_width, 1, 1, 1, 1};
+  return cfg;
+}
+
+std::string MachineConfig::label() const {
+  return "(" + reg_file.label() + ", " + std::to_string(issue_width) + "IS)";
+}
+
+}  // namespace isex::sched

@@ -1,0 +1,40 @@
+// Multiple-issue machine model.
+//
+// The paper's target is a statically scheduled in-order multiple-issue
+// embedded core: issue width 2–4, a shared register file with 4/2 … 10/5
+// read/write ports, one-cycle PISA instructions, and ASFUs attached to the
+// execute stage.  The scheduler charges, per cycle: issue slots, register
+// read/write ports, and functional units per class.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "isa/opcode.hpp"
+#include "isa/register_file.hpp"
+
+namespace isex::sched {
+
+inline constexpr std::size_t kNumFuClasses = 5;  // matches isa::FuClass
+
+struct MachineConfig {
+  int issue_width = 2;
+  isa::RegisterFileConfig reg_file{4, 2};
+  /// Functional units available per isa::FuClass.
+  std::array<int, kNumFuClasses> fu_counts{2, 1, 1, 1, 1};
+
+  /// Canonical evaluation machine: ALU count = issue width; one multiplier,
+  /// divider, memory port, and branch unit.
+  static MachineConfig make(int issue_width, isa::RegisterFileConfig reg_file);
+
+  int fu_count(isa::FuClass cls) const {
+    return fu_counts[static_cast<std::size_t>(cls)];
+  }
+
+  /// Paper shorthand, e.g. "(6/3, 3IS)".
+  std::string label() const;
+
+  friend bool operator==(const MachineConfig&, const MachineConfig&) = default;
+};
+
+}  // namespace isex::sched

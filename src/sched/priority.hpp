@@ -1,0 +1,27 @@
+// Scheduling-priority (SP) functions.
+//
+// The paper uses the number of child operations as SP (§4.3) and explicitly
+// notes that mobility-based priorities are an alternative (Ch. 6 future
+// work); both are provided, plus descendant count for ablations.
+#pragma once
+
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace isex::sched {
+
+enum class PriorityKind {
+  /// Immediate successor count (paper default).
+  kChildCount,
+  /// Negated mobility (ALAP − ASAP): zero-slack nodes rank highest.
+  kMobility,
+  /// Total transitive successor count.
+  kDescendantCount,
+};
+
+/// Computes a priority score per node; higher score = schedule earlier.
+/// Scores are non-negative.
+std::vector<double> compute_priorities(const dfg::Graph& graph, PriorityKind kind);
+
+}  // namespace isex::sched

@@ -1,0 +1,65 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+#include "isa/opcode.hpp"
+#include "util/assert.hpp"
+
+namespace isex::sched {
+
+int node_latency(const dfg::Graph& graph, dfg::NodeId v) {
+  const dfg::Node& n = graph.node(v);
+  return n.is_ise ? n.ise.latency_cycles : 1;
+}
+
+int read_ports_used(const dfg::Graph& graph, dfg::NodeId v) {
+  const dfg::Node& n = graph.node(v);
+  if (n.is_ise) return n.ise.num_inputs;
+  // Register sources: in-block producer edges plus live-in operands, capped
+  // by the ISA's operand count for the opcode.
+  const int operands =
+      static_cast<int>(graph.preds(v).size()) + graph.extern_inputs(v);
+  return std::min(operands, static_cast<int>(isa::traits(n.opcode).num_srcs));
+}
+
+int write_ports_used(const dfg::Graph& graph, dfg::NodeId v) {
+  const dfg::Node& n = graph.node(v);
+  if (n.is_ise) return n.ise.num_outputs;
+  return isa::traits(n.opcode).has_dst ? 1 : 0;
+}
+
+dfg::NodeSet critical_nodes(const dfg::Graph& graph, const Schedule& schedule) {
+  ISEX_ASSERT(schedule.slot.size() == graph.num_nodes());
+  dfg::NodeSet critical(graph.num_nodes());
+  if (graph.num_nodes() == 0) return critical;
+
+  // Seed: nodes finishing at the makespan.
+  const std::vector<dfg::NodeId> topo = graph.topological_order();
+  for (const dfg::NodeId v : topo) {
+    if (schedule.slot[v] + node_latency(graph, v) == schedule.cycles)
+      critical.insert(v);
+  }
+  // Backward closure over tight edges.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const dfg::NodeId v = *it;
+    if (!critical.contains(v)) continue;
+    for (const dfg::NodeId p : graph.preds(v)) {
+      if (schedule.slot[p] + node_latency(graph, p) == schedule.slot[v])
+        critical.insert(p);
+    }
+  }
+  return critical;
+}
+
+bool respects_dependences(const dfg::Graph& graph, const Schedule& schedule) {
+  if (schedule.slot.size() != graph.num_nodes()) return false;
+  for (dfg::NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (const dfg::NodeId v : graph.succs(u)) {
+      if (schedule.slot[v] < schedule.slot[u] + node_latency(graph, u))
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace isex::sched

@@ -1,0 +1,40 @@
+// Schedule result container and schedule-derived analyses.
+#pragma once
+
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "dfg/node_set.hpp"
+
+namespace isex::sched {
+
+/// Cycle-accurate placement of every node of one DFG.
+struct Schedule {
+  /// Issue cycle per node (0-based).
+  std::vector<int> slot;
+  /// Total cycles until the last result is available (makespan).
+  int cycles = 0;
+
+  bool valid() const { return !slot.empty(); }
+  int start_of(dfg::NodeId v) const { return slot[v]; }
+};
+
+/// Per-node latency in cycles used by the scheduler: 1 for regular PISA
+/// operations (paper §5.1), the committed ASFU latency for ISE supernodes.
+int node_latency(const dfg::Graph& graph, dfg::NodeId v);
+
+/// Register read/write ports a node consumes in its issue cycle.
+int read_ports_used(const dfg::Graph& graph, dfg::NodeId v);
+int write_ports_used(const dfg::Graph& graph, dfg::NodeId v);
+
+/// Nodes on a schedule-tight chain that realizes the makespan: the node's
+/// finish time equals the makespan, or some tight successor (issued exactly
+/// when this node's result becomes ready) is critical.  This is the
+/// "location of operations" signal the paper's merit case 1 consumes.
+dfg::NodeSet critical_nodes(const dfg::Graph& graph, const Schedule& schedule);
+
+/// Verifies dependence correctness: every edge (u, v) has
+/// slot[v] >= slot[u] + latency(u).  Used by tests and assertions.
+bool respects_dependences(const dfg::Graph& graph, const Schedule& schedule);
+
+}  // namespace isex::sched

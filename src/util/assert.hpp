@@ -1,0 +1,28 @@
+// Lightweight always-on assertion used to guard library invariants.
+//
+// The exploration algorithm is stochastic; silent invariant corruption would
+// surface as mysteriously bad results rather than crashes, so the checks stay
+// enabled in release builds.  The cost is negligible next to the ACO loop.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace isex {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "isex assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace isex
+
+#define ISEX_ASSERT(expr)                                          \
+  ((expr) ? static_cast<void>(0)                                   \
+          : ::isex::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define ISEX_ASSERT_MSG(expr, msg)                              \
+  ((expr) ? static_cast<void>(0)                                \
+          : ::isex::assert_fail(#expr, __FILE__, __LINE__, msg))

@@ -1,0 +1,74 @@
+#include "util/rng.hpp"
+
+#include "util/assert.hpp"
+
+namespace isex {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  const std::uint64_t init_state = splitmix64(sm);
+  const std::uint64_t init_seq = splitmix64(sm);
+  state_ = 0;
+  inc_ = (init_seq << 1U) | 1U;
+  (void)next_u32();
+  state_ += init_state;
+  (void)next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+  const auto rot = static_cast<std::uint32_t>(old >> 59U);
+  return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+}
+
+std::uint32_t Rng::next_below(std::uint32_t bound) {
+  ISEX_ASSERT(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint32_t threshold = (0U - bound) % bound;
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  // 53 random bits into [0, 1).
+  const std::uint64_t hi = next_u32();
+  const std::uint64_t lo = next_u32();
+  const std::uint64_t bits = ((hi << 32U) | lo) >> 11U;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+std::size_t Rng::weighted_pick(std::span<const double> weights) {
+  ISEX_ASSERT_MSG(!weights.empty(), "weighted_pick needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    ISEX_ASSERT_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  if (total <= 0.0) return next_below(static_cast<std::uint32_t>(weights.size()));
+  double ticket = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    ticket -= weights[i];
+    if (ticket < 0.0) return i;
+  }
+  return weights.size() - 1;  // guard against rounding at the top end
+}
+
+Rng Rng::split() {
+  const std::uint64_t hi = next_u32();
+  const std::uint64_t lo = next_u32();
+  return Rng((hi << 32U) | lo);
+}
+
+}  // namespace isex

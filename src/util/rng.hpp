@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation for the ACO explorer.
+//
+// All stochastic components of the library draw from an injected Rng so that
+// every experiment is exactly reproducible from its seed.  The generator is
+// PCG32 (O'Neill, 2014): small state, good statistical quality, and stable
+// output across platforms — unlike std::mt19937 + std::uniform_*_distribution,
+// whose distributions are implementation-defined.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace isex {
+
+/// Permuted congruential generator (PCG-XSH-RR 64/32) with distribution
+/// helpers whose output is identical on every platform.
+class Rng {
+ public:
+  /// Seeds via SplitMix64 so that consecutive small seeds yield uncorrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Samples an index according to non-negative weights.  Zero-total weight
+  /// falls back to uniform choice.  Empty spans are a precondition violation.
+  std::size_t weighted_pick(std::span<const double> weights);
+
+  /// Derives an independent child stream (for per-repeat isolation).
+  Rng split();
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+/// SplitMix64 single-step mix; exposed for seed derivation in experiments.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace isex

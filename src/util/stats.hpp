@@ -1,0 +1,24 @@
+// Small summary-statistics helpers used when aggregating per-benchmark
+// execution-time reductions into the paper's max/min/avg headline numbers.
+#pragma once
+
+#include <span>
+
+namespace isex {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes min/max/mean/population-stddev over `values`.  Empty input yields
+/// a zeroed summary with count == 0.
+Summary summarize(std::span<const double> values);
+
+/// Geometric mean; all values must be positive. Empty input yields 0.
+double geometric_mean(std::span<const double> values);
+
+}  // namespace isex

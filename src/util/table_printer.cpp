@@ -1,0 +1,81 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace isex {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (const char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+void TablePrinter::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string cell = i < row.size() ? row[i] : std::string{};
+      const std::size_t pad = widths[i] - cell.size();
+      if (looks_numeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      os << (i + 1 == columns ? "" : "  ");
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w;
+    total += 2 * (columns - 1);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << value;
+  return ss.str();
+}
+
+std::string TablePrinter::pct(double ratio, int precision) {
+  return fmt(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace isex

@@ -1,0 +1,36 @@
+// Aligned plain-text table output used by the benchmark harnesses to print
+// paper-style rows (figures 5.2.1–5.2.3, table 5.1.1).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace isex {
+
+/// Collects rows of string cells and renders them with column alignment.
+/// Numeric-looking cells are right-aligned; everything else left-aligned.
+class TablePrinter {
+ public:
+  /// Sets the header row; resets any accumulated body rows' width bookkeeping.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders header, separator, and all rows to `os`.
+  void print(std::ostream& os) const;
+
+  /// Convenience for formatting doubles with fixed precision.
+  static std::string fmt(double value, int precision = 2);
+
+  /// Formats a ratio as a percentage string, e.g. 0.1479 -> "14.79%".
+  static std::string pct(double ratio, int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace isex

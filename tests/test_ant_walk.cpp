@@ -1,0 +1,148 @@
+#include "core/ant_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/schedule.hpp"
+#include "test_util.hpp"
+
+namespace isex::core {
+namespace {
+
+class AntWalkTest : public ::testing::Test {
+ protected:
+  hw::HwLibrary lib_ = hw::HwLibrary::paper_default();
+  ExplorerParams params_;
+  sched::MachineConfig machine_ = sched::MachineConfig::make(2, {6, 3});
+
+  WalkResult walk(const dfg::Graph& g, std::uint64_t seed = 1) {
+    hw::GPlus gplus(g, lib_);
+    PheromoneState pher(gplus, params_);
+    AntWalk walker(gplus, machine_, params_);
+    Rng rng(seed);
+    std::vector<double> sp(g.num_nodes(), 0.0);
+    return walker.run(pher, sp, rng);
+  }
+};
+
+TEST_F(AntWalkTest, AssignsEveryNodeExactlyOnce) {
+  Rng rng(3);
+  const dfg::Graph g = testing::make_random_dag(30, rng);
+  const WalkResult w = walk(g);
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (dfg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(w.chosen[v], 0);
+    EXPECT_GE(w.slot[v], 0);
+    ASSERT_GE(w.order[v], 0);
+    ASSERT_LT(static_cast<std::size_t>(w.order[v]), g.num_nodes());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(w.order[v])]);
+    seen[static_cast<std::size_t>(w.order[v])] = true;
+  }
+}
+
+TEST_F(AntWalkTest, PickOrderRespectsDependences) {
+  const dfg::Graph g = testing::make_chain(6);
+  const WalkResult w = walk(g);
+  for (dfg::NodeId u = 0; u < g.num_nodes(); ++u)
+    for (const dfg::NodeId v : g.succs(u)) EXPECT_LT(w.order[u], w.order[v]);
+}
+
+TEST_F(AntWalkTest, ConsumersStartAfterProducersFinish) {
+  Rng rng(5);
+  for (int t = 0; t < 10; ++t) {
+    const dfg::Graph g = testing::make_random_dag(25, rng);
+    const WalkResult w = walk(g, rng.next_u32());
+    for (dfg::NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (const dfg::NodeId v : g.succs(u)) {
+        if (w.group_id[u] >= 0 && w.group_id[u] == w.group_id[v]) continue;
+        EXPECT_GE(w.slot[v], w.finish_of(u))
+            << "edge " << u << "->" << v << " violated";
+      }
+    }
+  }
+}
+
+TEST_F(AntWalkTest, TetIsMaxFinish) {
+  Rng rng(7);
+  const dfg::Graph g = testing::make_random_dag(20, rng);
+  const WalkResult w = walk(g);
+  int max_finish = 0;
+  for (dfg::NodeId v = 0; v < g.num_nodes(); ++v)
+    max_finish = std::max(max_finish, w.finish_of(v));
+  EXPECT_EQ(w.tet, max_finish);
+}
+
+TEST_F(AntWalkTest, GroupMembersShareSlot) {
+  Rng rng(9);
+  const dfg::Graph g = testing::make_random_dag(25, rng);
+  const WalkResult w = walk(g);
+  for (std::size_t gid = 0; gid < w.groups.size(); ++gid) {
+    const GroupState& grp = w.groups[gid];
+    EXPECT_FALSE(grp.members.empty());
+    grp.members.for_each([&](dfg::NodeId m) {
+      EXPECT_EQ(w.group_id[m], static_cast<int>(gid));
+      EXPECT_EQ(w.slot[m], grp.start);
+    });
+    EXPECT_EQ(grp.cycles, hw::ClockSpec{}.cycles_for(grp.depth_ns));
+  }
+}
+
+TEST_F(AntWalkTest, SoftwareOnlyWalkMatchesUnitLatency) {
+  // With no hardware options, the walk degrades to plain list placement.
+  hw::HwLibrary empty;
+  const dfg::Graph g = testing::make_chain(5);
+  hw::GPlus gplus(g, empty);
+  PheromoneState pher(gplus, params_);
+  AntWalk walker(gplus, machine_, params_);
+  Rng rng(1);
+  std::vector<double> sp(g.num_nodes(), 0.0);
+  const WalkResult w = walker.run(pher, sp, rng);
+  EXPECT_EQ(w.tet, 5);
+  EXPECT_TRUE(w.groups.empty());
+}
+
+TEST_F(AntWalkTest, IssueWidthRespectedForSoftwareOps) {
+  hw::HwLibrary empty;
+  const dfg::Graph g = testing::make_parallel_pairs(4);  // 8 ops
+  hw::GPlus gplus(g, empty);
+  PheromoneState pher(gplus, params_);
+  AntWalk walker(gplus, machine_, params_);
+  Rng rng(2);
+  std::vector<double> sp(g.num_nodes(), 0.0);
+  const WalkResult w = walker.run(pher, sp, rng);
+  std::vector<int> per_cycle(static_cast<std::size_t>(w.tet) + 1, 0);
+  for (dfg::NodeId v = 0; v < g.num_nodes(); ++v)
+    per_cycle[static_cast<std::size_t>(w.slot[v])]++;
+  for (const int n : per_cycle) EXPECT_LE(n, machine_.issue_width);
+}
+
+TEST_F(AntWalkTest, GroupPortsStayWithinFormat) {
+  Rng rng(11);
+  for (int t = 0; t < 10; ++t) {
+    const dfg::Graph g = testing::make_random_dag(30, rng);
+    const WalkResult w = walk(g, rng.next_u32());
+    for (const GroupState& grp : w.groups) {
+      EXPECT_LE(grp.reads, machine_.reg_file.read_ports);
+      EXPECT_LE(grp.writes, machine_.reg_file.write_ports);
+    }
+  }
+}
+
+TEST_F(AntWalkTest, EmptyGraph) {
+  dfg::Graph g;
+  const WalkResult w = walk(g);
+  EXPECT_EQ(w.tet, 0);
+  EXPECT_TRUE(w.chosen.empty());
+}
+
+TEST_F(AntWalkTest, DeterministicGivenSeed) {
+  Rng rng(13);
+  const dfg::Graph g = testing::make_random_dag(20, rng);
+  const WalkResult a = walk(g, 777);
+  const WalkResult b = walk(g, 777);
+  EXPECT_EQ(a.chosen, b.chosen);
+  EXPECT_EQ(a.slot, b.slot);
+  EXPECT_EQ(a.tet, b.tet);
+}
+
+}  // namespace
+}  // namespace isex::core

@@ -1,0 +1,89 @@
+#include "hwlib/asfu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::hw {
+namespace {
+
+class AsfuTest : public ::testing::Test {
+ protected:
+  HwLibrary lib_ = HwLibrary::paper_default();
+};
+
+TEST_F(AsfuTest, ChainDepthIsSumOfDelays) {
+  // Three chained and-gates on HW-1 (1.58 ns each): depth 4.74, 1 cycle.
+  const dfg::Graph g = testing::make_chain(3, isa::Opcode::kAnd);
+  const GPlus gp(g, lib_);
+  std::vector<int> chosen(3, 1);  // option 1 = HW-1
+  const AsfuEvaluation e = evaluate_asfu(gp, g.all_nodes(), chosen);
+  EXPECT_NEAR(e.depth_ns, 4.74, 1e-9);
+  EXPECT_EQ(e.latency_cycles, 1);
+  EXPECT_NEAR(e.area, 3 * 214.31, 1e-9);
+}
+
+TEST_F(AsfuTest, ParallelMembersShareDepth) {
+  const dfg::Graph g = testing::make_parallel_pairs(2, isa::Opcode::kAnd);
+  const GPlus gp(g, lib_);
+  std::vector<int> chosen(4, 1);
+  const AsfuEvaluation e = evaluate_asfu(gp, g.all_nodes(), chosen);
+  EXPECT_NEAR(e.depth_ns, 2 * 1.58, 1e-9);  // two 2-deep lanes in parallel
+  EXPECT_NEAR(e.area, 4 * 214.31, 1e-9);    // area still sums
+}
+
+TEST_F(AsfuTest, LongChainNeedsTwoCycles) {
+  // Three chained slow adders: 3 × 4.04 = 12.12 ns > 10 ns.
+  const dfg::Graph g = testing::make_chain(3, isa::Opcode::kAddu);
+  const GPlus gp(g, lib_);
+  std::vector<int> chosen(3, 1);  // HW-1 = 4.04 ns
+  const AsfuEvaluation e = evaluate_asfu(gp, g.all_nodes(), chosen);
+  EXPECT_NEAR(e.depth_ns, 12.12, 1e-9);
+  EXPECT_EQ(e.latency_cycles, 2);
+}
+
+TEST_F(AsfuTest, FasterOptionBuysBackTheCycle) {
+  const dfg::Graph g = testing::make_chain(3, isa::Opcode::kAddu);
+  const GPlus gp(g, lib_);
+  std::vector<int> chosen(3, 2);  // HW-2 = 2.12 ns
+  const AsfuEvaluation e = evaluate_asfu(gp, g.all_nodes(), chosen);
+  EXPECT_NEAR(e.depth_ns, 6.36, 1e-9);
+  EXPECT_EQ(e.latency_cycles, 1);
+  EXPECT_GT(e.area, 3 * 926.33);  // faster adders cost more area
+}
+
+TEST_F(AsfuTest, SubsetEvaluationIgnoresOutsiders) {
+  const dfg::Graph g = testing::make_chain(4, isa::Opcode::kAnd);
+  const GPlus gp(g, lib_);
+  std::vector<int> chosen(4, 1);
+  const AsfuEvaluation e =
+      evaluate_asfu(gp, dfg::NodeSet::of(4, {1, 2}), chosen);
+  EXPECT_NEAR(e.depth_ns, 2 * 1.58, 1e-9);
+  EXPECT_NEAR(e.area, 2 * 214.31, 1e-9);
+}
+
+TEST_F(AsfuTest, MixedOptionsPerMember) {
+  dfg::Graph g;
+  const auto a = g.add_node(isa::Opcode::kAddu, "a");  // HW-2 (2.12)
+  const auto b = g.add_node(isa::Opcode::kXor, "b");   // HW-1 (4.17)
+  g.add_edge(a, b);
+  const GPlus gp(g, lib_);
+  std::vector<int> chosen = {2, 1};
+  const AsfuEvaluation e = evaluate_asfu(gp, g.all_nodes(), chosen);
+  EXPECT_NEAR(e.depth_ns, 2.12 + 4.17, 1e-9);
+  EXPECT_NEAR(e.area, 2075.35 + 375.1, 1e-9);
+}
+
+TEST_F(AsfuTest, CustomClock) {
+  const dfg::Graph g = testing::make_chain(2, isa::Opcode::kXor);
+  const GPlus gp(g, lib_);
+  std::vector<int> chosen(2, 1);
+  ClockSpec fast;
+  fast.period_ns = 5.0;  // 200 MHz
+  const AsfuEvaluation e = evaluate_asfu(gp, g.all_nodes(), chosen, fast);
+  EXPECT_NEAR(e.depth_ns, 8.34, 1e-9);
+  EXPECT_EQ(e.latency_cycles, 2);
+}
+
+}  // namespace
+}  // namespace isex::hw

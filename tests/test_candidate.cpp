@@ -1,0 +1,100 @@
+#include "core/candidate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::core {
+namespace {
+
+class CandidateTest : public ::testing::Test {
+ protected:
+  hw::HwLibrary lib_ = hw::HwLibrary::paper_default();
+  isa::IsaFormat format_;  // 4/2
+
+  std::vector<IseCandidate> extract(const dfg::Graph& g,
+                                    const std::vector<int>& taken) {
+    hw::GPlus gplus(g, lib_);
+    dfg::Reachability reach(g);
+    return extract_candidates(gplus, format_, taken, reach);
+  }
+};
+
+TEST_F(CandidateTest, NoHardwareTakenMeansNoCandidates) {
+  const dfg::Graph g = testing::make_chain(4, isa::Opcode::kAnd);
+  EXPECT_TRUE(extract(g, {0, 0, 0, 0}).empty());
+}
+
+TEST_F(CandidateTest, SingletonsDiscarded) {
+  const dfg::Graph g = testing::make_chain(4, isa::Opcode::kAnd);
+  EXPECT_TRUE(extract(g, {0, 1, 0, 0}).empty());
+}
+
+TEST_F(CandidateTest, ConnectedHardwareRunBecomesCandidate) {
+  const dfg::Graph g = testing::make_chain(4, isa::Opcode::kAnd);
+  const auto cands = extract(g, {0, 1, 1, 0});
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].members, dfg::NodeSet::of(4, {1, 2}));
+  EXPECT_EQ(cands[0].eval.latency_cycles, 1);
+  EXPECT_NEAR(cands[0].eval.area, 2 * 214.31, 1e-9);
+  EXPECT_EQ(cands[0].in_count, 1);
+  EXPECT_EQ(cands[0].out_count, 1);
+}
+
+TEST_F(CandidateTest, TwoSeparateRunsYieldTwoCandidates) {
+  const dfg::Graph g = testing::make_chain(7, isa::Opcode::kAnd);
+  const auto cands = extract(g, {1, 1, 0, 0, 1, 1, 0});
+  EXPECT_EQ(cands.size(), 2u);
+}
+
+TEST_F(CandidateTest, NonConvexClusterIsSplit) {
+  // Diamond with b on software: {a, c, d} cluster is connected but
+  // non-convex (a -> b -> d path outside); Make-Convex splits it.
+  dfg::Graph g;
+  const auto a = g.add_node(isa::Opcode::kAnd, "a");
+  const auto b = g.add_node(isa::Opcode::kAnd, "b");
+  const auto c = g.add_node(isa::Opcode::kAnd, "c");
+  const auto d = g.add_node(isa::Opcode::kAnd, "d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.set_live_out(d, true);
+  const auto cands = extract(g, {1, 0, 1, 1});
+  for (const auto& cand : cands) {
+    dfg::Reachability reach(g);
+    EXPECT_TRUE(dfg::is_convex(g, cand.members, reach));
+    EXPECT_GE(cand.size(), 2u);
+  }
+  // {a, c} or {c, d} must survive as a 2-op candidate.
+  ASSERT_FALSE(cands.empty());
+}
+
+TEST_F(CandidateTest, RespectsChosenHardwareOption) {
+  const dfg::Graph g = testing::make_chain(2, isa::Opcode::kAddu);
+  const auto cands = extract(g, {2, 2});  // HW-2 fast adders
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_NEAR(cands[0].eval.area, 2 * 2075.35, 1e-9);
+  EXPECT_NEAR(cands[0].eval.depth_ns, 2 * 2.12, 1e-9);
+}
+
+TEST_F(CandidateTest, PortIllegalClusterGetsTrimmed) {
+  dfg::Graph g;
+  const auto x = g.add_node(isa::Opcode::kXor, "x");
+  std::vector<int> taken = {1};
+  for (int i = 0; i < 5; ++i) {
+    const auto p = g.add_node(isa::Opcode::kAnd);
+    g.set_extern_inputs(p, 2);
+    g.add_edge(p, x);
+    taken.push_back(1);
+  }
+  g.set_live_out(x, true);
+  const auto cands = extract(g, taken);
+  for (const auto& cand : cands) {
+    EXPECT_LE(cand.in_count, format_.max_ise_inputs());
+    EXPECT_LE(cand.out_count, format_.max_ise_outputs());
+  }
+}
+
+}  // namespace
+}  // namespace isex::core

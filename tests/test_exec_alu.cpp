@@ -1,0 +1,78 @@
+#include "exec/alu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isex::exec {
+namespace {
+
+using isa::Opcode;
+
+TEST(Alu, AdditionWraps) {
+  EXPECT_EQ(apply_alu(Opcode::kAddu, 1, 2), 3u);
+  EXPECT_EQ(apply_alu(Opcode::kAdd, 0xFFFFFFFFu, 1), 0u);
+  EXPECT_EQ(apply_alu(Opcode::kAddiu, 10, 0xFFFFFFFFu), 9u);  // -1 immediate
+}
+
+TEST(Alu, Subtraction) {
+  EXPECT_EQ(apply_alu(Opcode::kSubu, 5, 7), 0xFFFFFFFEu);
+  EXPECT_EQ(apply_alu(Opcode::kSub, 0, 1), 0xFFFFFFFFu);
+}
+
+TEST(Alu, MultiplyLow32) {
+  EXPECT_EQ(apply_alu(Opcode::kMult, 7, 6), 42u);
+  EXPECT_EQ(apply_alu(Opcode::kMultu, 0x10000u, 0x10000u), 0u);  // overflow
+  EXPECT_EQ(apply_alu(Opcode::kMult, 0x01010101u, 0xFFu), 0xFFFFFFFFu);
+}
+
+TEST(Alu, DivisionAndDivByZero) {
+  EXPECT_EQ(apply_alu(Opcode::kDivu, 42, 5), 8u);
+  EXPECT_EQ(apply_alu(Opcode::kDiv, static_cast<std::uint32_t>(-42), 5),
+            static_cast<std::uint32_t>(-8));
+  EXPECT_EQ(apply_alu(Opcode::kDivu, 1, 0), 0u);
+  EXPECT_EQ(apply_alu(Opcode::kDiv, 1, 0), 0u);
+}
+
+TEST(Alu, Logic) {
+  EXPECT_EQ(apply_alu(Opcode::kAnd, 0b1100, 0b1010), 0b1000u);
+  EXPECT_EQ(apply_alu(Opcode::kOr, 0b1100, 0b1010), 0b1110u);
+  EXPECT_EQ(apply_alu(Opcode::kXor, 0b1100, 0b1010), 0b0110u);
+  EXPECT_EQ(apply_alu(Opcode::kNor, 0, 0), 0xFFFFFFFFu);
+  EXPECT_EQ(apply_alu(Opcode::kNor, 0xF0F0F0F0u, 0x0F0F0F0Fu), 0u);
+}
+
+TEST(Alu, ShiftsMaskAmountToFiveBits) {
+  EXPECT_EQ(apply_alu(Opcode::kSll, 1, 4), 16u);
+  EXPECT_EQ(apply_alu(Opcode::kSrl, 0x80000000u, 31), 1u);
+  EXPECT_EQ(apply_alu(Opcode::kSllv, 1, 33), 2u);  // 33 & 31 == 1
+  EXPECT_EQ(apply_alu(Opcode::kSrlv, 16, 36), 1u);
+}
+
+TEST(Alu, ArithmeticShiftSignExtends) {
+  EXPECT_EQ(apply_alu(Opcode::kSra, 0x80000000u, 4), 0xF8000000u);
+  EXPECT_EQ(apply_alu(Opcode::kSra, 0x40000000u, 4), 0x04000000u);
+  EXPECT_EQ(apply_alu(Opcode::kSrav, 0xFFFFFFFFu, 16), 0xFFFFFFFFu);
+}
+
+TEST(Alu, SetLessThanSignedVsUnsigned) {
+  EXPECT_EQ(apply_alu(Opcode::kSlt, 0xFFFFFFFFu, 0), 1u);   // -1 < 0 signed
+  EXPECT_EQ(apply_alu(Opcode::kSltu, 0xFFFFFFFFu, 0), 0u);  // max > 0 unsigned
+  EXPECT_EQ(apply_alu(Opcode::kSlti, 3, 7), 1u);
+  EXPECT_EQ(apply_alu(Opcode::kSltiu, 7, 3), 0u);
+}
+
+TEST(Alu, LuiAndMov) {
+  EXPECT_EQ(apply_alu(Opcode::kLui, 0x1234u, 0), 0x12340000u);
+  EXPECT_EQ(apply_alu(Opcode::kMov, 99, 12345), 99u);
+}
+
+TEST(Alu, DefinednessMatchesCategories) {
+  EXPECT_TRUE(alu_defined(Opcode::kAddu));
+  EXPECT_TRUE(alu_defined(Opcode::kNor));
+  EXPECT_FALSE(alu_defined(Opcode::kLw));
+  EXPECT_FALSE(alu_defined(Opcode::kSw));
+  EXPECT_FALSE(alu_defined(Opcode::kBeq));
+  EXPECT_FALSE(alu_defined(Opcode::kNop));
+}
+
+}  // namespace
+}  // namespace isex::exec

@@ -1,0 +1,63 @@
+#include "exec/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isex::exec {
+namespace {
+
+TEST(Memory, UntouchedBytesReadZero) {
+  const Memory m;
+  EXPECT_EQ(m.load_byte(0), 0u);
+  EXPECT_EQ(m.load_word(0xDEADBEEF), 0u);
+}
+
+TEST(Memory, ByteRoundTrip) {
+  Memory m;
+  m.store_byte(100, 0xAB);
+  EXPECT_EQ(m.load_byte(100), 0xABu);
+  EXPECT_EQ(m.load_byte(101), 0u);
+}
+
+TEST(Memory, WordIsLittleEndian) {
+  Memory m;
+  m.store_word(0x1000, 0x11223344u);
+  EXPECT_EQ(m.load_byte(0x1000), 0x44u);
+  EXPECT_EQ(m.load_byte(0x1001), 0x33u);
+  EXPECT_EQ(m.load_byte(0x1002), 0x22u);
+  EXPECT_EQ(m.load_byte(0x1003), 0x11u);
+  EXPECT_EQ(m.load_word(0x1000), 0x11223344u);
+}
+
+TEST(Memory, HalfRoundTrip) {
+  Memory m;
+  m.store_half(8, 0xBEEF);
+  EXPECT_EQ(m.load_half(8), 0xBEEFu);
+  EXPECT_EQ(m.load_byte(8), 0xEFu);
+}
+
+TEST(Memory, UnalignedAccessWorks) {
+  Memory m;
+  m.store_word(3, 0xCAFEBABEu);
+  EXPECT_EQ(m.load_word(3), 0xCAFEBABEu);
+  EXPECT_EQ(m.load_half(4), 0xFEBAu);
+}
+
+TEST(Memory, OverwriteAndZeroingKeepsSparse) {
+  Memory m;
+  m.store_word(0, 0xFFFFFFFFu);
+  EXPECT_EQ(m.footprint(), 4u);
+  m.store_word(0, 0);
+  EXPECT_EQ(m.footprint(), 0u);
+  EXPECT_EQ(m.load_word(0), 0u);
+}
+
+TEST(Memory, DistinctAddressesIndependent) {
+  Memory m;
+  m.store_word(0, 1);
+  m.store_word(4, 2);
+  EXPECT_EQ(m.load_word(0), 1u);
+  EXPECT_EQ(m.load_word(4), 2u);
+}
+
+}  // namespace
+}  // namespace isex::exec

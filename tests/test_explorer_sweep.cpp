@@ -1,0 +1,102 @@
+// Explorer invariants swept across the paper's six machine configurations:
+// whatever the machine, every committed ISE must be legal, every gain must
+// be real (re-verified by rescheduling), and the baseline/exact relations
+// must hold.
+#include <gtest/gtest.h>
+
+#include "core/mi_explorer.hpp"
+#include "dfg/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+#include "test_util.hpp"
+
+namespace isex::core {
+namespace {
+
+using MachineParam = std::pair<int, isa::RegisterFileConfig>;
+
+class ExplorerMachineSweep : public ::testing::TestWithParam<MachineParam> {
+ protected:
+  MultiIssueExplorer make_explorer() {
+    const auto [issue, rf] = GetParam();
+    machine_ = sched::MachineConfig::make(issue, rf);
+    isa::IsaFormat format;
+    format.reg_file = rf;
+    return MultiIssueExplorer(machine_, format, hw::HwLibrary::paper_default());
+  }
+
+  sched::MachineConfig machine_ = sched::MachineConfig::make(2, {4, 2});
+};
+
+TEST_P(ExplorerMachineSweep, CommittedIsesAreLegalEverywhere) {
+  const auto explorer = make_explorer();
+  Rng graph_rng(2024);
+  for (int trial = 0; trial < 3; ++trial) {
+    const dfg::Graph g = testing::make_random_dag(28, graph_rng, 0.5);
+    Rng rng = graph_rng.split();
+    const ExplorationResult r = explorer.explore(g, rng);
+    const dfg::Reachability reach(g);
+    for (const auto& ise : r.ises) {
+      EXPECT_GE(ise.original_nodes.count(), 2u);
+      EXPECT_LE(ise.in_count, machine_.reg_file.read_ports);
+      EXPECT_LE(ise.out_count, machine_.reg_file.write_ports);
+      EXPECT_TRUE(dfg::is_convex(g, ise.original_nodes, reach));
+      EXPECT_GT(ise.gain_cycles, 0);
+      for (const dfg::NodeId m : ise.original_nodes.to_vector())
+        EXPECT_TRUE(isa::ise_eligible(g.node(m).opcode));
+    }
+  }
+}
+
+TEST_P(ExplorerMachineSweep, GainsReproduceUnderRescheduling) {
+  const auto explorer = make_explorer();
+  Rng graph_rng(4096);
+  const dfg::Graph g = testing::make_random_dag(24, graph_rng, 0.55);
+  Rng rng(1);
+  const ExplorationResult r = explorer.explore_best_of(g, 2, rng);
+
+  dfg::Graph current = g;
+  std::vector<dfg::NodeId> to_current(g.num_nodes());
+  for (dfg::NodeId v = 0; v < g.num_nodes(); ++v) to_current[v] = v;
+  const sched::ListScheduler scheduler(machine_);
+  int cycles = scheduler.cycles(current);
+  EXPECT_EQ(cycles, r.base_cycles);
+  for (const auto& ise : r.ises) {
+    dfg::NodeSet members(current.num_nodes());
+    ise.original_nodes.for_each(
+        [&](dfg::NodeId v) { members.insert(to_current[v]); });
+    dfg::IseInfo info;
+    info.latency_cycles = ise.eval.latency_cycles;
+    info.area = ise.eval.area;
+    info.num_inputs = ise.in_count;
+    info.num_outputs = ise.out_count;
+    std::vector<dfg::NodeId> remap;
+    current = current.collapse(members, info, &remap);
+    for (dfg::NodeId v = 0; v < g.num_nodes(); ++v)
+      to_current[v] = remap[to_current[v]];
+    const int after = scheduler.cycles(current);
+    EXPECT_EQ(cycles - after, ise.gain_cycles);
+    cycles = after;
+  }
+  EXPECT_EQ(cycles, r.final_cycles);
+}
+
+TEST_P(ExplorerMachineSweep, NeverRegressesBaseSchedule) {
+  const auto explorer = make_explorer();
+  Rng graph_rng(512);
+  for (int trial = 0; trial < 3; ++trial) {
+    const dfg::Graph g = testing::make_random_dag(20, graph_rng, 0.45);
+    Rng rng = graph_rng.split();
+    const ExplorationResult r = explorer.explore(g, rng);
+    EXPECT_LE(r.final_cycles, r.base_cycles);
+    EXPECT_GE(r.final_cycles, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperMachines, ExplorerMachineSweep,
+    ::testing::Values(MachineParam{2, {4, 2}}, MachineParam{2, {6, 3}},
+                      MachineParam{3, {6, 3}}, MachineParam{3, {8, 4}},
+                      MachineParam{4, {8, 4}}, MachineParam{4, {10, 5}}));
+
+}  // namespace
+}  // namespace isex::core

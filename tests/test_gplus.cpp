@@ -1,0 +1,56 @@
+#include "hwlib/gplus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::hw {
+namespace {
+
+TEST(GPlus, AnnotatesEligibleNodesWithHardware) {
+  const dfg::Graph g = testing::make_chain(3, isa::Opcode::kAddu);
+  const HwLibrary lib = HwLibrary::paper_default();
+  const GPlus gp(g, lib);
+  for (dfg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(gp.hardware_capable(v));
+    EXPECT_EQ(gp.table(v).size(), 3u);  // SW + 2 HW adder options
+  }
+}
+
+TEST(GPlus, MemoryNodesAreSoftwareOnly) {
+  dfg::Graph g;
+  const auto addr = g.add_node(isa::Opcode::kAddu, "addr");
+  const auto load = g.add_node(isa::Opcode::kLw, "v");
+  g.add_edge(addr, load);
+  const GPlus gp(g, HwLibrary::paper_default());
+  EXPECT_TRUE(gp.hardware_capable(addr));
+  EXPECT_FALSE(gp.hardware_capable(load));
+  EXPECT_EQ(gp.table(load).size(), 1u);
+}
+
+TEST(GPlus, IseSupernodeGetsLatencyAsSoftwareDelay) {
+  dfg::Graph g;
+  dfg::IseInfo info;
+  info.latency_cycles = 3;
+  const auto v = g.add_ise_node(info, "ISE");
+  const GPlus gp(g, HwLibrary::paper_default());
+  EXPECT_FALSE(gp.hardware_capable(v));
+  EXPECT_DOUBLE_EQ(gp.software_cycles(v), 3.0);
+}
+
+TEST(GPlus, SoftwareCyclesDefaultToOne) {
+  const dfg::Graph g = testing::make_chain(2);
+  const GPlus gp(g, HwLibrary::paper_default());
+  EXPECT_DOUBLE_EQ(gp.software_cycles(0), 1.0);
+}
+
+TEST(GPlus, EmptyLibraryMakesEverythingSoftware) {
+  const dfg::Graph g = testing::make_chain(4, isa::Opcode::kXor);
+  HwLibrary lib;  // no entries at all
+  const GPlus gp(g, lib);
+  for (dfg::NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_FALSE(gp.hardware_capable(v));
+}
+
+}  // namespace
+}  // namespace isex::hw

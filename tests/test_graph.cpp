@@ -1,0 +1,163 @@
+#include "dfg/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.hpp"
+
+namespace isex::dfg {
+namespace {
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g;
+  const auto a = g.add_node(isa::Opcode::kAddu, "a");
+  const auto b = g.add_node(isa::Opcode::kXor, "b");
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_FALSE(g.has_edge(b, a));
+  ASSERT_EQ(g.succs(a).size(), 1u);
+  EXPECT_EQ(g.succs(a)[0], b);
+  ASSERT_EQ(g.preds(b).size(), 1u);
+  EXPECT_EQ(g.preds(b)[0], a);
+}
+
+TEST(Graph, DuplicateEdgeIgnored) {
+  Graph g;
+  const auto a = g.add_node(isa::Opcode::kAddu);
+  const auto b = g.add_node(isa::Opcode::kAddu);
+  g.add_edge(a, b);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, NodeMetadata) {
+  Graph g;
+  const auto v = g.add_node(isa::Opcode::kMult, "product");
+  EXPECT_EQ(g.node(v).opcode, isa::Opcode::kMult);
+  EXPECT_EQ(g.node(v).label, "product");
+  EXPECT_FALSE(g.node(v).is_ise);
+  g.set_extern_inputs(v, 2);
+  g.set_live_out(v, true);
+  EXPECT_EQ(g.extern_inputs(v), 2);
+  EXPECT_TRUE(g.live_out(v));
+}
+
+TEST(Graph, IseNode) {
+  Graph g;
+  IseInfo info;
+  info.latency_cycles = 2;
+  info.area = 1234.5;
+  info.num_inputs = 3;
+  info.num_outputs = 1;
+  const auto v = g.add_ise_node(info, "ISE");
+  EXPECT_TRUE(g.node(v).is_ise);
+  EXPECT_EQ(g.node(v).ise.latency_cycles, 2);
+  EXPECT_DOUBLE_EQ(g.node(v).ise.area, 1234.5);
+}
+
+TEST(Graph, TopologicalOrderRespectsEdges) {
+  Rng rng(13);
+  const Graph g = testing::make_random_dag(40, rng);
+  const std::vector<NodeId> topo = g.topological_order();
+  ASSERT_EQ(topo.size(), g.num_nodes());
+  std::vector<std::size_t> position(g.num_nodes());
+  for (std::size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (const NodeId v : g.succs(u)) EXPECT_LT(position[u], position[v]);
+}
+
+TEST(Graph, IsAcyclicOnDags) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    const Graph g = testing::make_random_dag(25, rng);
+    EXPECT_TRUE(g.is_acyclic());
+  }
+}
+
+TEST(Graph, AllNodesSet) {
+  const Graph g = testing::make_chain(5);
+  EXPECT_EQ(g.all_nodes().count(), 5u);
+}
+
+TEST(GraphCollapse, ChainMiddle) {
+  // 0 -> 1 -> 2 -> 3 -> 4; collapse {1, 2, 3}.
+  Graph g = testing::make_chain(5);
+  NodeSet members = NodeSet::of(5, {1, 2, 3});
+  IseInfo info;
+  info.latency_cycles = 1;
+  info.area = 500.0;
+  info.num_inputs = 1;
+  info.num_outputs = 1;
+  std::vector<NodeId> remap;
+  const Graph reduced = g.collapse(members, info, &remap);
+
+  EXPECT_EQ(reduced.num_nodes(), 3u);  // head, ISE, tail
+  EXPECT_EQ(remap[1], remap[2]);
+  EXPECT_EQ(remap[2], remap[3]);
+  const NodeId super = remap[1];
+  EXPECT_TRUE(reduced.node(super).is_ise);
+  EXPECT_EQ(reduced.node(super).ise.member_labels.size(), 3u);
+  EXPECT_TRUE(reduced.has_edge(remap[0], super));
+  EXPECT_TRUE(reduced.has_edge(super, remap[4]));
+  EXPECT_TRUE(reduced.is_acyclic());
+}
+
+TEST(GraphCollapse, AggregatesExternInputsAndLiveOut) {
+  Graph g;
+  const auto a = g.add_node(isa::Opcode::kAddu, "a");
+  const auto b = g.add_node(isa::Opcode::kXor, "b");
+  g.add_edge(a, b);
+  g.set_extern_inputs(a, 2);
+  g.set_extern_inputs(b, 1);
+  g.set_live_out(b, true);
+  std::vector<NodeId> remap;
+  const Graph reduced =
+      g.collapse(NodeSet::of(2, {0, 1}), IseInfo{}, &remap);
+  ASSERT_EQ(reduced.num_nodes(), 1u);
+  EXPECT_EQ(reduced.extern_inputs(remap[a]), 3);
+  EXPECT_TRUE(reduced.live_out(remap[b]));
+}
+
+TEST(GraphCollapse, DiamondBranchKeepsOutsidePath) {
+  Graph g = testing::make_diamond();
+  // Collapse {a, b}: c stays outside and must still bridge a-side to d.
+  std::vector<NodeId> remap;
+  const Graph reduced =
+      g.collapse(NodeSet::of(4, {0, 1}), IseInfo{}, &remap);
+  EXPECT_EQ(reduced.num_nodes(), 3u);
+  EXPECT_TRUE(reduced.has_edge(remap[0], remap[2]));  // super -> c
+  EXPECT_TRUE(reduced.has_edge(remap[2], remap[3]));  // c -> d
+  EXPECT_TRUE(reduced.has_edge(remap[0], remap[3]));  // super -> d
+  EXPECT_TRUE(reduced.is_acyclic());
+}
+
+TEST(GraphCollapse, MemberLabelsFallBackToMnemonic) {
+  Graph g;
+  const auto a = g.add_node(isa::Opcode::kMult);  // no label
+  const auto b = g.add_node(isa::Opcode::kAddu, "named");
+  g.add_edge(a, b);
+  const Graph reduced = g.collapse(NodeSet::of(2, {a, b}), IseInfo{});
+  const auto& labels = reduced.node(0).ise.member_labels;
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], "mult");
+  EXPECT_EQ(labels[1], "named");
+}
+
+TEST(GraphCollapse, SequentialCollapsesCompose) {
+  Graph g = testing::make_chain(6);
+  std::vector<NodeId> remap1;
+  Graph r1 = g.collapse(NodeSet::of(6, {0, 1}), IseInfo{}, &remap1);
+  std::vector<NodeId> remap2;
+  NodeSet second(r1.num_nodes());
+  second.insert(remap1[4]);
+  second.insert(remap1[5]);
+  Graph r2 = r1.collapse(second, IseInfo{}, &remap2);
+  EXPECT_EQ(r2.num_nodes(), 4u);
+  EXPECT_TRUE(r2.is_acyclic());
+}
+
+}  // namespace
+}  // namespace isex::dfg

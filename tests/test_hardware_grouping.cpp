@@ -1,0 +1,125 @@
+#include "core/hardware_grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::core {
+namespace {
+
+class GroupingTest : public ::testing::Test {
+ protected:
+  hw::HwLibrary lib_ = hw::HwLibrary::paper_default();
+  isa::IsaFormat format_;  // 4/2 default
+
+  VirtualCandidate group(const dfg::Graph& g, dfg::NodeId x,
+                         const std::vector<int>& prev) {
+    hw::GPlus gplus(g, lib_);
+    dfg::Reachability reach(g);
+    HardwareGrouping hg(gplus, format_);
+    return hg.group(x, prev, reach);
+  }
+};
+
+TEST_F(GroupingTest, LoneNodeWithoutHardwareNeighbours) {
+  const dfg::Graph g = testing::make_chain(3, isa::Opcode::kAnd);
+  // Everyone chose software (option 0) previously.
+  const VirtualCandidate c = group(g, 1, {0, 0, 0});
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.members.contains(1));
+}
+
+TEST_F(GroupingTest, AbsorbsHardwareChosenNeighbours) {
+  const dfg::Graph g = testing::make_chain(4, isa::Opcode::kAnd);
+  // Nodes 0 and 2 chose hardware (option 1); 3 chose software.
+  const VirtualCandidate c = group(g, 1, {1, 0, 1, 0});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.members.contains(0));
+  EXPECT_TRUE(c.members.contains(2));
+  EXPECT_FALSE(c.members.contains(3));
+}
+
+TEST_F(GroupingTest, ReachesTransitivelyThroughHardwareNodes) {
+  const dfg::Graph g = testing::make_chain(5, isa::Opcode::kAnd);
+  // 1-2-3 all hardware: grouping from 0 pulls the whole run.
+  const VirtualCandidate c = group(g, 0, {0, 1, 1, 1, 0});
+  EXPECT_EQ(c.size(), 4u);  // 0 + 1 + 2 + 3
+}
+
+TEST_F(GroupingTest, StopsAtSoftwareBarrier) {
+  const dfg::Graph g = testing::make_chain(5, isa::Opcode::kAnd);
+  // 1 software, 3 hardware: 3 is unreachable through the barrier at 1.
+  const VirtualCandidate c = group(g, 0, {0, 0, 0, 1, 0});
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST_F(GroupingTest, EvaluatesEveryHardwareOptionOfX) {
+  const dfg::Graph g = testing::make_chain(2, isa::Opcode::kAddu);
+  const VirtualCandidate c = group(g, 0, {0, 1});  // node1 on HW-1
+  ASSERT_EQ(c.per_option.size(), 3u);
+  EXPECT_FALSE(c.per_option[0].valid);  // software slot unused
+  ASSERT_TRUE(c.per_option[1].valid);
+  ASSERT_TRUE(c.per_option[2].valid);
+  // HW-1 (4.04) + neighbour HW-1 (4.04) = 8.08 ns.
+  EXPECT_NEAR(c.per_option[1].depth_ns, 8.08, 1e-9);
+  // HW-2 (2.12) + 4.04 = 6.16 ns; bigger area.
+  EXPECT_NEAR(c.per_option[2].depth_ns, 6.16, 1e-9);
+  EXPECT_GT(c.per_option[2].area, c.per_option[1].area);
+  EXPECT_EQ(c.per_option[1].cycles, 1);
+}
+
+TEST_F(GroupingTest, SoftwareReferenceTimes) {
+  const dfg::Graph g = testing::make_chain(3, isa::Opcode::kAnd);
+  const VirtualCandidate c = group(g, 1, {1, 0, 1});
+  EXPECT_DOUBLE_EQ(c.sw_depth_cycles, 3.0);  // chain of 3 unit ops
+  EXPECT_DOUBLE_EQ(c.sw_seq_cycles, 3.0);
+}
+
+TEST_F(GroupingTest, ParallelMembersDepthVsSeq) {
+  dfg::Graph g;  // x with two independent hardware-chosen parents
+  const auto p1 = g.add_node(isa::Opcode::kAnd, "p1");
+  const auto p2 = g.add_node(isa::Opcode::kAnd, "p2");
+  const auto x = g.add_node(isa::Opcode::kXor, "x");
+  g.add_edge(p1, x);
+  g.add_edge(p2, x);
+  const VirtualCandidate c = group(g, x, {1, 1, 0});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.sw_depth_cycles, 2.0);  // parallel front, then x
+  EXPECT_DOUBLE_EQ(c.sw_seq_cycles, 3.0);    // sequential machine view
+}
+
+TEST_F(GroupingTest, IoViolationFlagged) {
+  // 5 independent parents each with 1 extern input feeding x: IN = 6 > 4.
+  dfg::Graph g;
+  std::vector<int> prev;
+  const auto x = g.add_node(isa::Opcode::kXor, "x");
+  prev.push_back(0);
+  for (int i = 0; i < 5; ++i) {
+    const auto p = g.add_node(isa::Opcode::kAnd, "p" + std::to_string(i));
+    g.set_extern_inputs(p, 2);
+    g.add_edge(p, x);
+    prev.push_back(1);
+  }
+  const VirtualCandidate c = group(g, x, prev);
+  EXPECT_EQ(c.size(), 6u);
+  EXPECT_GT(c.in_count, format_.max_ise_inputs());
+  EXPECT_TRUE(c.io_violation);
+}
+
+TEST_F(GroupingTest, ConvexViolationFlagged) {
+  // Chain 0 -> 1 -> 2 where 0 and 2 chose hardware but 1 is a load (never
+  // hardware-capable): grouping from 0 produces {0, 2}, non-convex.
+  dfg::Graph g;
+  const auto a = g.add_node(isa::Opcode::kAnd, "a");
+  const auto l = g.add_node(isa::Opcode::kLw, "l");
+  const auto b = g.add_node(isa::Opcode::kAnd, "b");
+  g.add_edge(a, l);
+  g.add_edge(l, b);
+  g.add_edge(a, b);  // direct edge so grouping connects a and b
+  const VirtualCandidate c = group(g, a, {0, 0, 1});
+  EXPECT_TRUE(c.members.contains(b));
+  EXPECT_TRUE(c.convex_violation);
+}
+
+}  // namespace
+}  // namespace isex::core

@@ -1,0 +1,198 @@
+#include "hwpart/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isex::hwpart {
+namespace {
+
+/// Pipeline of four tasks; task 1 is the expensive one with two hardware
+/// variants, task 3 has one.
+TaskGraph make_pipeline() {
+  TaskGraph g;
+  const TaskId a = g.add_task("acquire", 4.0, {});
+  const TaskId b = g.add_task("transform", 20.0, {{4.0, 800.0}, {2.0, 2000.0}});
+  const TaskId c = g.add_task("pack", 6.0, {{3.0, 300.0}});
+  const TaskId d = g.add_task("emit", 3.0, {});
+  g.add_dependence(a, b, 1.0);
+  g.add_dependence(b, c, 1.0);
+  g.add_dependence(c, d, 1.0);
+  return g;
+}
+
+/// Two independent chains to exercise CPU/HW parallelism.
+TaskGraph make_two_lane() {
+  TaskGraph g;
+  const TaskId a0 = g.add_task("a0", 10.0, {{2.0, 500.0}});
+  const TaskId a1 = g.add_task("a1", 10.0, {{2.0, 500.0}});
+  const TaskId b0 = g.add_task("b0", 8.0, {});
+  const TaskId b1 = g.add_task("b1", 8.0, {});
+  g.add_dependence(a0, a1, 0.5);
+  g.add_dependence(b0, b1, 0.5);
+  return g;
+}
+
+TEST(TaskGraph, Construction) {
+  const TaskGraph g = make_pipeline();
+  EXPECT_EQ(g.num_tasks(), 4u);
+  EXPECT_EQ(g.task(1).options.size(), 3u);  // sw + 2 hw
+  EXPECT_EQ(g.preds(1).size(), 1u);
+  EXPECT_EQ(g.succs(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.comm_cost(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.comm_cost(1, 0), 0.0);  // no reverse edge
+  EXPECT_EQ(g.topological_order().size(), 4u);
+}
+
+TEST(Baselines, AllSoftwareSumsSequentially) {
+  const TaskGraph g = make_pipeline();
+  const Assignment a = all_software(g);
+  EXPECT_TRUE(a.software_only());
+  // No boundary crossings, one CPU: 4 + 20 + 6 + 3.
+  EXPECT_DOUBLE_EQ(a.makespan, 33.0);
+  EXPECT_DOUBLE_EQ(a.hw_area, 0.0);
+}
+
+TEST(Baselines, AllHardwarePicksFastestVariants) {
+  const TaskGraph g = make_pipeline();
+  const Assignment a = all_hardware(g);
+  // transform on 2.0/2000, pack on 3.0/300; a and d stay software.
+  EXPECT_DOUBLE_EQ(a.hw_area, 2300.0);
+  // 4 (cpu) +1 comm + 2 (hw) +1 comm... pack also hw: no crossing b->c,
+  // then +1 comm to d: 4+1+2+3+1+3 = 14.
+  EXPECT_DOUBLE_EQ(a.makespan, 14.0);
+}
+
+TEST(Baselines, GreedyRespectsBudget) {
+  const TaskGraph g = make_pipeline();
+  const Assignment a = greedy_partition(g, 1000.0);
+  EXPECT_LE(a.hw_area, 1000.0);
+  EXPECT_LT(a.makespan, all_software(g).makespan);
+}
+
+TEST(Baselines, GreedyWithZeroBudgetIsAllSoftware) {
+  const TaskGraph g = make_pipeline();
+  const Assignment a = greedy_partition(g, 0.0);
+  EXPECT_TRUE(a.software_only());
+}
+
+TEST(Evaluate, CommunicationChargedOnlyAcrossBoundary) {
+  TaskGraph g;
+  const TaskId p = g.add_task("p", 5.0, {{1.0, 100.0}});
+  const TaskId c = g.add_task("c", 5.0, {{1.0, 100.0}});
+  g.add_dependence(p, c, 10.0);
+
+  Assignment both_sw;
+  both_sw.option = {0, 0};
+  evaluate(g, both_sw);
+  EXPECT_DOUBLE_EQ(both_sw.makespan, 10.0);  // same side: no comm
+
+  Assignment split;
+  split.option = {1, 0};
+  evaluate(g, split);
+  EXPECT_DOUBLE_EQ(split.makespan, 1.0 + 10.0 + 5.0);
+
+  Assignment both_hw;
+  both_hw.option = {1, 1};
+  evaluate(g, both_hw);
+  EXPECT_DOUBLE_EQ(both_hw.makespan, 2.0);
+}
+
+TEST(Evaluate, ParallelLanesOverlapAcrossResources) {
+  const TaskGraph g = make_two_lane();
+  // a-lane in hardware, b-lane in software: the lanes overlap.
+  Assignment a;
+  a.option = {1, 1, 0, 0};
+  evaluate(g, a);
+  EXPECT_DOUBLE_EQ(a.makespan, 16.0);  // b-lane bound: 8 + 8
+}
+
+TEST(PartitionExplorer, BeatsOrMatchesAllSoftware) {
+  const TaskGraph g = make_pipeline();
+  PartitionParams params;
+  params.area_budget = 2500.0;
+  const PartitionExplorer explorer(params);
+  Rng rng(7);
+  const Assignment a = explorer.explore_best_of(g, 3, rng);
+  EXPECT_LE(a.makespan, all_software(g).makespan);
+  EXPECT_LE(a.hw_area, 2500.0);
+}
+
+TEST(PartitionExplorer, MatchesGreedyOnPipeline) {
+  const TaskGraph g = make_pipeline();
+  PartitionParams params;
+  params.area_budget = 2500.0;
+  const PartitionExplorer explorer(params);
+  Rng rng(11);
+  const Assignment aco = explorer.explore_best_of(g, 5, rng);
+  const Assignment greedy = greedy_partition(g, 2500.0);
+  EXPECT_LE(aco.makespan, greedy.makespan + 1e-9);
+}
+
+TEST(PartitionExplorer, RespectsTightBudget) {
+  const TaskGraph g = make_pipeline();
+  PartitionParams params;
+  params.area_budget = 350.0;  // only "pack" affordable
+  const PartitionExplorer explorer(params);
+  Rng rng(3);
+  const Assignment a = explorer.explore_best_of(g, 3, rng);
+  EXPECT_LE(a.hw_area, 350.0);
+}
+
+TEST(PartitionExplorer, Deterministic) {
+  const TaskGraph g = make_two_lane();
+  const PartitionExplorer explorer;
+  Rng a(42);
+  Rng b(42);
+  const Assignment ra = explorer.explore_best_of(g, 3, a);
+  const Assignment rb = explorer.explore_best_of(g, 3, b);
+  EXPECT_EQ(ra.option, rb.option);
+}
+
+TEST(PartitionExplorer, EmptyGraph) {
+  const TaskGraph g;
+  const PartitionExplorer explorer;
+  Rng rng(1);
+  const Assignment a = explorer.explore(g, rng);
+  EXPECT_DOUBLE_EQ(a.makespan, 0.0);
+}
+
+// Property: the explorer's result never violates the budget and never loses
+// to all-software, across random task graphs.
+class PartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionProperty, AlwaysLegalNeverWorseThanSoftware) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1013);
+  TaskGraph g;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    const double sw = 2.0 + rng.next_below(20);
+    if (rng.next_double() < 0.7) {
+      const double hw = std::max(0.5, sw / (2 + rng.next_below(6)));
+      const double area = 100.0 * (1 + rng.next_below(20));
+      g.add_task("t" + std::to_string(i), sw, {{hw, area}});
+    } else {
+      g.add_task("t" + std::to_string(i), sw, {});
+    }
+  }
+  for (int i = 1; i < n; ++i) {
+    for (int k = 0; k < 2; ++k) {
+      if (rng.next_double() < 0.5) {
+        const auto p = static_cast<TaskId>(rng.next_below(i));
+        g.add_dependence(p, static_cast<TaskId>(i),
+                         static_cast<double>(rng.next_below(3)));
+      }
+    }
+  }
+  PartitionParams params;
+  params.area_budget = 1500.0;
+  params.max_iterations = 80;
+  const PartitionExplorer explorer(params);
+  Rng run = rng.split();
+  const Assignment a = explorer.explore(g, run);
+  EXPECT_LE(a.hw_area, params.area_budget);
+  EXPECT_LE(a.makespan, all_software(g).makespan + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProperty, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace isex::hwpart

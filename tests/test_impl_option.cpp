@@ -1,0 +1,67 @@
+#include "hwlib/impl_option.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isex::hw {
+namespace {
+
+TEST(IoTable, SoftwareOptionsPartitionedFirst) {
+  IoTable t({{ImplKind::kHardware, "HW-1", 4.0, 900.0},
+             {ImplKind::kSoftware, "SW-1", 1.0, 0.0},
+             {ImplKind::kHardware, "HW-2", 2.0, 2000.0}});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.first_software(), 0u);
+  EXPECT_EQ(t.num_software(), 1u);
+  EXPECT_EQ(t.num_hardware(), 2u);
+  EXPECT_FALSE(t.is_hardware(0));
+  EXPECT_TRUE(t.is_hardware(1));
+  EXPECT_TRUE(t.is_hardware(2));
+  // Relative order among hardware options preserved (stable partition).
+  EXPECT_EQ(t.option(1).name, "HW-1");
+  EXPECT_EQ(t.option(2).name, "HW-2");
+}
+
+TEST(IoTable, SoftwareOnly) {
+  IoTable t({{ImplKind::kSoftware, "SW-1", 1.0, 0.0}});
+  EXPECT_FALSE(t.has_hardware());
+  EXPECT_EQ(t.num_software(), 1u);
+}
+
+TEST(IoTable, MultipleSoftwareOptions) {
+  // Fig 4.1.1 shows operations with two software options.
+  IoTable t({{ImplKind::kSoftware, "SW-1", 1.0, 0.0},
+             {ImplKind::kSoftware, "SW-2", 2.0, 0.0},
+             {ImplKind::kHardware, "HW-1", 0.4, 900.0}});
+  EXPECT_EQ(t.num_software(), 2u);
+  EXPECT_EQ(t.num_hardware(), 1u);
+}
+
+TEST(ClockSpec, DefaultIs100MHz) {
+  const ClockSpec clock;
+  EXPECT_DOUBLE_EQ(clock.period_ns, 10.0);
+}
+
+TEST(ClockSpec, CyclesForDepth) {
+  const ClockSpec clock;
+  EXPECT_EQ(clock.cycles_for(0.0), 1);
+  EXPECT_EQ(clock.cycles_for(4.04), 1);
+  EXPECT_EQ(clock.cycles_for(10.0), 1);   // exactly one period
+  EXPECT_EQ(clock.cycles_for(10.01), 2);
+  EXPECT_EQ(clock.cycles_for(19.99), 2);
+  EXPECT_EQ(clock.cycles_for(35.0), 4);
+}
+
+TEST(ClockSpec, FasterClockNeedsMoreCycles) {
+  ClockSpec fast;
+  fast.period_ns = 2.0;  // 500 MHz
+  EXPECT_EQ(fast.cycles_for(4.04), 3);
+  EXPECT_EQ(fast.cycles_for(5.77), 3);
+}
+
+TEST(ClockSpec, NegativeDepthClampsToOneCycle) {
+  const ClockSpec clock;
+  EXPECT_EQ(clock.cycles_for(-1.0), 1);
+}
+
+}  // namespace
+}  // namespace isex::hw

@@ -1,0 +1,105 @@
+#include "bench_suite/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/profiling.hpp"
+#include "isa/opcode.hpp"
+
+namespace isex::bench_suite {
+namespace {
+
+TEST(Kernels, AllBenchmarksListed) {
+  EXPECT_EQ(all_benchmarks().size(), 7u);
+}
+
+TEST(Kernels, NamesMatchPaper) {
+  EXPECT_EQ(name(Benchmark::kCrc32), "CRC32");
+  EXPECT_EQ(name(Benchmark::kBlowfish), "blowfish");
+  EXPECT_EQ(name(OptLevel::kO0), "O0");
+  EXPECT_EQ(name(OptLevel::kO3), "O3");
+}
+
+// Structural sanity over the full (benchmark × flavor) matrix.
+class KernelMatrix
+    : public ::testing::TestWithParam<std::tuple<Benchmark, OptLevel>> {};
+
+TEST_P(KernelMatrix, BlocksAreWellFormed) {
+  const auto [benchmark, level] = GetParam();
+  const flow::ProfiledProgram p = make_program(benchmark, level);
+  EXPECT_FALSE(p.blocks.empty());
+  EXPECT_FALSE(p.name.empty());
+  for (const auto& block : p.blocks) {
+    EXPECT_FALSE(block.name.empty());
+    EXPECT_GT(block.exec_count, 0u);
+    EXPECT_GT(block.graph.num_nodes(), 0u);
+    EXPECT_TRUE(block.graph.is_acyclic());
+  }
+}
+
+TEST_P(KernelMatrix, HasHotBlockSkew) {
+  // Fig 5.2.3's premise: most execution time in few blocks.
+  const auto [benchmark, level] = GetParam();
+  const flow::ProfiledProgram p = make_program(benchmark, level);
+  const auto costs =
+      flow::profile_blocks(p, sched::MachineConfig::make(2, {6, 3}));
+  ASSERT_FALSE(costs.empty());
+  EXPECT_GT(costs[0].time_share, 0.25);
+}
+
+TEST_P(KernelMatrix, ContainsIseEligibleWork) {
+  const auto [benchmark, level] = GetParam();
+  const flow::ProfiledProgram p = make_program(benchmark, level);
+  std::size_t eligible = 0;
+  std::size_t total = 0;
+  for (const auto& block : p.blocks) {
+    for (dfg::NodeId v = 0; v < block.graph.num_nodes(); ++v) {
+      ++total;
+      if (isa::ise_eligible(block.graph.node(v).opcode)) ++eligible;
+    }
+  }
+  EXPECT_GT(eligible * 2, total);  // majority of ops are candidates
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, KernelMatrix,
+    ::testing::Combine(::testing::ValuesIn(all_benchmarks()),
+                       ::testing::Values(OptLevel::kO0, OptLevel::kO3)));
+
+TEST(Kernels, O3BlocksAreBiggerThanO0) {
+  // The unrolled flavor must have a larger maximal block (search space).
+  for (const Benchmark b : all_benchmarks()) {
+    std::size_t max_o0 = 0;
+    std::size_t max_o3 = 0;
+    for (const auto& blk : make_program(b, OptLevel::kO0).blocks)
+      max_o0 = std::max(max_o0, blk.graph.num_nodes());
+    for (const auto& blk : make_program(b, OptLevel::kO3).blocks)
+      max_o3 = std::max(max_o3, blk.graph.num_nodes());
+    EXPECT_GT(max_o3, max_o0) << name(b);
+  }
+}
+
+TEST(Kernels, BlowfishAndDijkstraCarryLoads) {
+  // Their kernels are defined by the memory wall.
+  for (const Benchmark b : {Benchmark::kBlowfish, Benchmark::kDijkstra}) {
+    const auto p = make_program(b, OptLevel::kO3);
+    bool any_load = false;
+    for (const auto& blk : p.blocks)
+      for (dfg::NodeId v = 0; v < blk.graph.num_nodes(); ++v)
+        any_load = any_load || isa::is_load(blk.graph.node(v).opcode);
+    EXPECT_TRUE(any_load) << name(b);
+  }
+}
+
+TEST(Kernels, DeterministicConstruction) {
+  const auto a = make_program(Benchmark::kFft, OptLevel::kO3);
+  const auto b = make_program(Benchmark::kFft, OptLevel::kO3);
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    EXPECT_EQ(a.blocks[i].graph.num_nodes(), b.blocks[i].graph.num_nodes());
+    EXPECT_EQ(a.blocks[i].graph.num_edges(), b.blocks[i].graph.num_edges());
+    EXPECT_EQ(a.blocks[i].exec_count, b.blocks[i].exec_count);
+  }
+}
+
+}  // namespace
+}  // namespace isex::bench_suite

@@ -1,0 +1,72 @@
+#include "flow/listing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::flow {
+namespace {
+
+TEST(Listing, OneRowPerCycle) {
+  const dfg::Graph g = testing::make_chain(4, isa::Opcode::kAddu);
+  const auto machine = sched::MachineConfig::make(2, {6, 3});
+  const std::string text = to_listing(g, machine);
+  EXPECT_NE(text.find("4 cycles"), std::string::npos);
+  EXPECT_NE(text.find("C1:"), std::string::npos);
+  EXPECT_NE(text.find("C4:"), std::string::npos);
+  EXPECT_EQ(text.find("C5:"), std::string::npos);
+}
+
+TEST(Listing, ShowsMnemonicsAndLabels) {
+  dfg::Graph g;
+  g.add_node(isa::Opcode::kXor, "crc2");
+  const std::string text =
+      to_listing(g, sched::MachineConfig::make(1, {4, 2}));
+  EXPECT_NE(text.find("xor crc2"), std::string::npos);
+}
+
+TEST(Listing, LabelsCanBeSuppressed) {
+  dfg::Graph g;
+  g.add_node(isa::Opcode::kXor, "crc2");
+  ListingOptions options;
+  options.show_labels = false;
+  const std::string text =
+      to_listing(g, sched::MachineConfig::make(1, {4, 2}), options);
+  EXPECT_EQ(text.find("crc2"), std::string::npos);
+}
+
+TEST(Listing, IseRenderedWithPortsAndLatency) {
+  dfg::Graph g;
+  dfg::IseInfo info;
+  info.latency_cycles = 2;
+  info.num_inputs = 3;
+  info.num_outputs = 1;
+  g.add_ise_node(info, "ISE");
+  const std::string text =
+      to_listing(g, sched::MachineConfig::make(2, {6, 3}));
+  EXPECT_NE(text.find("ise0/3>1 (2c)"), std::string::npos);
+}
+
+TEST(Listing, EmptySlotsRenderedAsDash) {
+  const dfg::Graph g = testing::make_chain(2);
+  const std::string text =
+      to_listing(g, sched::MachineConfig::make(2, {6, 3}));
+  EXPECT_NE(text.find("| -"), std::string::npos);
+}
+
+TEST(Listing, ParallelOpsShareARow) {
+  const dfg::Graph g = testing::make_parallel_pairs(1, isa::Opcode::kAnd);
+  const auto machine = sched::MachineConfig::make(2, {6, 3});
+  const std::string text = to_listing(g, machine);
+  EXPECT_NE(text.find("2 cycles"), std::string::npos);
+}
+
+TEST(Listing, EmptyGraph) {
+  dfg::Graph g;
+  const std::string text =
+      to_listing(g, sched::MachineConfig::make(2, {6, 3}));
+  EXPECT_NE(text.find("0 cycles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace isex::flow

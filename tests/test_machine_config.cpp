@@ -1,0 +1,35 @@
+#include "sched/machine_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isex::sched {
+namespace {
+
+TEST(MachineConfig, MakeScalesAlusWithIssueWidth) {
+  const MachineConfig cfg = MachineConfig::make(3, {8, 4});
+  EXPECT_EQ(cfg.issue_width, 3);
+  EXPECT_EQ(cfg.fu_count(isa::FuClass::kAlu), 3);
+  EXPECT_EQ(cfg.fu_count(isa::FuClass::kMult), 1);
+  EXPECT_EQ(cfg.fu_count(isa::FuClass::kMem), 1);
+  EXPECT_EQ(cfg.reg_file.read_ports, 8);
+  EXPECT_EQ(cfg.reg_file.write_ports, 4);
+}
+
+TEST(MachineConfig, LabelMatchesPaperNotation) {
+  EXPECT_EQ(MachineConfig::make(2, {4, 2}).label(), "(4/2, 2IS)");
+  EXPECT_EQ(MachineConfig::make(4, {10, 5}).label(), "(10/5, 4IS)");
+}
+
+TEST(MachineConfig, Equality) {
+  EXPECT_EQ(MachineConfig::make(2, {4, 2}), MachineConfig::make(2, {4, 2}));
+  EXPECT_NE(MachineConfig::make(2, {4, 2}), MachineConfig::make(3, {4, 2}));
+}
+
+TEST(MachineConfig, SingleIssue) {
+  const MachineConfig cfg = MachineConfig::make(1, {4, 2});
+  EXPECT_EQ(cfg.issue_width, 1);
+  EXPECT_EQ(cfg.fu_count(isa::FuClass::kAlu), 1);
+}
+
+}  // namespace
+}  // namespace isex::sched

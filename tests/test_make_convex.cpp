@@ -1,0 +1,153 @@
+#include "core/make_convex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::core {
+namespace {
+
+TEST(MakeConvex, ConvexInputPassesThrough) {
+  const dfg::Graph g = testing::make_chain(5);
+  const dfg::Reachability r(g);
+  const auto pieces = make_convex(g, dfg::NodeSet::of(5, {1, 2, 3}), r);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], dfg::NodeSet::of(5, {1, 2, 3}));
+}
+
+TEST(MakeConvex, SplitsAroundHole) {
+  // Chain with node 2 missing: {1, 3} is non-convex, split into singletons.
+  const dfg::Graph g = testing::make_chain(5);
+  const dfg::Reachability r(g);
+  const auto pieces = make_convex(g, dfg::NodeSet::of(5, {1, 3}), r);
+  ASSERT_EQ(pieces.size(), 2u);
+  for (const auto& p : pieces) {
+    EXPECT_EQ(p.count(), 1u);
+    EXPECT_TRUE(dfg::is_convex(g, p, r));
+  }
+}
+
+TEST(MakeConvex, DiamondEndsSplit) {
+  const dfg::Graph g = testing::make_diamond();
+  const dfg::Reachability r(g);
+  // {a, d} is non-convex (paths through b and c).
+  const auto pieces = make_convex(g, dfg::NodeSet::of(4, {0, 3}), r);
+  ASSERT_EQ(pieces.size(), 2u);
+}
+
+TEST(MakeConvex, EmptyInput) {
+  const dfg::Graph g = testing::make_chain(3);
+  const dfg::Reachability r(g);
+  EXPECT_TRUE(make_convex(g, dfg::NodeSet(3), r).empty());
+}
+
+TEST(MakeConvex, DisconnectedConvexInputSplitsIntoComponents) {
+  const dfg::Graph g = testing::make_parallel_pairs(2);
+  const dfg::Reachability r(g);
+  const auto pieces = make_convex(g, g.all_nodes(), r);
+  EXPECT_EQ(pieces.size(), 2u);
+}
+
+// Property: output pieces are always convex, connected, disjoint, and cover
+// the input.
+class MakeConvexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MakeConvexProperty, PiecesAreConvexDisjointCover) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  const dfg::Graph g = testing::make_random_dag(22, rng);
+  const dfg::Reachability r(g);
+  for (int trial = 0; trial < 15; ++trial) {
+    dfg::NodeSet s(g.num_nodes());
+    for (dfg::NodeId v = 0; v < g.num_nodes(); ++v)
+      if (rng.next_double() < 0.4) s.insert(v);
+    const auto pieces = make_convex(g, s, r);
+    dfg::NodeSet united(g.num_nodes());
+    std::size_t total = 0;
+    for (const auto& p : pieces) {
+      EXPECT_TRUE(dfg::is_convex(g, p, r));
+      EXPECT_EQ(dfg::weakly_connected_components(g, p).size(), 1u);
+      EXPECT_FALSE(united.intersects(p));
+      united |= p;
+      total += p.count();
+    }
+    EXPECT_EQ(united, s);
+    EXPECT_EQ(total, s.count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MakeConvexProperty, ::testing::Range(1, 11));
+
+TEST(LegalizePorts, LegalInputUntouched) {
+  const dfg::Graph g = testing::make_chain(4);
+  const dfg::Reachability r(g);
+  isa::IsaFormat fmt;  // 4/2
+  const auto pieces =
+      legalize_ports(g, dfg::NodeSet::of(4, {1, 2}), fmt, r);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].count(), 2u);
+}
+
+TEST(LegalizePorts, TrimsWideFanIn) {
+  // x consuming 5 two-extern-input parents: IN far above 4.
+  dfg::Graph g;
+  const auto x = g.add_node(isa::Opcode::kXor, "x");
+  dfg::NodeSet all(0);
+  for (int i = 0; i < 5; ++i) {
+    const auto p = g.add_node(isa::Opcode::kAnd);
+    g.set_extern_inputs(p, 2);
+    g.add_edge(p, x);
+  }
+  g.set_live_out(x, true);
+  const dfg::Reachability r(g);
+  isa::IsaFormat fmt;  // 4 read ports
+  const auto pieces = legalize_ports(g, g.all_nodes(), fmt, r);
+  for (const auto& p : pieces) {
+    EXPECT_LE(dfg::count_inputs(g, p), fmt.max_ise_inputs());
+    EXPECT_LE(dfg::count_outputs(g, p), fmt.max_ise_outputs());
+    EXPECT_TRUE(dfg::is_convex(g, p, r));
+  }
+}
+
+TEST(LegalizePorts, TrimsWideFanOut) {
+  // One producer feeding 4 live-out consumers: OUT(all) = 4 > 2.
+  dfg::Graph g;
+  const auto p = g.add_node(isa::Opcode::kAddu, "p");
+  g.set_extern_inputs(p, 2);
+  for (int i = 0; i < 4; ++i) {
+    const auto c = g.add_node(isa::Opcode::kXor);
+    g.add_edge(p, c);
+    g.set_live_out(c, true);
+  }
+  const dfg::Reachability r(g);
+  isa::IsaFormat fmt;
+  const auto pieces = legalize_ports(g, g.all_nodes(), fmt, r);
+  for (const auto& piece : pieces)
+    EXPECT_LE(dfg::count_outputs(g, piece), fmt.max_ise_outputs());
+}
+
+// Property: legalize_ports output always satisfies every §4.2 constraint.
+class LegalizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LegalizeProperty, OutputsAlwaysLegal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733);
+  const dfg::Graph g = testing::make_random_dag(20, rng, 0.5);
+  const dfg::Reachability r(g);
+  isa::IsaFormat fmt;
+  fmt.reg_file = {4, 2};
+  for (int trial = 0; trial < 10; ++trial) {
+    dfg::NodeSet s(g.num_nodes());
+    for (dfg::NodeId v = 0; v < g.num_nodes(); ++v)
+      if (rng.next_double() < 0.5) s.insert(v);
+    for (const auto& piece : legalize_ports(g, s, fmt, r)) {
+      EXPECT_TRUE(dfg::is_convex(g, piece, r));
+      EXPECT_LE(dfg::count_inputs(g, piece), fmt.max_ise_inputs());
+      EXPECT_LE(dfg::count_outputs(g, piece), fmt.max_ise_outputs());
+      EXPECT_TRUE(piece.is_subset_of(s));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LegalizeProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace isex::core

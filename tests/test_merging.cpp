@@ -1,0 +1,45 @@
+#include "flow/merging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::flow {
+namespace {
+
+TEST(Merging, EqualPatterns) {
+  const dfg::Graph a = testing::make_chain(3, isa::Opcode::kXor);
+  const dfg::Graph b = testing::make_chain(3, isa::Opcode::kXor);
+  EXPECT_EQ(classify_merge(a, b), MergeRelation::kEqual);
+}
+
+TEST(Merging, SubgraphMergesIntoSupergraph) {
+  const dfg::Graph small = testing::make_chain(2, isa::Opcode::kXor);
+  const dfg::Graph big = testing::make_chain(4, isa::Opcode::kXor);
+  EXPECT_EQ(classify_merge(small, big), MergeRelation::kIntoOther);
+  EXPECT_EQ(classify_merge(big, small), MergeRelation::kFromOther);
+}
+
+TEST(Merging, UnrelatedPatterns) {
+  const dfg::Graph xors = testing::make_chain(3, isa::Opcode::kXor);
+  const dfg::Graph mults = testing::make_chain(3, isa::Opcode::kMult);
+  EXPECT_EQ(classify_merge(xors, mults), MergeRelation::kNone);
+}
+
+TEST(Merging, DifferentShapesSameOpcodes) {
+  // 3-chain of xors vs fork of xors: chain embeds in neither direction if
+  // the fork has no 2-deep path.
+  dfg::Graph fork;
+  const auto a = fork.add_node(isa::Opcode::kXor, "a");
+  fork.add_edge(a, fork.add_node(isa::Opcode::kXor, "b"));
+  fork.add_edge(a, fork.add_node(isa::Opcode::kXor, "c"));
+  const dfg::Graph chain = testing::make_chain(3, isa::Opcode::kXor);
+  EXPECT_EQ(classify_merge(chain, fork), MergeRelation::kNone);
+  // The 2-chain embeds into both.
+  const dfg::Graph two = testing::make_chain(2, isa::Opcode::kXor);
+  EXPECT_EQ(classify_merge(two, fork), MergeRelation::kIntoOther);
+  EXPECT_EQ(classify_merge(two, chain), MergeRelation::kIntoOther);
+}
+
+}  // namespace
+}  // namespace isex::flow

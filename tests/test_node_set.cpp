@@ -1,0 +1,108 @@
+#include "dfg/node_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isex::dfg {
+namespace {
+
+TEST(NodeSet, StartsEmpty) {
+  NodeSet s(100);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(NodeSet, InsertEraseContains) {
+  NodeSet s(100);
+  s.insert(5);
+  s.insert(63);
+  s.insert(64);  // word boundary
+  s.insert(99);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(99));
+  s.erase(63);
+  EXPECT_FALSE(s.contains(63));
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(NodeSet, DoubleInsertIsIdempotent) {
+  NodeSet s(10);
+  s.insert(3);
+  s.insert(3);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(NodeSet, ContainsOutOfUniverseIsFalse) {
+  NodeSet s(10);
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_FALSE(s.contains(kInvalidNode));
+}
+
+TEST(NodeSet, ClearResets) {
+  NodeSet s = NodeSet::of(20, {1, 2, 3});
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.universe(), 20u);
+}
+
+TEST(NodeSet, UnionIntersectionDifference) {
+  NodeSet a = NodeSet::of(10, {1, 2, 3});
+  NodeSet b = NodeSet::of(10, {3, 4});
+  NodeSet u = a;
+  u |= b;
+  EXPECT_EQ(u, NodeSet::of(10, {1, 2, 3, 4}));
+  NodeSet i = a;
+  i &= b;
+  EXPECT_EQ(i, NodeSet::of(10, {3}));
+  NodeSet d = a;
+  d -= b;
+  EXPECT_EQ(d, NodeSet::of(10, {1, 2}));
+}
+
+TEST(NodeSet, IntersectsAndSubset) {
+  const NodeSet a = NodeSet::of(10, {1, 2});
+  const NodeSet b = NodeSet::of(10, {2, 3});
+  const NodeSet c = NodeSet::of(10, {4});
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(NodeSet::of(10, {2}).is_subset_of(a));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(NodeSet(10).is_subset_of(a));  // empty set
+}
+
+TEST(NodeSet, ToVectorAscending) {
+  const NodeSet s = NodeSet::of(200, {150, 3, 64, 127});
+  const std::vector<NodeId> v = s.to_vector();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 3u);
+  EXPECT_EQ(v[1], 64u);
+  EXPECT_EQ(v[2], 127u);
+  EXPECT_EQ(v[3], 150u);
+}
+
+TEST(NodeSet, ForEachVisitsAll) {
+  const NodeSet s = NodeSet::of(70, {0, 69});
+  std::size_t visits = 0;
+  s.for_each([&](NodeId id) {
+    EXPECT_TRUE(id == 0 || id == 69);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 2u);
+}
+
+TEST(NodeSet, EqualityIncludesUniverse) {
+  EXPECT_EQ(NodeSet::of(10, {1}), NodeSet::of(10, {1}));
+  EXPECT_NE(NodeSet::of(10, {1}), NodeSet::of(10, {2}));
+}
+
+TEST(NodeSet, EmptyUniverse) {
+  NodeSet s(0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.to_vector().size(), 0u);
+}
+
+}  // namespace
+}  // namespace isex::dfg

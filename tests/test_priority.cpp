@@ -1,0 +1,71 @@
+#include "sched/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::sched {
+namespace {
+
+TEST(Priority, ChildCount) {
+  const dfg::Graph g = testing::make_diamond();  // a->{b,c}->d
+  const auto p = compute_priorities(g, PriorityKind::kChildCount);
+  EXPECT_DOUBLE_EQ(p[0], 2.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+  EXPECT_DOUBLE_EQ(p[3], 0.0);
+}
+
+TEST(Priority, MobilityZeroSlackRanksHighest) {
+  // Chain: every node zero-slack; scores all equal and maximal.
+  const dfg::Graph g = testing::make_chain(4);
+  const auto p = compute_priorities(g, PriorityKind::kMobility);
+  for (const double v : p) EXPECT_DOUBLE_EQ(v, 0.0);  // max_mobility == 0
+}
+
+TEST(Priority, MobilityDistinguishesSlack) {
+  // a -> b -> d, a -> c -> d where c is a 3-cycle ISE: b has slack 2.
+  dfg::Graph g;
+  const auto a = g.add_node(isa::Opcode::kAddu, "a");
+  const auto b = g.add_node(isa::Opcode::kXor, "b");
+  dfg::IseInfo info;
+  info.latency_cycles = 3;
+  const auto c = g.add_ise_node(info, "c");
+  const auto d = g.add_node(isa::Opcode::kAddu, "d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  const auto p = compute_priorities(g, PriorityKind::kMobility);
+  EXPECT_GT(p[a], p[b]);
+  EXPECT_GT(p[c], p[b]);
+  EXPECT_DOUBLE_EQ(p[a], p[c]);
+}
+
+TEST(Priority, DescendantCount) {
+  const dfg::Graph g = testing::make_chain(5);
+  const auto p = compute_priorities(g, PriorityKind::kDescendantCount);
+  EXPECT_DOUBLE_EQ(p[0], 4.0);
+  EXPECT_DOUBLE_EQ(p[4], 0.0);
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_LT(p[i], p[i - 1]);
+}
+
+TEST(Priority, AllScoresNonNegative) {
+  Rng rng(21);
+  for (int i = 0; i < 5; ++i) {
+    const dfg::Graph g = testing::make_random_dag(30, rng);
+    for (const auto kind :
+         {PriorityKind::kChildCount, PriorityKind::kMobility,
+          PriorityKind::kDescendantCount}) {
+      for (const double v : compute_priorities(g, kind)) EXPECT_GE(v, 0.0);
+    }
+  }
+}
+
+TEST(Priority, EmptyGraph) {
+  dfg::Graph g;
+  EXPECT_TRUE(compute_priorities(g, PriorityKind::kChildCount).empty());
+}
+
+}  // namespace
+}  // namespace isex::sched

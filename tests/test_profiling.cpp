@@ -1,0 +1,77 @@
+#include "flow/profiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::flow {
+namespace {
+
+ProfiledProgram three_block_program() {
+  ProfiledProgram p;
+  p.name = "demo";
+  p.blocks.push_back({"hot", testing::make_chain(10), 1000});
+  p.blocks.push_back({"warm", testing::make_chain(10), 100});
+  p.blocks.push_back({"cold", testing::make_chain(10), 1});
+  return p;
+}
+
+TEST(Profiling, SortsByTimeDescending) {
+  const auto costs =
+      profile_blocks(three_block_program(), sched::MachineConfig::make(2, {4, 2}));
+  ASSERT_EQ(costs.size(), 3u);
+  EXPECT_EQ(costs[0].block_index, 0u);
+  EXPECT_EQ(costs[1].block_index, 1u);
+  EXPECT_EQ(costs[2].block_index, 2u);
+  EXPECT_GE(costs[0].time, costs[1].time);
+}
+
+TEST(Profiling, TimeSharesSumToOne) {
+  const auto costs =
+      profile_blocks(three_block_program(), sched::MachineConfig::make(2, {4, 2}));
+  double total = 0.0;
+  for (const auto& c : costs) total += c.time_share;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Profiling, CyclesComeFromScheduler) {
+  ProfiledProgram p;
+  p.blocks.push_back({"pairs", testing::make_parallel_pairs(2), 1});
+  const auto on1 = profile_blocks(p, sched::MachineConfig::make(1, {4, 2}));
+  const auto on2 = profile_blocks(p, sched::MachineConfig::make(2, {4, 2}));
+  EXPECT_EQ(on1[0].sw_cycles, 4);
+  EXPECT_EQ(on2[0].sw_cycles, 2);
+}
+
+TEST(HotBlockSelection, CoverageThreshold) {
+  const auto costs =
+      profile_blocks(three_block_program(), sched::MachineConfig::make(2, {4, 2}));
+  // Hot block alone covers ~90.8%; 0.9 coverage keeps exactly one block.
+  const auto hot = select_hot_blocks(costs, 0.9, 10);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0], 0u);
+  // 0.99 needs the warm block too.
+  EXPECT_EQ(select_hot_blocks(costs, 0.99, 10).size(), 2u);
+}
+
+TEST(HotBlockSelection, MaxBlocksCap) {
+  const auto costs =
+      profile_blocks(three_block_program(), sched::MachineConfig::make(2, {4, 2}));
+  EXPECT_EQ(select_hot_blocks(costs, 1.0, 2).size(), 2u);
+}
+
+TEST(HotBlockSelection, EmptyProgram) {
+  const ProfiledProgram p;
+  const auto costs = profile_blocks(p, sched::MachineConfig::make(2, {4, 2}));
+  EXPECT_TRUE(select_hot_blocks(costs, 0.9, 4).empty());
+}
+
+TEST(HotBlockSelection, ZeroCountBlocksExcluded) {
+  ProfiledProgram p;
+  p.blocks.push_back({"dead", testing::make_chain(5), 0});
+  const auto costs = profile_blocks(p, sched::MachineConfig::make(2, {4, 2}));
+  EXPECT_TRUE(select_hot_blocks(costs, 0.9, 4).empty());
+}
+
+}  // namespace
+}  // namespace isex::flow

@@ -1,0 +1,55 @@
+#include "flow/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::flow {
+namespace {
+
+TEST(Program, TotalOperations) {
+  ProfiledProgram p;
+  p.blocks.push_back({"a", testing::make_chain(3), 10});
+  p.blocks.push_back({"b", testing::make_diamond(), 5});
+  EXPECT_EQ(p.total_operations(), 7u);
+}
+
+TEST(InducedSubgraph, PreservesInternalStructure) {
+  const dfg::Graph g = testing::make_chain(5, isa::Opcode::kXor);
+  const dfg::Graph sub = induced_subgraph(g, dfg::NodeSet::of(5, {1, 2, 3}));
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);
+  for (dfg::NodeId v = 0; v < 3; ++v)
+    EXPECT_EQ(sub.node(v).opcode, isa::Opcode::kXor);
+}
+
+TEST(InducedSubgraph, OutsideProducersBecomeExternInputs) {
+  const dfg::Graph g = testing::make_chain(5);
+  const dfg::Graph sub = induced_subgraph(g, dfg::NodeSet::of(5, {2, 3}));
+  // Node 2's producer (node 1) is outside: one extern input.
+  EXPECT_EQ(sub.extern_inputs(0), 1);
+  EXPECT_EQ(sub.extern_inputs(1), 0);
+}
+
+TEST(InducedSubgraph, EscapingValuesBecomeLiveOut) {
+  const dfg::Graph g = testing::make_chain(5);
+  const dfg::Graph sub = induced_subgraph(g, dfg::NodeSet::of(5, {1, 2}));
+  EXPECT_FALSE(sub.live_out(0));  // node 1 feeds node 2, inside
+  EXPECT_TRUE(sub.live_out(1));   // node 2 feeds node 3, outside
+}
+
+TEST(InducedSubgraph, KeepsHeadExternInputs) {
+  const dfg::Graph g = testing::make_chain(3);  // head has 2 extern inputs
+  const dfg::Graph sub = induced_subgraph(g, dfg::NodeSet::of(3, {0, 1}));
+  EXPECT_EQ(sub.extern_inputs(0), 2);
+}
+
+TEST(InducedSubgraph, DisjointSelection) {
+  const dfg::Graph g = testing::make_chain(5);
+  const dfg::Graph sub = induced_subgraph(g, dfg::NodeSet::of(5, {0, 4}));
+  EXPECT_EQ(sub.num_nodes(), 2u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace isex::flow

@@ -1,0 +1,51 @@
+#include "isa/register_file.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isex::isa {
+namespace {
+
+TEST(RegisterFile, LabelMatchesPaperShorthand) {
+  EXPECT_EQ((RegisterFileConfig{4, 2}).label(), "4/2");
+  EXPECT_EQ((RegisterFileConfig{10, 5}).label(), "10/5");
+}
+
+TEST(RegisterFile, Equality) {
+  EXPECT_EQ((RegisterFileConfig{6, 3}), (RegisterFileConfig{6, 3}));
+  EXPECT_NE((RegisterFileConfig{6, 3}), (RegisterFileConfig{8, 4}));
+}
+
+TEST(IsaFormat, PortBoundsFollowRegisterFile) {
+  IsaFormat fmt;
+  fmt.reg_file = {8, 4};
+  EXPECT_EQ(fmt.max_ise_inputs(), 8);
+  EXPECT_EQ(fmt.max_ise_outputs(), 4);
+}
+
+TEST(IsaFormat, DefaultOpcodeBudget) {
+  const IsaFormat fmt;
+  EXPECT_EQ(fmt.max_ises, 32);
+}
+
+// The paper's six evaluated configurations.
+class PaperConfigs
+    : public ::testing::TestWithParam<std::pair<int, RegisterFileConfig>> {};
+
+TEST_P(PaperConfigs, PortsAccommodateIssueWidth) {
+  const auto [issue, rf] = GetParam();
+  // Sanity property the evaluation relies on: 2 reads + 1 write per slot.
+  EXPECT_GE(rf.read_ports, issue * 2);
+  EXPECT_GE(rf.write_ports, issue);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PaperConfigs,
+    ::testing::Values(std::pair{2, RegisterFileConfig{4, 2}},
+                      std::pair{2, RegisterFileConfig{6, 3}},
+                      std::pair{3, RegisterFileConfig{6, 3}},
+                      std::pair{3, RegisterFileConfig{8, 4}},
+                      std::pair{4, RegisterFileConfig{8, 4}},
+                      std::pair{4, RegisterFileConfig{10, 5}}));
+
+}  // namespace
+}  // namespace isex::isa

@@ -1,0 +1,61 @@
+#include "flow/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/kernels.hpp"
+
+namespace isex::flow {
+namespace {
+
+FlowResult run_crc() {
+  FlowConfig config;
+  config.machine = sched::MachineConfig::make(2, {6, 3});
+  config.repeats = 2;
+  config.seed = 13;
+  return run_design_flow(
+      bench_suite::make_program(bench_suite::Benchmark::kCrc32,
+                                bench_suite::OptLevel::kO3),
+      hw::HwLibrary::paper_default(), config);
+}
+
+TEST(Report, ContainsSummaryAndSections) {
+  const auto program = bench_suite::make_program(
+      bench_suite::Benchmark::kCrc32, bench_suite::OptLevel::kO3);
+  const FlowResult result = run_crc();
+  const std::string text = to_report(program, result);
+  EXPECT_NE(text.find("# ISE design report: CRC32"), std::string::npos);
+  EXPECT_NE(text.find("## Selected ISEs"), std::string::npos);
+  EXPECT_NE(text.find("## Per-block outcome"), std::string::npos);
+  EXPECT_NE(text.find("reduction"), std::string::npos);
+  EXPECT_NE(text.find("crc_step4"), std::string::npos);
+}
+
+TEST(Report, SectionsCanBeSuppressed) {
+  const auto program = bench_suite::make_program(
+      bench_suite::Benchmark::kCrc32, bench_suite::OptLevel::kO3);
+  const FlowResult result = run_crc();
+  ReportOptions options;
+  options.per_block = false;
+  options.per_ise = false;
+  const std::string text = to_report(program, result, options);
+  EXPECT_EQ(text.find("## Selected ISEs"), std::string::npos);
+  EXPECT_EQ(text.find("## Per-block outcome"), std::string::npos);
+  EXPECT_NE(text.find("ISE types:"), std::string::npos);
+}
+
+TEST(Report, EmptySelectionOmitsIseTable) {
+  const auto program = bench_suite::make_program(
+      bench_suite::Benchmark::kCrc32, bench_suite::OptLevel::kO3);
+  FlowConfig config;
+  config.machine = sched::MachineConfig::make(2, {6, 3});
+  config.constraints.area_budget = 0.0;
+  config.repeats = 1;
+  const FlowResult result =
+      run_design_flow(program, hw::HwLibrary::paper_default(), config);
+  const std::string text = to_report(program, result);
+  EXPECT_EQ(text.find("## Selected ISEs"), std::string::npos);
+  EXPECT_NE(text.find("ISE types: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace isex::flow

@@ -1,0 +1,59 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace isex {
+namespace {
+
+TEST(Stats, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleValue) {
+  const std::vector<double> v = {4.5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 4.5);
+  EXPECT_DOUBLE_EQ(s.max, 4.5);
+  EXPECT_DOUBLE_EQ(s.mean, 4.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, PaperHeadlineShape) {
+  // The abstract's 1-ISE numbers: max/min/avg = 17.17 / 12.9 / 14.79.
+  const std::vector<double> v = {17.17, 12.9, 14.3};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.max, 17.17);
+  EXPECT_DOUBLE_EQ(s.min, 12.9);
+  EXPECT_NEAR(s.mean, 14.79, 0.01);
+}
+
+TEST(Stats, MixedSignValues) {
+  const std::vector<double> v = {-2.0, 0.0, 2.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, -2.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_NEAR(s.stddev, 1.63299, 1e-4);
+}
+
+TEST(Stats, GeometricMeanBasics) {
+  const std::vector<double> v = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(v), 4.0, 1e-9);
+}
+
+TEST(Stats, GeometricMeanEmptyIsZero) {
+  EXPECT_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(Stats, GeometricMeanSingle) {
+  const std::vector<double> v = {7.0};
+  EXPECT_NEAR(geometric_mean(v), 7.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace isex

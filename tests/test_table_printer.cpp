@@ -1,0 +1,77 @@
+#include "util/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace isex {
+namespace {
+
+TEST(TablePrinter, FormatsFixedPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 1), "2.0");
+  EXPECT_EQ(TablePrinter::fmt(-1.005, 0), "-1");
+}
+
+TEST(TablePrinter, FormatsPercentages) {
+  EXPECT_EQ(TablePrinter::pct(0.1479), "14.79%");
+  EXPECT_EQ(TablePrinter::pct(1.0, 0), "100%");
+  EXPECT_EQ(TablePrinter::pct(0.0), "0.00%");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  // All four lines (header, rule, two rows) share the same width.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_LE(line.size(), width + 1);
+  }
+  EXPECT_NE(text.find("longer"), std::string::npos);
+}
+
+TEST(TablePrinter, NumericCellsRightAligned) {
+  TablePrinter t;
+  t.set_header({"col"});
+  t.add_row({"5"});
+  t.add_row({"12345"});
+  std::ostringstream out;
+  t.print(out);
+  // "5" should be padded on the left to match "12345".
+  EXPECT_NE(out.str().find("    5"), std::string::npos);
+}
+
+TEST(TablePrinter, RowsWithoutHeader) {
+  TablePrinter t;
+  t.add_row({"x", "y"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_EQ(out.str(), "x  y\n");
+}
+
+TEST(TablePrinter, RaggedRowsPadToWidestRow) {
+  TablePrinter t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2", "3"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("3"), std::string::npos);
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter t;
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"r"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace isex

@@ -1,0 +1,215 @@
+#include "dfg/analysis.hpp"
+#include "isa/tac_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isex::isa {
+namespace {
+
+TEST(TacParser, SingleStatement) {
+  const ParsedBlock b = parse_tac("x = addu a, b");
+  EXPECT_EQ(b.graph.num_nodes(), 1u);
+  EXPECT_EQ(b.graph.num_edges(), 0u);
+  const auto it = b.defs.find("x");
+  ASSERT_NE(it, b.defs.end());
+  EXPECT_EQ(b.graph.node(it->second).opcode, Opcode::kAddu);
+  EXPECT_EQ(b.graph.extern_inputs(it->second), 2);  // a, b live-in
+  EXPECT_TRUE(b.graph.live_out(it->second));        // nothing consumes x
+}
+
+TEST(TacParser, EdgesFollowDefUse) {
+  const ParsedBlock b = parse_tac(R"(
+    t0 = xor a, b
+    t1 = srl t0, 4
+    t2 = and t0, t1
+  )");
+  EXPECT_EQ(b.graph.num_nodes(), 3u);
+  EXPECT_EQ(b.graph.num_edges(), 3u);
+  EXPECT_TRUE(b.graph.has_edge(b.defs.at("t0"), b.defs.at("t1")));
+  EXPECT_TRUE(b.graph.has_edge(b.defs.at("t0"), b.defs.at("t2")));
+  EXPECT_TRUE(b.graph.has_edge(b.defs.at("t1"), b.defs.at("t2")));
+}
+
+TEST(TacParser, ImmediatesAreNotOperandValues) {
+  const ParsedBlock b = parse_tac("t = andi x, 255");
+  const auto v = b.defs.at("t");
+  EXPECT_EQ(b.graph.extern_inputs(v), 1);  // only x
+}
+
+TEST(TacParser, HexAndNegativeImmediates) {
+  const ParsedBlock b = parse_tac(R"(
+    a = andi x, 0xff
+    c = addiu x, -4
+  )");
+  EXPECT_EQ(b.graph.num_nodes(), 2u);
+}
+
+TEST(TacParser, LoadForm) {
+  const ParsedBlock b = parse_tac("v = lw [p]");
+  const auto v = b.defs.at("v");
+  EXPECT_EQ(b.graph.node(v).opcode, Opcode::kLw);
+  EXPECT_EQ(b.graph.extern_inputs(v), 1);  // address p
+}
+
+TEST(TacParser, StoreForm) {
+  const ParsedBlock b = parse_tac(R"(
+    v = addu a, b
+    sw [p], v
+  )");
+  EXPECT_EQ(b.graph.num_nodes(), 2u);
+  EXPECT_EQ(b.graph.num_edges(), 1u);  // v feeds the store
+  // v is consumed by the store, so not implicitly live-out.
+  EXPECT_FALSE(b.graph.live_out(b.defs.at("v")));
+}
+
+TEST(TacParser, ExplicitLiveOut) {
+  const ParsedBlock b = parse_tac(R"(
+    t = addu a, b
+    u = xor t, c
+    live_out t
+  )");
+  EXPECT_TRUE(b.graph.live_out(b.defs.at("t")));  // explicit
+  EXPECT_TRUE(b.graph.live_out(b.defs.at("u")));  // implicit (unconsumed)
+}
+
+TEST(TacParser, CommentsAndBlankLines) {
+  const ParsedBlock b = parse_tac(R"(
+    # full-line comment
+
+    t = addu a, b  # trailing comment
+  )");
+  EXPECT_EQ(b.graph.num_nodes(), 1u);
+}
+
+TEST(TacParser, SameOperandTwice) {
+  const ParsedBlock b = parse_tac(R"(
+    t = addu a, a
+    u = xor t, t
+  )");
+  // t -> u is a single value/edge even though used twice.
+  EXPECT_EQ(b.graph.num_edges(), 1u);
+  EXPECT_EQ(b.graph.extern_inputs(b.defs.at("t")), 2);
+}
+
+TEST(TacParser, RedefinitionRejected) {
+  EXPECT_THROW(parse_tac("x = addu a, b\nx = xor c, d"), ParseError);
+}
+
+TEST(TacParser, UnknownMnemonicRejected) {
+  try {
+    parse_tac("x = frobnicate a, b");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(TacParser, StoreWithDestinationRejected) {
+  EXPECT_THROW(parse_tac("x = sw [p], v"), ParseError);
+}
+
+TEST(TacParser, MalformedLoadRejected) {
+  EXPECT_THROW(parse_tac("v = lw p"), ParseError);
+  EXPECT_THROW(parse_tac("v = lw [p], q"), ParseError);
+}
+
+TEST(TacParser, MalformedStoreRejected) {
+  EXPECT_THROW(parse_tac("sw p, v"), ParseError);
+}
+
+TEST(TacParser, LiveOutOfUndefinedVariableRejected) {
+  EXPECT_THROW(parse_tac("live_out ghost"), ParseError);
+}
+
+TEST(TacParser, MissingEqualsRejected) {
+  EXPECT_THROW(parse_tac("x addu a, b"), ParseError);
+}
+
+TEST(TacParser, TrailingCommaRejected) {
+  EXPECT_THROW(parse_tac("x = addu a,"), ParseError);
+}
+
+TEST(TacParser, ParseErrorCarriesLineNumber) {
+  try {
+    parse_tac("a = addu x, y\nb = bogus a, a\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(TacParser, EmptySourceYieldsEmptyGraph) {
+  const ParsedBlock b = parse_tac("");
+  EXPECT_EQ(b.graph.num_nodes(), 0u);
+}
+
+TEST(TacParser, ResultIsAlwaysAcyclic) {
+  const ParsedBlock b = parse_tac(R"(
+    a = addu x, y
+    b = xor a, z
+    c = and a, b
+    d = or b, c
+  )");
+  EXPECT_TRUE(b.graph.is_acyclic());
+}
+
+}  // namespace
+}  // namespace isex::isa
+// -- appended coverage for parser disambiguation ---------------------------
+namespace isex::isa {
+namespace {
+
+TEST(TacParser, VariableMayShadowStoreMnemonic) {
+  const ParsedBlock b = parse_tac(R"(
+    sh = sll a, 1
+    sb = andi sh, 255
+  )");
+  EXPECT_EQ(b.graph.num_nodes(), 2u);
+  EXPECT_EQ(b.graph.node(b.defs.at("sh")).opcode, Opcode::kSll);
+}
+
+TEST(TacParser, StoreWithImmediateValue) {
+  const ParsedBlock b = parse_tac("sw [p], 42");
+  ASSERT_EQ(b.statements.size(), 1u);
+  EXPECT_EQ(b.statements[0].operands[1].kind, TacOperand::Kind::kImmediate);
+  EXPECT_EQ(b.statements[0].operands[1].imm, 42);
+}
+
+TEST(TacParser, StoreTrailingGarbageRejected) {
+  EXPECT_THROW(parse_tac("sw [p], v, w"), ParseError);
+}
+
+TEST(TacParser, HalfAndByteStores) {
+  const ParsedBlock b = parse_tac(R"(
+    sh [p], v
+    sb [q], w
+  )");
+  EXPECT_EQ(b.graph.num_nodes(), 2u);
+  EXPECT_EQ(b.statements[0].op, Opcode::kSh);
+  EXPECT_EQ(b.statements[1].op, Opcode::kSb);
+}
+
+}  // namespace
+}  // namespace isex::isa
+// -- appended: live-in identity ---------------------------------------------
+namespace isex::isa {
+namespace {
+
+TEST(TacParser, SharedLiveInVariableIsOneValue) {
+  const ParsedBlock b = parse_tac(R"(
+    t0 = srl x, 7
+    t1 = sll x, 25
+    r = or t0, t1
+  )");
+  // x is one live-in value even though two nodes read it.
+  EXPECT_EQ(dfg::count_inputs(b.graph, b.graph.all_nodes()), 1);
+}
+
+TEST(TacParser, DistinctLiveInsCountSeparately) {
+  const ParsedBlock b = parse_tac("t = addu a, b");
+  EXPECT_EQ(dfg::count_inputs(b.graph, b.graph.all_nodes()), 2);
+}
+
+}  // namespace
+}  // namespace isex::isa

@@ -1,0 +1,300 @@
+// isex — command-line driver for the library.
+//
+//   isex explore  kernel.tac [options]   explore ISEs and print them
+//   isex schedule kernel.tac [options]   print the cycle-by-cycle schedule
+//   isex dot      kernel.tac [options]   Graphviz DOT (ISEs highlighted)
+//   isex eval     kernel.tac --set v=N   execute the block, print variables
+//   isex verilog  kernel.tac [options]   emit Verilog ASFU modules for the
+//                                        explored ISEs
+//   isex listing  kernel.tac [options]   VLIW listing before/after ISEs
+//
+// Common options:
+//   --issue N          issue width (default 2)
+//   --ports R/W        register-file read/write ports (default 6/3)
+//   --repeats N        exploration repeats, best kept (default 5)
+//   --seed S           RNG seed (default 1)
+//   --max-latency N    pipestage cap on ISE latency in cycles (default off)
+//   --baseline         use the single-issue (legality-only) explorer
+//   --set name=value   bind a live-in (eval only; repeatable; 0x.. ok)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline/si_explorer.hpp"
+#include "core/mi_explorer.hpp"
+#include "dfg/dot_export.hpp"
+#include "exec/evaluator.hpp"
+#include "hwlib/hw_library.hpp"
+#include "isa/tac_parser.hpp"
+#include "flow/listing.hpp"
+#include "rtl/verilog.hpp"
+#include "sched/list_scheduler.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace isex;
+
+struct CliOptions {
+  std::string command;
+  std::string input_path;
+  int issue = 2;
+  int read_ports = 6;
+  int write_ports = 3;
+  int repeats = 5;
+  std::uint64_t seed = 1;
+  int max_latency = 0;
+  bool baseline = false;
+  std::vector<std::pair<std::string, std::uint32_t>> bindings;
+};
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: isex <explore|schedule|dot|eval|verilog|listing> <kernel.tac> "
+               "[--issue N] [--ports R/W]\n"
+               "            [--repeats N] [--seed S] [--max-latency N] "
+               "[--baseline] [--set v=N]\n");
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  if (argc < 3) return std::nullopt;
+  CliOptions opt;
+  opt.command = argv[1];
+  opt.input_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--issue") {
+      opt.issue = std::atoi(next_value());
+      if (opt.issue < 1) usage("--issue must be >= 1");
+    } else if (arg == "--ports") {
+      const char* v = next_value();
+      if (std::sscanf(v, "%d/%d", &opt.read_ports, &opt.write_ports) != 2 ||
+          opt.read_ports < 1 || opt.write_ports < 1)
+        usage("--ports expects R/W, e.g. 6/3");
+    } else if (arg == "--repeats") {
+      opt.repeats = std::atoi(next_value());
+      if (opt.repeats < 1) usage("--repeats must be >= 1");
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next_value(), nullptr, 0);
+    } else if (arg == "--max-latency") {
+      opt.max_latency = std::atoi(next_value());
+    } else if (arg == "--baseline") {
+      opt.baseline = true;
+    } else if (arg == "--set") {
+      const std::string binding = next_value();
+      const std::size_t eq = binding.find('=');
+      if (eq == std::string::npos) usage("--set expects name=value");
+      opt.bindings.emplace_back(
+          binding.substr(0, eq),
+          static_cast<std::uint32_t>(
+              std::strtoul(binding.c_str() + eq + 1, nullptr, 0)));
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+  return opt;
+}
+
+std::string read_file(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+core::ExplorationResult explore(const CliOptions& opt,
+                                const dfg::Graph& graph) {
+  const auto machine =
+      sched::MachineConfig::make(opt.issue, {opt.read_ports, opt.write_ports});
+  isa::IsaFormat format;
+  format.reg_file = machine.reg_file;
+  format.max_ise_latency_cycles = opt.max_latency;
+  const hw::HwLibrary library = hw::HwLibrary::paper_default();
+  Rng rng(opt.seed);
+  if (opt.baseline) {
+    const baseline::SingleIssueExplorer explorer(format, library);
+    return explorer.explore_best_of(graph, opt.repeats, rng);
+  }
+  const core::MultiIssueExplorer explorer(machine, format, library);
+  return explorer.explore_best_of(graph, opt.repeats, rng);
+}
+
+int cmd_explore(const CliOptions& opt, const isa::ParsedBlock& block) {
+  const auto result = explore(opt, block.graph);
+  std::printf("%zu operations, %zu edges; %d-issue %d/%d ports\n",
+              block.graph.num_nodes(), block.graph.num_edges(), opt.issue,
+              opt.read_ports, opt.write_ports);
+  std::printf("cycles: %d without ISEs -> %d with ISEs (%.2f%% reduction)\n",
+              result.base_cycles, result.final_cycles,
+              result.base_cycles > 0
+                  ? 100.0 * (result.base_cycles - result.final_cycles) /
+                        result.base_cycles
+                  : 0.0);
+  TablePrinter table;
+  table.set_header({"#", "ops", "latency", "area (um^2)", "IN", "OUT", "gain",
+                    "members"});
+  for (std::size_t i = 0; i < result.ises.size(); ++i) {
+    const auto& ise = result.ises[i];
+    std::string members;
+    for (const auto& label : ise.member_labels) {
+      if (!members.empty()) members += ' ';
+      members += label;
+    }
+    table.add_row({std::to_string(i + 1),
+                   std::to_string(ise.original_nodes.count()),
+                   std::to_string(ise.eval.latency_cycles),
+                   TablePrinter::fmt(ise.eval.area, 1),
+                   std::to_string(ise.in_count), std::to_string(ise.out_count),
+                   std::to_string(ise.gain_cycles), members});
+  }
+  std::ostringstream out;
+  table.print(out);
+  std::fputs(out.str().c_str(), stdout);
+  if (result.ises.empty()) std::printf("(no profitable ISE found)\n");
+  return 0;
+}
+
+int cmd_schedule(const CliOptions& opt, const isa::ParsedBlock& block) {
+  const auto machine =
+      sched::MachineConfig::make(opt.issue, {opt.read_ports, opt.write_ports});
+  const sched::ListScheduler scheduler(machine);
+  const sched::Schedule schedule = scheduler.run(block.graph);
+  std::printf("%s: %d cycles\n", machine.label().c_str(), schedule.cycles);
+  for (int cycle = 0; cycle < schedule.cycles; ++cycle) {
+    std::printf("C%-3d |", cycle + 1);
+    for (dfg::NodeId v = 0; v < block.graph.num_nodes(); ++v) {
+      if (schedule.slot[v] != cycle) continue;
+      const dfg::Node& n = block.graph.node(v);
+      std::printf(" %s", std::string(isa::mnemonic(n.opcode)).c_str());
+      if (!n.label.empty()) std::printf(":%s", n.label.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_dot(const CliOptions& opt, const isa::ParsedBlock& block) {
+  const auto result = explore(opt, block.graph);
+  std::vector<dfg::NodeSet> highlights;
+  for (const auto& ise : result.ises) highlights.push_back(ise.original_nodes);
+  dfg::DotOptions options;
+  options.graph_name = "kernel";
+  options.highlights = highlights;
+  dfg::write_dot(std::cout, block.graph, options);
+  return 0;
+}
+
+int cmd_verilog(const CliOptions& opt, const isa::ParsedBlock& block) {
+  const auto result = explore(opt, block.graph);
+  if (result.ises.empty()) {
+    std::fprintf(stderr, "no profitable ISE found; nothing to emit\n");
+    return 1;
+  }
+  for (std::size_t i = 0; i < result.ises.size(); ++i) {
+    rtl::VerilogOptions options;
+    options.module_name = "ise" + std::to_string(i + 1);
+    options.evaluation = &result.ises[i].eval;
+    std::cout << rtl::emit_asfu(block, result.ises[i].original_nodes, options)
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_listing(const CliOptions& opt, const isa::ParsedBlock& block) {
+  const auto machine =
+      sched::MachineConfig::make(opt.issue, {opt.read_ports, opt.write_ports});
+  const auto result = explore(opt, block.graph);
+
+  // Re-apply the committed ISEs to obtain the rewritten block.
+  dfg::Graph rewritten = block.graph;
+  std::vector<dfg::NodeId> to_current(block.graph.num_nodes());
+  for (dfg::NodeId v = 0; v < block.graph.num_nodes(); ++v) to_current[v] = v;
+  for (const auto& ise : result.ises) {
+    dfg::NodeSet members(rewritten.num_nodes());
+    ise.original_nodes.for_each(
+        [&](dfg::NodeId v) { members.insert(to_current[v]); });
+    dfg::IseInfo info;
+    info.latency_cycles = ise.eval.latency_cycles;
+    info.area = ise.eval.area;
+    info.num_inputs = ise.in_count;
+    info.num_outputs = ise.out_count;
+    std::vector<dfg::NodeId> remap;
+    rewritten = rewritten.collapse(members, info, &remap);
+    for (dfg::NodeId v = 0; v < block.graph.num_nodes(); ++v)
+      to_current[v] = remap[to_current[v]];
+  }
+
+  std::cout << "--- without ISEs\n";
+  flow::write_listing(std::cout, block.graph, machine);
+  std::cout << "--- with " << result.ises.size() << " ISE(s)\n";
+  flow::write_listing(std::cout, rewritten, machine);
+  return 0;
+}
+
+int cmd_eval(const CliOptions& opt, const isa::ParsedBlock& block) {
+  exec::Evaluator evaluator;
+  for (const auto& [name, value] : opt.bindings) evaluator.set(name, value);
+  try {
+    evaluator.run(block);
+  } catch (const exec::EvalError& e) {
+    std::fprintf(stderr, "evaluation error: %s\n", e.what());
+    std::fprintf(stderr, "hint: bind live-ins with --set name=value\n");
+    return 1;
+  }
+  // Print live-out variables first, then the rest, in definition order.
+  for (const bool live_pass : {true, false}) {
+    for (const auto& stmt : block.statements) {
+      if (stmt.dest.empty()) continue;
+      const bool is_live = block.graph.live_out(stmt.node);
+      if (is_live != live_pass) continue;
+      std::printf("%s%-12s = 0x%08x (%u)\n", is_live ? "live-out " : "         ",
+                  stmt.dest.c_str(), evaluator.get(stmt.dest),
+                  evaluator.get(stmt.dest));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<CliOptions> opt = parse_args(argc, argv);
+  if (!opt) usage();
+
+  isa::ParsedBlock block;
+  try {
+    block = isa::parse_tac(read_file(opt->input_path));
+  } catch (const isa::ParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+
+  if (opt->command == "explore") return cmd_explore(*opt, block);
+  if (opt->command == "schedule") return cmd_schedule(*opt, block);
+  if (opt->command == "dot") return cmd_dot(*opt, block);
+  if (opt->command == "eval") return cmd_eval(*opt, block);
+  if (opt->command == "verilog") return cmd_verilog(*opt, block);
+  if (opt->command == "listing") return cmd_listing(*opt, block);
+  usage(("unknown command '" + opt->command + "'").c_str());
+}
