@@ -40,12 +40,11 @@ int main() {
     for (const auto& machine : benchx::paper_machines()) {
       for (const auto level :
            {bench_suite::OptLevel::kO0, bench_suite::OptLevel::kO3}) {
-        // Explore once per benchmark, then replay selection per budget.
-        std::vector<ExploredProgram> explored;
-        for (const auto benchmark : bench_suite::all_benchmarks()) {
-          explored.push_back(benchx::explore_program(
-              benchmark, level, machine, algorithm, repeats, /*seed=*/17));
-        }
+        // Explore once per benchmark (one parallel batch on the runtime),
+        // then replay selection per budget.
+        const std::vector<ExploredProgram> explored =
+            benchx::explore_programs(bench_suite::all_benchmarks(), level,
+                                     machine, algorithm, repeats, /*seed=*/17);
         std::vector<std::string> row = {
             std::string(benchx::algorithm_tag(algorithm)) + machine.label() +
             ", " + std::string(bench_suite::name(level))};
@@ -66,5 +65,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nExpected shapes: MI >= SI per row; reductions saturate "
                "with budget; O3 leads at 2-issue, O0 catches up at 3-issue.\n";
+  benchx::print_runtime_stats(std::cout);
   return 0;
 }

@@ -34,11 +34,9 @@ int main() {
     for (const auto& machine : benchx::paper_machines()) {
       for (const auto level :
            {bench_suite::OptLevel::kO0, bench_suite::OptLevel::kO3}) {
-        std::vector<ExploredProgram> explored;
-        for (const auto benchmark : bench_suite::all_benchmarks()) {
-          explored.push_back(benchx::explore_program(
-              benchmark, level, machine, algorithm, repeats, /*seed=*/23));
-        }
+        const std::vector<ExploredProgram> explored =
+            benchx::explore_programs(bench_suite::all_benchmarks(), level,
+                                     machine, algorithm, repeats, /*seed=*/23);
         std::vector<std::string> row = {
             std::string(benchx::algorithm_tag(algorithm)) + machine.label() +
             ", " + std::string(bench_suite::name(level))};
@@ -58,5 +56,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\nExpected shapes: MI >= SI per row; the first ISE buys most "
                "of the reduction (compare with Fig 5.2.3).\n";
+  benchx::print_runtime_stats(std::cout);
   return 0;
 }

@@ -28,16 +28,12 @@ int main() {
   table.set_header({"#ISEs", "MI area total (um^2)", "SI area total (um^2)", "MI time red.",
                     "SI time red."});
 
-  std::vector<ExploredProgram> mi;
-  std::vector<ExploredProgram> si;
-  for (const auto benchmark : bench_suite::all_benchmarks()) {
-    mi.push_back(benchx::explore_program(benchmark, bench_suite::OptLevel::kO3,
-                                         machine, flow::Algorithm::kMultiIssue,
-                                         repeats, 29));
-    si.push_back(benchx::explore_program(benchmark, bench_suite::OptLevel::kO3,
-                                         machine, flow::Algorithm::kSingleIssue,
-                                         repeats, 29));
-  }
+  const std::vector<ExploredProgram> mi = benchx::explore_programs(
+      bench_suite::all_benchmarks(), bench_suite::OptLevel::kO3, machine,
+      flow::Algorithm::kMultiIssue, repeats, 29);
+  const std::vector<ExploredProgram> si = benchx::explore_programs(
+      bench_suite::all_benchmarks(), bench_suite::OptLevel::kO3, machine,
+      flow::Algorithm::kSingleIssue, repeats, 29);
 
   for (const int count : kCounts) {
     flow::SelectionConstraints constraints;
@@ -63,5 +59,6 @@ int main() {
   std::cout << "\nExpected shapes: reduction saturates after the first few "
                "ISEs while area keeps growing; MI spends less area than SI "
                "for equal-or-better reduction.\n";
+  benchx::print_runtime_stats(std::cout);
   return 0;
 }

@@ -1,11 +1,14 @@
 #include "harness_common.hpp"
 
 #include <cstdlib>
+#include <ostream>
 
 #include "baseline/si_explorer.hpp"
 #include "core/mi_explorer.hpp"
 #include "flow/profiling.hpp"
 #include "flow/replacement.hpp"
+#include "runtime/job_graph.hpp"
+#include "runtime/runtime_stats.hpp"
 #include "util/rng.hpp"
 
 namespace isex::benchx {
@@ -21,11 +24,42 @@ std::vector<sched::MachineConfig> paper_machines() {
   };
 }
 
+namespace {
+
+/// Flat (block × repeat) exploration batch; see flow::run_design_flow for
+/// the determinism argument (identical split order to the serial loop).
+template <typename Explorer>
+std::vector<core::ExplorationResult> explore_blocks(
+    const Explorer& explorer, const flow::ProfiledProgram& program,
+    const std::vector<std::size_t>& hot_blocks, int repeats, Rng& rng) {
+  const auto per_block = static_cast<std::size_t>(repeats);
+  std::vector<core::ExplorationResult> attempts = runtime::deterministic_fanout(
+      runtime::ThreadPool::default_pool(), rng, hot_blocks.size() * per_block,
+      [&](std::size_t job, Rng& child) {
+        const std::size_t bi = hot_blocks[job / per_block];
+        return explorer.explore(program.blocks[bi].graph, child);
+      });
+  std::vector<core::ExplorationResult> best;
+  best.reserve(hot_blocks.size());
+  for (std::size_t b = 0; b < hot_blocks.size(); ++b) {
+    const auto begin =
+        attempts.begin() + static_cast<std::ptrdiff_t>(b * per_block);
+    best.push_back(core::MultiIssueExplorer::pick_best(
+        {std::make_move_iterator(begin),
+         std::make_move_iterator(begin +
+                                 static_cast<std::ptrdiff_t>(per_block))}));
+  }
+  return best;
+}
+
+}  // namespace
+
 ExploredProgram explore_program(bench_suite::Benchmark benchmark,
                                 bench_suite::OptLevel level,
                                 const sched::MachineConfig& machine,
                                 flow::Algorithm algorithm, int repeats,
-                                std::uint64_t seed) {
+                                std::uint64_t seed,
+                                const core::ExplorerParams& params) {
   ExploredProgram out;
   out.program = bench_suite::make_program(benchmark, level);
 
@@ -37,24 +71,31 @@ ExploredProgram explore_program(bench_suite::Benchmark benchmark,
 
   Rng rng(seed);
   std::vector<core::ExplorationResult> results;
-  results.reserve(out.hot_blocks.size());
   if (algorithm == flow::Algorithm::kMultiIssue) {
-    const core::MultiIssueExplorer explorer(machine, format,
-                                            hw::HwLibrary::paper_default());
-    for (const std::size_t bi : out.hot_blocks) {
-      results.push_back(explorer.explore_best_of(out.program.blocks[bi].graph,
-                                                 repeats, rng));
-    }
+    const core::MultiIssueExplorer explorer(
+        machine, format, hw::HwLibrary::paper_default(), params);
+    results = explore_blocks(explorer, out.program, out.hot_blocks, repeats, rng);
   } else {
     const baseline::SingleIssueExplorer explorer(
-        format, hw::HwLibrary::paper_default());
-    for (const std::size_t bi : out.hot_blocks) {
-      results.push_back(explorer.explore_best_of(out.program.blocks[bi].graph,
-                                                 repeats, rng));
-    }
+        format, hw::HwLibrary::paper_default(), params);
+    results = explore_blocks(explorer, out.program, out.hot_blocks, repeats, rng);
   }
   out.catalog = flow::build_catalog(out.program, out.hot_blocks, results);
   return out;
+}
+
+std::vector<ExploredProgram> explore_programs(
+    const std::vector<bench_suite::Benchmark>& benchmarks,
+    bench_suite::OptLevel level, const sched::MachineConfig& machine,
+    flow::Algorithm algorithm, int repeats, std::uint64_t seed) {
+  const runtime::StageTimer timer("explore");
+  return runtime::parallel_map(
+      runtime::ThreadPool::default_pool(), benchmarks,
+      [&](const bench_suite::Benchmark benchmark) {
+        // Nested fan-out: explore_blocks inside runs inline on this worker.
+        return explore_program(benchmark, level, machine, algorithm, repeats,
+                               seed);
+      });
 }
 
 Outcome evaluate(const ExploredProgram& explored,
@@ -83,6 +124,13 @@ int bench_repeats() {
 
 const char* algorithm_tag(flow::Algorithm algorithm) {
   return algorithm == flow::Algorithm::kMultiIssue ? "MI" : "SI";
+}
+
+void print_runtime_stats(std::ostream& out) {
+  const runtime::RuntimeStats stats =
+      runtime::collect_runtime_stats(runtime::ThreadPool::default_pool());
+  out << '\n';
+  stats.print(out);
 }
 
 }  // namespace isex::benchx

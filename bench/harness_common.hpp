@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -26,11 +27,14 @@ struct ExploredProgram {
   std::vector<flow::IseCatalogEntry> catalog;
 };
 
+/// `params` tweaks the explorer (perf_runtime uses it to A/B the schedule
+/// cache); the default reproduces the paper settings.
 ExploredProgram explore_program(bench_suite::Benchmark benchmark,
                                 bench_suite::OptLevel level,
                                 const sched::MachineConfig& machine,
                                 flow::Algorithm algorithm, int repeats,
-                                std::uint64_t seed);
+                                std::uint64_t seed,
+                                const core::ExplorerParams& params = {});
 
 /// Selection + replacement outcome for one constraint point.
 struct Outcome {
@@ -50,5 +54,17 @@ Outcome evaluate(const ExploredProgram& explored,
 int bench_repeats();
 
 const char* algorithm_tag(flow::Algorithm algorithm);
+
+/// Explores one (benchmark, flavor) per entry of `benchmarks`, all as one
+/// parallel batch on the default pool.  Each program owns its Rng(seed), so
+/// the output is identical to calling explore_program in a loop.
+std::vector<ExploredProgram> explore_programs(
+    const std::vector<bench_suite::Benchmark>& benchmarks,
+    bench_suite::OptLevel level, const sched::MachineConfig& machine,
+    flow::Algorithm algorithm, int repeats, std::uint64_t seed);
+
+/// Prints the default pool's RuntimeStats (jobs, steals, cache hit rate,
+/// stage wall times); every sweep harness calls this before exiting.
+void print_runtime_stats(std::ostream& out);
 
 }  // namespace isex::benchx

@@ -1,0 +1,166 @@
+// Runtime scaling bench: wall clock of a Fig 5.2.1-style exploration sweep
+// (7 benchmarks × O3 × MI on the (6/3, 2IS) machine) at jobs ∈ {1, 2, 4, 8},
+// with the schedule-evaluation cache on and off.  Results — including the
+// cross-configuration determinism check — land in BENCH_runtime.json.
+//
+// The sweep itself is expressed as a JobGraph: one explore job per benchmark
+// feeding a single evaluate/reduce job, i.e. exactly the dependency shape
+// the figure harnesses have.
+//
+// Note on reading the numbers: thread scaling is bounded by the cores the
+// host actually grants (recorded as hardware_concurrency); on a 1-core
+// container jobs=8 ≈ jobs=1 while the cache still pays.  ISEX_BENCH_REPEATS
+// overrides the default 3 repeats.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "runtime/eval_cache.hpp"
+#include "runtime/job_graph.hpp"
+#include "runtime/runtime_stats.hpp"
+
+namespace {
+
+using namespace isex;
+
+int sweep_repeats() {
+  if (const char* env = std::getenv("ISEX_BENCH_REPEATS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 3;
+}
+
+struct SweepRun {
+  int jobs = 1;
+  bool cache = true;
+  double seconds = 0.0;
+  runtime::PoolStats pool;
+  runtime::CacheStats cache_stats;
+  std::vector<double> reductions;  // per benchmark, for determinism checking
+};
+
+SweepRun run_sweep(int jobs, bool cache) {
+  SweepRun run;
+  run.jobs = jobs;
+  run.cache = cache;
+
+  // Fresh pool (fresh counters) at the requested width; cold cache.
+  runtime::ThreadPool::set_default_jobs(jobs);
+  runtime::schedule_cache().clear();
+  runtime::schedule_cache().reset_stats();
+
+  const auto machine = sched::MachineConfig::make(2, {6, 3});
+  const std::vector<bench_suite::Benchmark> benchmarks =
+      bench_suite::all_benchmarks();
+  const int repeats = sweep_repeats();
+  core::ExplorerParams params;
+  params.use_eval_cache = cache;
+
+  flow::SelectionConstraints constraints;
+  constraints.area_budget = 40000.0;
+  constraints.max_ises = 32;
+
+  std::vector<benchx::ExploredProgram> explored(benchmarks.size());
+  run.reductions.assign(benchmarks.size(), 0.0);
+
+  const auto start = std::chrono::steady_clock::now();
+  runtime::JobGraph graph;
+  std::vector<runtime::JobGraph::JobId> explore_jobs;
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    explore_jobs.push_back(graph.add(
+        "explore:" + std::string(bench_suite::name(benchmarks[i])), [&, i]() {
+          explored[i] = benchx::explore_program(
+              benchmarks[i], bench_suite::OptLevel::kO3, machine,
+              flow::Algorithm::kMultiIssue, repeats, /*seed=*/17, params);
+        }));
+  }
+  const auto reduce = graph.add("evaluate", [&]() {
+    for (std::size_t i = 0; i < benchmarks.size(); ++i)
+      run.reductions[i] =
+          benchx::evaluate(explored[i], constraints, machine).reduction;
+  });
+  for (const auto job : explore_jobs) graph.add_dependency(reduce, job);
+  graph.run(runtime::ThreadPool::default_pool());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  run.seconds = std::chrono::duration<double>(elapsed).count();
+  run.pool = runtime::ThreadPool::default_pool().stats();
+  run.cache_stats = runtime::schedule_cache().stats();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("perf_runtime: Fig 5.2.1-style sweep (7 benchmarks, O3, MI)\n");
+  std::printf("hardware_concurrency: %u, repeats: %d\n\n", hardware,
+              sweep_repeats());
+
+  std::vector<SweepRun> runs;
+  for (const int jobs : {1, 2, 4, 8}) runs.push_back(run_sweep(jobs, true));
+  runs.push_back(run_sweep(1, false));
+  runs.push_back(run_sweep(8, false));
+
+  // Determinism across every configuration: same seed, same reductions.
+  bool deterministic = true;
+  for (const SweepRun& run : runs)
+    if (run.reductions != runs.front().reductions) deterministic = false;
+
+  const double base = runs.front().seconds;
+  for (const SweepRun& run : runs) {
+    std::printf(
+        "jobs=%d cache=%-3s  %7.3f s  speedup %.2fx  jobs_run=%llu "
+        "steals=%llu  cache: %llu/%llu hits (%d%%)\n",
+        run.jobs, run.cache ? "on" : "off", run.seconds,
+        base / run.seconds,
+        static_cast<unsigned long long>(run.pool.jobs_run),
+        static_cast<unsigned long long>(run.pool.steals),
+        static_cast<unsigned long long>(run.cache_stats.hits),
+        static_cast<unsigned long long>(run.cache_stats.hits +
+                                        run.cache_stats.misses),
+        static_cast<int>(run.cache_stats.hit_rate() * 100.0 + 0.5));
+  }
+  std::printf("\ndeterministic across configurations: %s\n",
+              deterministic ? "yes" : "NO — BUG");
+
+  FILE* json = std::fopen("BENCH_runtime.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_runtime.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"sweep\": \"fig_5_2_1_style_7bench_O3_MI_6_3_2IS\",\n");
+  std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hardware);
+  std::fprintf(json, "  \"repeats\": %d,\n", sweep_repeats());
+  std::fprintf(json, "  \"deterministic\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(json, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const SweepRun& run = runs[i];
+    std::fprintf(json,
+                 "    {\"jobs\": %d, \"cache\": %s, \"seconds\": %.4f, "
+                 "\"speedup_vs_jobs1\": %.3f, \"pool_jobs_run\": %llu, "
+                 "\"pool_steals\": %llu, \"cache_hits\": %llu, "
+                 "\"cache_misses\": %llu, \"cache_evictions\": %llu, "
+                 "\"cache_hit_rate\": %.4f}%s\n",
+                 run.jobs, run.cache ? "true" : "false", run.seconds,
+                 base / run.seconds,
+                 static_cast<unsigned long long>(run.pool.jobs_run),
+                 static_cast<unsigned long long>(run.pool.steals),
+                 static_cast<unsigned long long>(run.cache_stats.hits),
+                 static_cast<unsigned long long>(run.cache_stats.misses),
+                 static_cast<unsigned long long>(run.cache_stats.evictions),
+                 run.cache_stats.hit_rate(),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_runtime.json\n");
+  return deterministic ? 0 : 1;
+}

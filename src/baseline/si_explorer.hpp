@@ -27,6 +27,8 @@ class SingleIssueExplorer {
     return inner_.explore(block, rng);
   }
 
+  /// Best-of repeats; inherits the runtime-parallel fan-out (and its
+  /// bit-exact determinism contract) from MultiIssueExplorer.
   core::ExplorationResult explore_best_of(const dfg::Graph& block, int repeats,
                                           Rng& rng) const {
     return inner_.explore_best_of(block, repeats, rng);

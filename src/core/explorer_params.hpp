@@ -63,6 +63,13 @@ struct ExplorerParams {
   /// ExplorationResult::trace.  Off by default: the trace grows with
   /// iterations × rounds.
   bool collect_trace = false;
+
+  /// Memoize list-scheduler evaluations (base cycles + candidate collapse
+  /// scoring) in the process-wide runtime::schedule_cache().  Repeats and
+  /// sweeps re-score identical graphs constantly, so this is a large win;
+  /// results are unchanged — the cache is a pure-function memo.  Exposed so
+  /// bench/perf_runtime can A/B it.
+  bool use_eval_cache = true;
 };
 
 }  // namespace isex::core

@@ -9,12 +9,23 @@
 #include "core/pheromone.hpp"
 #include "dfg/analysis.hpp"
 #include "hwlib/gplus.hpp"
+#include "runtime/eval_cache.hpp"
+#include "runtime/job_graph.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/priority.hpp"
 #include "util/assert.hpp"
 
 namespace isex::core {
 namespace {
+
+/// Schedule-length evaluation, memoized in the runtime's schedule cache
+/// when the params allow it.  The cache is a pure-function memo, so the
+/// returned makespan is identical either way.
+int evaluate_cycles(const sched::ListScheduler& scheduler,
+                    const dfg::Graph& graph, bool use_cache) {
+  return use_cache ? runtime::cached_schedule_cycles(scheduler, graph)
+                   : scheduler.cycles(graph);
+}
 
 /// Critical operations of an ant-walk schedule: fixpoint over (a) nodes
 /// finishing at the makespan, (b) tight producers (finish == consumer's
@@ -86,7 +97,8 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
     origin[v].insert(v);
   }
 
-  result.base_cycles = scheduler.cycles(current);
+  result.base_cycles =
+      evaluate_cycles(scheduler, current, params_.use_eval_cache);
   int current_cycles = result.base_cycles;
 
   for (int round = 0; round < params_.max_rounds; ++round) {
@@ -183,7 +195,8 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
       info.num_inputs = cand.in_count;
       info.num_outputs = cand.out_count;
       collapsed[c] = current.collapse(cand.members, info);
-      const int cycles_after = scheduler.cycles(collapsed[c]);
+      const int cycles_after =
+          evaluate_cycles(scheduler, collapsed[c], params_.use_eval_cache);
       const int gain = current_cycles - cycles_after;
       if (gain > best_gain ||
           (gain == best_gain && gain > 0 && cand.eval.area < best_area)) {
@@ -237,21 +250,30 @@ ExplorationResult MultiIssueExplorer::explore_best_of(const dfg::Graph& block,
                                                       int repeats,
                                                       Rng& rng) const {
   ISEX_ASSERT(repeats >= 1);
-  ExplorationResult best;
-  bool have_best = false;
-  for (int r = 0; r < repeats; ++r) {
-    Rng child = rng.split();
-    ExplorationResult attempt = explore(block, child);
+  // Deterministic fan-out (§5.1 best-of-5): child streams are derived
+  // serially in repeat order — exactly what a serial loop of rng.split()
+  // calls would do — then the repeats run concurrently and the best-of
+  // reduction walks the attempts back in repeat order.  Same seed, same
+  // result, any thread count.
+  runtime::ThreadPool& pool = runtime::ThreadPool::default_pool();
+  std::vector<ExplorationResult> attempts = runtime::deterministic_fanout(
+      pool, rng, static_cast<std::size_t>(repeats),
+      [&](std::size_t, Rng& child) { return explore(block, child); });
+  return pick_best(std::move(attempts));
+}
+
+ExplorationResult MultiIssueExplorer::pick_best(
+    std::vector<ExplorationResult> attempts) {
+  ISEX_ASSERT(!attempts.empty());
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < attempts.size(); ++r) {
     const bool better =
-        !have_best || attempt.final_cycles < best.final_cycles ||
-        (attempt.final_cycles == best.final_cycles &&
-         attempt.total_area() < best.total_area());
-    if (better) {
-      best = std::move(attempt);
-      have_best = true;
-    }
+        attempts[r].final_cycles < attempts[best].final_cycles ||
+        (attempts[r].final_cycles == attempts[best].final_cycles &&
+         attempts[r].total_area() < attempts[best].total_area());
+    if (better) best = r;
   }
-  return best;
+  return std::move(attempts[best]);
 }
 
 }  // namespace isex::core

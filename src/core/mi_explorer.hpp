@@ -78,9 +78,17 @@ class MultiIssueExplorer {
   ExplorationResult explore(const dfg::Graph& block, Rng& rng) const;
 
   /// Paper §5.1: repeat the exploration `repeats` times and keep the best
-  /// result (fewest final cycles, then least area).
+  /// result (fewest final cycles, then least area).  Repeats run
+  /// concurrently on runtime::ThreadPool::default_pool() with serially
+  /// pre-split RNG streams, so the result is bit-identical to a serial loop
+  /// at any thread count (see docs/RUNTIME.md).
   ExplorationResult explore_best_of(const dfg::Graph& block, int repeats,
                                     Rng& rng) const;
+
+  /// Best-of reduction over attempts in repeat order: fewest final cycles,
+  /// ties by least area, earliest attempt wins further ties.  Exposed so the
+  /// design flow can fan (block × repeat) jobs out flat and reduce itself.
+  static ExplorationResult pick_best(std::vector<ExplorationResult> attempts);
 
   const sched::MachineConfig& machine() const { return machine_; }
   const isa::IsaFormat& format() const { return format_; }

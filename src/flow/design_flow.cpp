@@ -1,9 +1,49 @@
 #include "flow/design_flow.hpp"
 
+#include <iterator>
+#include <memory>
+
+#include "runtime/job_graph.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace isex::flow {
+namespace {
+
+/// Explores every (hot block × repeat) pair as one flat batch of pool jobs,
+/// then reduces each block's attempts best-of in repeat order.
+///
+/// Determinism: the serial path called explore_best_of per block, which
+/// split `rng` once per repeat — block 0's repeats first, then block 1's,
+/// and so on.  deterministic_fanout derives the flat job list's streams
+/// serially in exactly that order, so every job sees the same stream the
+/// serial code would have fed it, and `rng` ends in the same state.
+template <typename Explorer>
+std::vector<core::ExplorationResult> explore_hot_blocks(
+    const Explorer& explorer, const ProfiledProgram& program,
+    const std::vector<std::size_t>& hot_blocks, int repeats, Rng& rng,
+    runtime::ThreadPool& pool) {
+  ISEX_ASSERT(repeats >= 1);
+  const auto per_block = static_cast<std::size_t>(repeats);
+  std::vector<core::ExplorationResult> attempts = runtime::deterministic_fanout(
+      pool, rng, hot_blocks.size() * per_block,
+      [&](std::size_t job, Rng& child) {
+        const std::size_t bi = hot_blocks[job / per_block];
+        return explorer.explore(program.blocks[bi].graph, child);
+      });
+
+  std::vector<core::ExplorationResult> best;
+  best.reserve(hot_blocks.size());
+  for (std::size_t b = 0; b < hot_blocks.size(); ++b) {
+    const auto begin = attempts.begin() + static_cast<std::ptrdiff_t>(b * per_block);
+    best.push_back(core::MultiIssueExplorer::pick_best(
+        {std::make_move_iterator(begin),
+         std::make_move_iterator(begin + static_cast<std::ptrdiff_t>(per_block))}));
+  }
+  return best;
+}
+
+}  // namespace
 
 FlowResult run_design_flow(const ProfiledProgram& program,
                            const hw::HwLibrary& library,
@@ -15,28 +55,30 @@ FlowResult run_design_flow(const ProfiledProgram& program,
   result.hot_blocks =
       select_hot_blocks(costs, config.hot_coverage, config.max_hot_blocks);
 
-  // 2. Exploration per hot block (best of `repeats`).
+  // 2. Exploration per hot block (best of `repeats`), fanned out over the
+  // runtime as one (block × repeat) batch.
   isa::IsaFormat format;
   format.reg_file = config.machine.reg_file;
   format.max_ises = config.constraints.max_ises;
 
+  std::unique_ptr<runtime::ThreadPool> private_pool;
+  if (config.jobs > 0)
+    private_pool = std::make_unique<runtime::ThreadPool>(config.jobs);
+  runtime::ThreadPool& pool =
+      private_pool ? *private_pool : runtime::ThreadPool::default_pool();
+
   Rng rng(config.seed);
   std::vector<core::ExplorationResult> explorations;
-  explorations.reserve(result.hot_blocks.size());
   if (config.algorithm == Algorithm::kMultiIssue) {
     const core::MultiIssueExplorer explorer(config.machine, format, library,
                                             config.params);
-    for (const std::size_t bi : result.hot_blocks) {
-      explorations.push_back(explorer.explore_best_of(
-          program.blocks[bi].graph, config.repeats, rng));
-    }
+    explorations = explore_hot_blocks(explorer, program, result.hot_blocks,
+                                      config.repeats, rng, pool);
   } else {
     const baseline::SingleIssueExplorer explorer(format, library,
                                                  config.params);
-    for (const std::size_t bi : result.hot_blocks) {
-      explorations.push_back(explorer.explore_best_of(
-          program.blocks[bi].graph, config.repeats, rng));
-    }
+    explorations = explore_hot_blocks(explorer, program, result.hot_blocks,
+                                      config.repeats, rng, pool);
   }
 
   // 3. Merging + selection with hardware sharing.

@@ -33,6 +33,11 @@ struct FlowConfig {
   std::uint64_t seed = 1;
   double hot_coverage = 0.95;
   std::size_t max_hot_blocks = 8;
+  /// Worker threads for the (block × repeat) exploration fan-out.  0 uses
+  /// runtime::ThreadPool::default_pool() (hardware_concurrency, or the
+  /// --jobs / ISEX_JOBS override); N > 0 runs on a private N-thread pool.
+  /// Results are identical at any value — see docs/RUNTIME.md.
+  int jobs = 0;
 };
 
 struct FlowResult {

@@ -1,0 +1,92 @@
+#include "runtime/eval_cache.hpp"
+
+#include "sched/list_scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace isex::runtime {
+
+EvalCache::EvalCache(std::size_t capacity, std::size_t shards) {
+  ISEX_ASSERT(shards >= 1);
+  shard_capacity_ = capacity / shards;
+  if (shard_capacity_ == 0) shard_capacity_ = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::optional<int> EvalCache::lookup(const Key128& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  return it->second;
+}
+
+void EvalCache::insert(const Key128& key, int value) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto [it, inserted] = shard.map.emplace(key, value);
+  if (!inserted) return;  // concurrent miss raced us; values are identical
+  shard.fifo.push_back(key);
+  ++shard.insertions;
+  while (shard.map.size() > shard_capacity_) {
+    shard.map.erase(shard.fifo.front());
+    shard.fifo.pop_front();
+    ++shard.evictions;
+  }
+}
+
+void EvalCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->map.clear();
+    shard->fifo.clear();
+  }
+}
+
+void EvalCache::reset_stats() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->hits = shard->misses = shard->insertions = shard->evictions = 0;
+  }
+}
+
+CacheStats EvalCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+  }
+  return total;
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+EvalCache& schedule_cache() {
+  static EvalCache cache;
+  return cache;
+}
+
+int cached_schedule_cycles(const sched::ListScheduler& scheduler,
+                           const dfg::Graph& graph) {
+  const Key128 key =
+      schedule_key(graph, scheduler.config(), scheduler.priority());
+  return schedule_cache().get_or_compute(
+      key, [&]() { return scheduler.cycles(graph); });
+}
+
+}  // namespace isex::runtime

@@ -1,0 +1,109 @@
+// Sharded, mutex-striped memo cache for schedule evaluations.
+//
+// The ACO inner loop re-evaluates identical schedules constantly: every
+// repeat of explore_best_of walks the same block, rounds re-score the same
+// collapsed candidate graphs, and sweep harnesses revisit the same
+// (benchmark, machine) pairs.  Scheduling is O(cycles × resources) while a
+// structural fingerprint is O(V + E), so memoizing cycles() pays for itself
+// after the first hit.
+//
+// Concurrency: the key space is striped over independent shards, each a
+// mutex + hash map + FIFO eviction ring, so parallel exploration jobs rarely
+// contend on the same lock.  A concurrent miss may compute the same value
+// twice — both threads then insert the identical (pure-function) result, so
+// correctness and determinism are unaffected.
+//
+// Determinism: the cache is invisible in results.  Values are pure functions
+// of their 128-bit key (see hash.hpp for why collisions are negligible), so
+// a hit returns exactly what recomputation would.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/hash.hpp"
+
+namespace isex::sched {
+class ListScheduler;
+}
+
+namespace isex::runtime {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class EvalCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `shards`
+  /// (each rounded up to at least one entry).
+  explicit EvalCache(std::size_t capacity = 1 << 18, std::size_t shards = 16);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  std::optional<int> lookup(const Key128& key);
+  void insert(const Key128& key, int value);
+
+  /// lookup(); on a miss, computes, inserts, and returns.  `compute` runs
+  /// outside any shard lock.
+  template <typename Fn>
+  int get_or_compute(const Key128& key, Fn compute) {
+    if (const std::optional<int> hit = lookup(key)) return *hit;
+    const int value = compute();
+    insert(key, value);
+    return value;
+  }
+
+  /// Drops every entry.  Counters survive; reset_stats() clears them.
+  void clear();
+  void reset_stats();
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return shard_capacity_ * shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<Key128, int, Key128Hash> map;
+    /// Insertion order; the front is evicted when the shard is full.
+    std::deque<Key128> fifo;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const Key128& key) {
+    return *shards_[(key.hi ^ (key.hi >> 32)) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_capacity_;
+};
+
+/// Process-wide cache for list-scheduler makespans, shared by every explorer
+/// instance (MI, SI baseline, and the design flow all over).
+EvalCache& schedule_cache();
+
+/// scheduler.cycles(graph), memoized in schedule_cache() under
+/// schedule_key(graph, scheduler.config(), scheduler.priority()).
+int cached_schedule_cycles(const sched::ListScheduler& scheduler,
+                           const dfg::Graph& graph);
+
+}  // namespace isex::runtime

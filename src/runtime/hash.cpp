@@ -1,0 +1,66 @@
+#include "runtime/hash.hpp"
+
+#include <bit>
+
+namespace isex::runtime {
+
+void Hash64::mix_double(double x) {
+  // +0.0 and -0.0 schedule identically; canonicalize before taking bits.
+  if (x == 0.0) x = 0.0;
+  mix(std::bit_cast<std::uint64_t>(x));
+}
+
+std::uint64_t fingerprint(const dfg::Graph& graph, std::uint64_t seed) {
+  Hash64 h(seed);
+  h.mix(graph.num_nodes());
+  for (dfg::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const dfg::Node& node = graph.node(v);
+    h.mix(static_cast<std::uint64_t>(node.opcode));
+    h.mix(node.is_ise ? 1 : 0);
+    if (node.is_ise) {
+      h.mix(static_cast<std::uint64_t>(node.ise.latency_cycles));
+      h.mix_double(node.ise.area);
+      h.mix(static_cast<std::uint64_t>(node.ise.num_inputs));
+      h.mix(static_cast<std::uint64_t>(node.ise.num_outputs));
+    }
+    const auto preds = graph.preds(v);
+    h.mix(preds.size());
+    for (const dfg::NodeId p : preds) h.mix(p);
+    const auto extern_ids = graph.extern_input_ids(v);
+    h.mix(extern_ids.size());
+    for (const int id : extern_ids) h.mix(static_cast<std::uint64_t>(id));
+    h.mix(graph.live_out(v) ? 1 : 0);
+  }
+  return h.value();
+}
+
+std::uint64_t fingerprint(const sched::MachineConfig& machine,
+                          std::uint64_t seed) {
+  Hash64 h(seed);
+  h.mix(static_cast<std::uint64_t>(machine.issue_width));
+  h.mix(static_cast<std::uint64_t>(machine.reg_file.read_ports));
+  h.mix(static_cast<std::uint64_t>(machine.reg_file.write_ports));
+  for (const int fu : machine.fu_counts) h.mix(static_cast<std::uint64_t>(fu));
+  return h.value();
+}
+
+Key128 schedule_key(const dfg::Graph& graph,
+                    const sched::MachineConfig& machine,
+                    sched::PriorityKind priority) {
+  Key128 key;
+  // Two independent seeds per half so a single-stream collision cannot alias
+  // two distinct (graph, machine, priority) triples.
+  Hash64 lo(0x517cc1b727220a95ULL);
+  lo.mix(fingerprint(graph, 0xa0761d6478bd642fULL));
+  lo.mix(fingerprint(machine, 0xe7037ed1a0b428dbULL));
+  lo.mix(static_cast<std::uint64_t>(priority));
+  key.lo = lo.value();
+  Hash64 hi(0x8ebc6af09c88c6e3ULL);
+  hi.mix(fingerprint(graph, 0x589965cc75374cc3ULL));
+  hi.mix(fingerprint(machine, 0x1d8e4e27c47d124fULL));
+  hi.mix(static_cast<std::uint64_t>(priority));
+  key.hi = hi.value();
+  return key;
+}
+
+}  // namespace isex::runtime

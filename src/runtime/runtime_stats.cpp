@@ -1,0 +1,63 @@
+#include "runtime/runtime_stats.hpp"
+
+#include <ostream>
+
+namespace isex::runtime {
+
+void RuntimeStats::print(std::ostream& out) const {
+  out << "runtime: " << pool.threads << " thread(s), " << pool.jobs_run
+      << " job(s), " << pool.steals << " steal(s)\n";
+  const std::uint64_t probes = schedule_cache.hits + schedule_cache.misses;
+  out << "schedule cache: " << schedule_cache.hits << " hit(s) / " << probes
+      << " probe(s)";
+  if (probes > 0) {
+    out << " (" << static_cast<int>(schedule_cache.hit_rate() * 100.0 + 0.5)
+        << "% hit rate)";
+  }
+  out << ", " << schedule_cache.evictions << " eviction(s)\n";
+  for (const auto& [stage, seconds] : stages) {
+    out << "stage " << stage << ": " << seconds << " s\n";
+  }
+}
+
+void StageTimes::record(const std::string& stage, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, total] : stages_) {
+    if (name == stage) {
+      total += seconds;
+      return;
+    }
+  }
+  stages_.emplace_back(stage, seconds);
+}
+
+std::vector<std::pair<std::string, double>> StageTimes::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stages_;
+}
+
+void StageTimes::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stages_.clear();
+}
+
+StageTimes& stage_times() {
+  static StageTimes times;
+  return times;
+}
+
+StageTimer::~StageTimer() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  stage_times().record(
+      stage_, std::chrono::duration<double>(elapsed).count());
+}
+
+RuntimeStats collect_runtime_stats(const ThreadPool& pool) {
+  RuntimeStats stats;
+  stats.pool = pool.stats();
+  stats.schedule_cache = schedule_cache().stats();
+  stats.stages = stage_times().snapshot();
+  return stats;
+}
+
+}  // namespace isex::runtime

@@ -1,0 +1,62 @@
+// Runtime observability: one struct that snapshots everything the parallel
+// pipeline did — jobs executed, steal traffic, schedule-cache efficiency,
+// and named per-stage wall times — plus the RAII timer that feeds it.
+// Benches print this after every sweep so a perf regression (or a cache
+// that stopped hitting) is visible in the output, not just in wall clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/eval_cache.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace isex::runtime {
+
+struct RuntimeStats {
+  PoolStats pool;
+  CacheStats schedule_cache;
+  /// (stage name, accumulated seconds), in first-recorded order.
+  std::vector<std::pair<std::string, double>> stages;
+
+  void print(std::ostream& out) const;
+};
+
+/// Accumulates wall time into named stages (thread-safe).
+class StageTimes {
+ public:
+  void record(const std::string& stage, double seconds);
+  std::vector<std::pair<std::string, double>> snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, double>> stages_;
+};
+
+/// Process-wide stage-time registry (what collect_runtime_stats reports).
+StageTimes& stage_times();
+
+/// RAII: adds the scope's wall time to stage_times() under `stage`.
+class StageTimer {
+ public:
+  explicit StageTimer(std::string stage)
+      : stage_(std::move(stage)), start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer();
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  std::string stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Snapshot of `pool` + the global schedule cache + global stage times.
+RuntimeStats collect_runtime_stats(const ThreadPool& pool);
+
+}  // namespace isex::runtime

@@ -1,0 +1,189 @@
+#include "runtime/thread_pool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace isex::runtime {
+namespace {
+
+/// Set for the duration of a worker loop; lets parallel_for detect nesting.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = default_jobs();
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    threads_.emplace_back([this, i]() { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    // Pair the flag with the lock so a worker checking the predicate between
+    // its test and its wait cannot miss the notification.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  ISEX_ASSERT(!workers_.empty());
+  const std::size_t target =
+      next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::run_one(int self) {
+  const std::size_t n = workers_.size();
+  std::function<void()> task;
+  bool stolen = false;
+  // Own deque first (back = LIFO, cache-warm), then sweep the others from
+  // the front (FIFO) — classic work stealing.
+  const std::size_t start = self >= 0 ? static_cast<std::size_t>(self) : 0;
+  for (std::size_t k = 0; k < n && !task; ++k) {
+    const std::size_t w = (start + k) % n;
+    Worker& worker = *workers_[w];
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    if (worker.queue.empty()) continue;
+    const bool own = self >= 0 && w == static_cast<std::size_t>(self);
+    if (own) {
+      task = std::move(worker.queue.back());
+      worker.queue.pop_back();
+    } else {
+      task = std::move(worker.queue.front());
+      worker.queue.pop_front();
+      stolen = true;
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+  jobs_run_.fetch_add(1, std::memory_order_relaxed);
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(int index) {
+  tls_current_pool = this;
+  for (;;) {
+    if (run_one(index)) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this]() {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0)
+      break;
+  }
+  tls_current_pool = nullptr;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Nested fan-out from one of our own workers runs inline: the worker's
+  // task slot *is* this fan-out's budget, and queue-and-wait from inside a
+  // worker could deadlock a fully busy pool.
+  if (on_worker_thread() || workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct Join {
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr first_error;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining.store(n, std::memory_order_relaxed);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    enqueue([join, i, &body]() {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(join->mutex);
+        if (!join->first_error) join->first_error = std::current_exception();
+      }
+      if (join->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        {
+          std::lock_guard<std::mutex> lock(join->mutex);
+        }
+        join->done.notify_all();
+      }
+    });
+  }
+
+  // Help while waiting: drain pool tasks on this thread instead of blocking,
+  // so the caller contributes a core and nested pools cannot starve.
+  while (join->remaining.load(std::memory_order_acquire) > 0) {
+    if (run_one(/*self=*/-1)) continue;
+    std::unique_lock<std::mutex> lock(join->mutex);
+    join->done.wait_for(lock, std::chrono::milliseconds(1), [&]() {
+      return join->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (join->first_error) std::rethrow_exception(join->first_error);
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.jobs_run = jobs_run_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.threads = num_threads();
+  return s;
+}
+
+bool ThreadPool::on_worker_thread() const { return tls_current_pool == this; }
+
+namespace {
+
+std::mutex g_default_pool_mutex;
+std::unique_ptr<ThreadPool> g_default_pool;
+int g_default_jobs_override = 0;
+
+}  // namespace
+
+ThreadPool& ThreadPool::default_pool() {
+  std::lock_guard<std::mutex> lock(g_default_pool_mutex);
+  if (!g_default_pool) {
+    g_default_pool = std::make_unique<ThreadPool>(
+        g_default_jobs_override > 0 ? g_default_jobs_override : 0);
+  }
+  return *g_default_pool;
+}
+
+void ThreadPool::set_default_jobs(int jobs) {
+  std::lock_guard<std::mutex> lock(g_default_pool_mutex);
+  g_default_jobs_override = jobs;
+  g_default_pool.reset();  // rebuilt lazily at the new size
+}
+
+int ThreadPool::default_jobs() {
+  if (const char* env = std::getenv("ISEX_JOBS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace isex::runtime

@@ -1,0 +1,127 @@
+// Work-stealing thread pool — the execution substrate of isex_runtime.
+//
+// Design:
+//   * one mutex-guarded deque per worker; owners pop LIFO (cache-warm),
+//     thieves and helping external threads steal FIFO from the front;
+//   * submit() round-robins tasks across worker deques and returns a
+//     std::future; parallel_for() fans one body over [0, n) and blocks, with
+//     the calling thread *helping* (executing queued tasks) while it waits,
+//     so a pool is never idle just because its caller is;
+//   * a parallel_for issued from inside one of this pool's workers runs
+//     inline — nested fan-outs (a sweep harness parallelizing over programs
+//     whose exploration itself fans out) degrade to serial execution inside
+//     the job instead of deadlocking the pool.
+//
+// Determinism: the pool itself guarantees nothing about execution *order* —
+// determinism of results is the fan-out layer's job (see job_graph.hpp): it
+// derives per-job RNG streams serially before submission and reduces results
+// by index, so any interleaving yields bit-identical output.
+//
+// Sizing: ThreadPool(0) and the process-wide default_pool() use
+// default_jobs(): the ISEX_JOBS environment variable if set, else
+// std::thread::hardware_concurrency().  tools/isex --jobs N overrides it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace isex::runtime {
+
+/// Counters a pool accumulates over its lifetime (see RuntimeStats).
+struct PoolStats {
+  std::uint64_t jobs_run = 0;
+  /// Tasks taken from a deque the executing thread does not own (worker
+  /// steals plus external threads helping inside parallel_for).
+  std::uint64_t steals = 0;
+  int threads = 0;
+};
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects default_jobs().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Schedules `fn` and returns its future.  Exceptions thrown by `fn`
+  /// surface from future::get().
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using R = std::invoke_result_t<Fn&>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs body(0) … body(n-1), one task per index, and blocks until all
+  /// completed.  The first exception (by completion order) is rethrown.
+  /// Called from a worker of this pool, runs inline serially.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  PoolStats stats() const;
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// Process-wide shared pool, created on first use with default_jobs()
+  /// threads.
+  static ThreadPool& default_pool();
+
+  /// Resizes the default pool (recreating it if already built).  Drives the
+  /// --jobs CLI flag; jobs <= 0 restores default_jobs().
+  static void set_default_jobs(int jobs);
+
+  /// ISEX_JOBS env var if positive, else hardware_concurrency (min 1).
+  static int default_jobs();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+  };
+
+  void enqueue(std::function<void()> task);
+  /// Pops one queued task and runs it; false when every deque was empty.
+  /// `self` is the caller's worker index, or -1 for external threads.
+  bool run_one(int self);
+  void worker_loop(int index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> next_worker_{0};
+  std::atomic<std::uint64_t> jobs_run_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<bool> stop_{false};
+};
+
+/// results[i] = fn(items[i]) with every call running as its own pool task;
+/// the output order matches the input order regardless of scheduling.
+template <typename T, typename Fn>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn&, const T&>> {
+  using R = std::invoke_result_t<Fn&, const T&>;
+  std::vector<R> results(items.size());
+  pool.parallel_for(items.size(),
+                    [&](std::size_t i) { results[i] = fn(items[i]); });
+  return results;
+}
+
+}  // namespace isex::runtime

@@ -26,6 +26,7 @@ class ListScheduler {
       : config_(config), priority_(priority) {}
 
   const MachineConfig& config() const { return config_; }
+  PriorityKind priority() const { return priority_; }
 
   /// Schedules `graph`; the result satisfies respects_dependences() and all
   /// per-cycle resource limits.

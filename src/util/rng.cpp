@@ -71,4 +71,11 @@ Rng Rng::split() {
   return Rng((hi << 32U) | lo);
 }
 
+std::vector<Rng> Rng::split_n(std::size_t n) {
+  std::vector<Rng> children;
+  children.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) children.push_back(split());
+  return children;
+}
+
 }  // namespace isex

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace isex {
 
@@ -37,6 +38,13 @@ class Rng {
 
   /// Derives an independent child stream (for per-repeat isolation).
   Rng split();
+
+  /// Derives `n` child streams by `n` consecutive split() calls.  This is
+  /// the determinism anchor of the parallel runtime: the fan-out layer
+  /// derives every job's stream serially through this helper, then runs the
+  /// jobs in any order — results match the serial loop bit for bit, and the
+  /// parent ends in the same state either way.
+  std::vector<Rng> split_n(std::size_t n);
 
  private:
   std::uint64_t state_ = 0;

@@ -1,0 +1,427 @@
+// isex_runtime: thread pool, deterministic fan-out, job graph, and the
+// schedule-evaluation cache — including the determinism contract the whole
+// parallel pipeline rests on (same seed -> bit-identical FlowResult at any
+// job count).
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/kernels.hpp"
+#include "flow/design_flow.hpp"
+#include "runtime/eval_cache.hpp"
+#include "runtime/hash.hpp"
+#include "runtime/job_graph.hpp"
+#include "runtime/runtime_stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sched/list_scheduler.hpp"
+#include "test_util.hpp"
+
+namespace isex::runtime {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, SubmitReturnsFutureValue) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+  EXPECT_GE(pool.stats().jobs_run, kN);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i % 7 == 3)
+                                     throw std::invalid_argument("bad index");
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(8, [&](std::size_t outer) {
+    // From a worker thread this must degrade to a serial loop, not deadlock.
+    pool.parallel_for(8, [&](std::size_t inner) { ++hits[outer * 8 + inner]; });
+  });
+  const int total = std::accumulate(
+      hits.begin(), hits.end(), 0,
+      [](int acc, const std::atomic<int>& h) { return acc + h.load(); });
+  EXPECT_EQ(total, 64);
+}
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder) {
+  ThreadPool pool(4);
+  std::vector<int> items(257);
+  std::iota(items.begin(), items.end(), 0);
+  const std::vector<int> doubled =
+      parallel_map(pool, items, [](const int x) { return 2 * x; });
+  ASSERT_EQ(doubled.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    EXPECT_EQ(doubled[i], 2 * static_cast<int>(i));
+}
+
+TEST(ThreadPool, DefaultJobsIsPositive) {
+  EXPECT_GE(ThreadPool::default_jobs(), 1);
+}
+
+// ------------------------------------------------------ deterministic_fanout
+
+TEST(DeterministicFanout, SplitNMatchesSequentialSplits) {
+  Rng a(123);
+  Rng b(123);
+  std::vector<Rng> children = a.split_n(5);
+  for (Rng& child : children) {
+    Rng expected = b.split();
+    EXPECT_EQ(child.next_u32(), expected.next_u32());
+  }
+  // The parents advanced identically.
+  EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(DeterministicFanout, MatchesSerialLoopAtAnyThreadCount) {
+  auto job = [](std::size_t i, Rng& rng) {
+    std::uint64_t acc = i;
+    for (int k = 0; k < 100; ++k) acc ^= rng.next_u32() + k;
+    return acc;
+  };
+  Rng serial_rng(7);
+  std::vector<std::uint64_t> expected;
+  for (std::size_t i = 0; i < 32; ++i) {
+    Rng child = serial_rng.split();
+    expected.push_back(job(i, child));
+  }
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    Rng rng(7);
+    const auto results = deterministic_fanout(pool, rng, 32, job);
+    EXPECT_EQ(results, expected) << "threads=" << threads;
+    EXPECT_EQ(rng.next_u32(), Rng(serial_rng).next_u32());
+  }
+}
+
+// -------------------------------------------------------------------- JobGraph
+
+TEST(JobGraph, RespectsDependencies) {
+  ThreadPool pool(4);
+  JobGraph graph;
+  std::atomic<int> step{0};
+  int at_a = -1, at_b = -1, at_c = -1;
+  const auto a = graph.add("a", [&]() { at_a = step++; });
+  const auto b = graph.add("b", [&]() { at_b = step++; });
+  const auto c = graph.add("c", [&]() { at_c = step++; });
+  graph.add_dependency(b, a);  // a -> b -> c
+  graph.add_dependency(c, b);
+  graph.run(pool);
+  EXPECT_LT(at_a, at_b);
+  EXPECT_LT(at_b, at_c);
+  EXPECT_EQ(graph.state(a), JobGraph::State::kDone);
+  EXPECT_EQ(graph.state(c), JobGraph::State::kDone);
+}
+
+TEST(JobGraph, DiamondReduceSeesAllInputs) {
+  ThreadPool pool(4);
+  JobGraph graph;
+  std::vector<int> values(4, 0);
+  int sum = 0;
+  const auto src = graph.add("src", [&]() { values[0] = 1; });
+  const auto left = graph.add("left", [&]() { values[1] = values[0] * 10; });
+  const auto right = graph.add("right", [&]() { values[2] = values[0] * 100; });
+  const auto reduce =
+      graph.add("reduce", [&]() { sum = values[1] + values[2]; });
+  graph.add_dependency(left, src);
+  graph.add_dependency(right, src);
+  graph.add_dependency(reduce, left);
+  graph.add_dependency(reduce, right);
+  graph.run(pool);
+  EXPECT_EQ(sum, 110);
+}
+
+TEST(JobGraph, FailureSkipsDependentsAndRethrows) {
+  ThreadPool pool(2);
+  JobGraph graph;
+  bool downstream_ran = false;
+  bool independent_ran = false;
+  const auto bad =
+      graph.add("bad", []() { throw std::runtime_error("exploded"); });
+  const auto downstream =
+      graph.add("downstream", [&]() { downstream_ran = true; });
+  const auto independent =
+      graph.add("independent", [&]() { independent_ran = true; });
+  graph.add_dependency(downstream, bad);
+  EXPECT_THROW(graph.run(pool), std::runtime_error);
+  EXPECT_FALSE(downstream_ran);
+  EXPECT_TRUE(independent_ran);
+  EXPECT_EQ(graph.state(bad), JobGraph::State::kFailed);
+  EXPECT_EQ(graph.state(downstream), JobGraph::State::kSkipped);
+  EXPECT_EQ(graph.state(independent), JobGraph::State::kDone);
+}
+
+TEST(JobGraph, CycleIsRejected) {
+  ThreadPool pool(2);
+  JobGraph graph;
+  const auto a = graph.add("a", []() {});
+  const auto b = graph.add("b", []() {});
+  graph.add_dependency(a, b);
+  graph.add_dependency(b, a);
+  EXPECT_THROW(graph.run(pool), std::logic_error);
+}
+
+// ------------------------------------------------------------------ EvalCache
+
+TEST(EvalCache, HitAndMissCountersAreExact) {
+  EvalCache cache(/*capacity=*/64, /*shards=*/4);
+  const Key128 key{1, 2};
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.insert(key, 42);
+  EXPECT_EQ(cache.lookup(key).value(), 42);
+  EXPECT_EQ(cache.lookup(key).value(), 42);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 2.0 / 3.0);
+}
+
+TEST(EvalCache, GetOrComputeComputesOnMissOnly) {
+  EvalCache cache;
+  int computed = 0;
+  const Key128 key{9, 9};
+  auto compute = [&]() {
+    ++computed;
+    return 7;
+  };
+  EXPECT_EQ(cache.get_or_compute(key, compute), 7);
+  EXPECT_EQ(cache.get_or_compute(key, compute), 7);
+  EXPECT_EQ(computed, 1);
+}
+
+TEST(EvalCache, EvictsFifoWhenFull) {
+  EvalCache cache(/*capacity=*/8, /*shards=*/1);
+  for (std::uint64_t i = 0; i < 20; ++i)
+    cache.insert(Key128{i, i}, static_cast<int>(i));
+  EXPECT_EQ(cache.size(), 8u);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 20u);
+  EXPECT_EQ(stats.evictions, 12u);
+  // The oldest entries are gone, the newest survive.
+  EXPECT_FALSE(cache.lookup(Key128{0, 0}).has_value());
+  EXPECT_TRUE(cache.lookup(Key128{19, 19}).has_value());
+}
+
+TEST(EvalCache, ConcurrentHammeringStaysConsistent) {
+  EvalCache cache(/*capacity=*/1024, /*shards=*/16);
+  ThreadPool pool(8);
+  // Many threads race get_or_compute over a small key space; every returned
+  // value must match its key and counters must balance.
+  pool.parallel_for(2000, [&](std::size_t i) {
+    const std::uint64_t k = i % 50;
+    const Key128 key{k, k * 31};
+    const int value =
+        cache.get_or_compute(key, [&]() { return static_cast<int>(k) * 3; });
+    ASSERT_EQ(value, static_cast<int>(k) * 3);
+  });
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 2000u);
+  EXPECT_GE(stats.misses, 50u);  // at least one miss per distinct key
+  EXPECT_EQ(cache.size(), 50u);
+}
+
+// ------------------------------------------------------------- schedule keys
+
+TEST(ScheduleKey, IdenticalInputsCollide) {
+  const dfg::Graph g1 = isex::testing::make_diamond();
+  const dfg::Graph g2 = isex::testing::make_diamond();
+  const auto machine = sched::MachineConfig::make(2, {6, 3});
+  EXPECT_EQ(schedule_key(g1, machine, sched::PriorityKind::kChildCount),
+            schedule_key(g2, machine, sched::PriorityKind::kChildCount));
+}
+
+TEST(ScheduleKey, AnySingleFieldChangeMisses) {
+  const auto machine = sched::MachineConfig::make(2, {6, 3});
+  const auto priority = sched::PriorityKind::kChildCount;
+  const dfg::Graph base = isex::testing::make_diamond();
+  const Key128 key = schedule_key(base, machine, priority);
+
+  {  // different opcode
+    dfg::Graph g = isex::testing::make_diamond();
+    g.node(1).opcode = isa::Opcode::kAddu;
+    EXPECT_NE(schedule_key(g, machine, priority), key);
+  }
+  {  // extra edge
+    dfg::Graph g = isex::testing::make_diamond();
+    g.add_edge(1, 2);
+    EXPECT_NE(schedule_key(g, machine, priority), key);
+  }
+  {  // live-out flipped
+    dfg::Graph g = isex::testing::make_diamond();
+    g.set_live_out(1, true);
+    EXPECT_NE(schedule_key(g, machine, priority), key);
+  }
+  {  // extern inputs changed
+    dfg::Graph g = isex::testing::make_diamond();
+    g.set_extern_inputs(0, 1);
+    EXPECT_NE(schedule_key(g, machine, priority), key);
+  }
+  {  // ISE payload differs
+    dfg::Graph a = isex::testing::make_diamond();
+    dfg::Graph b = isex::testing::make_diamond();
+    dfg::IseInfo info;
+    info.latency_cycles = 2;
+    a.add_ise_node(info);
+    info.latency_cycles = 3;
+    b.add_ise_node(info);
+    EXPECT_NE(schedule_key(a, machine, priority),
+              schedule_key(b, machine, priority));
+  }
+  // different machine / priority
+  EXPECT_NE(schedule_key(base, sched::MachineConfig::make(3, {6, 3}), priority),
+            key);
+  EXPECT_NE(schedule_key(base, machine, sched::PriorityKind::kMobility), key);
+  // labels are cosmetic and must NOT split the key
+  {
+    dfg::Graph g = isex::testing::make_diamond();
+    g.node(0).label = "renamed";
+    EXPECT_EQ(schedule_key(g, machine, priority), key);
+  }
+}
+
+TEST(ScheduleKey, CachedCyclesMatchDirectScheduling) {
+  const sched::ListScheduler scheduler(sched::MachineConfig::make(2, {6, 3}));
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const dfg::Graph g = isex::testing::make_random_dag(24, rng);
+    const int direct = scheduler.cycles(g);
+    EXPECT_EQ(cached_schedule_cycles(scheduler, g), direct);  // miss path
+    EXPECT_EQ(cached_schedule_cycles(scheduler, g), direct);  // hit path
+  }
+}
+
+// ------------------------------------------------- flow determinism contract
+
+/// The tentpole acceptance property: run_design_flow yields a bit-identical
+/// FlowResult for the same seed at jobs ∈ {1, 2, 8}, cache on or off.
+class FlowDeterminism
+    : public ::testing::TestWithParam<
+          std::pair<bench_suite::Benchmark, bench_suite::OptLevel>> {};
+
+TEST_P(FlowDeterminism, IdenticalResultsAcrossJobCounts) {
+  const auto [benchmark, level] = GetParam();
+  const auto program = bench_suite::make_program(benchmark, level);
+  const hw::HwLibrary library = hw::HwLibrary::paper_default();
+
+  auto run = [&](int jobs, bool use_cache) {
+    flow::FlowConfig config;
+    config.machine = sched::MachineConfig::make(2, {6, 3});
+    config.repeats = 3;
+    config.seed = 2026;
+    config.jobs = jobs;
+    config.params.use_eval_cache = use_cache;
+    return flow::run_design_flow(program, library, config);
+  };
+
+  const flow::FlowResult reference = run(1, false);
+  for (const int jobs : {1, 2, 8}) {
+    for (const bool cache : {false, true}) {
+      const flow::FlowResult result = run(jobs, cache);
+      EXPECT_EQ(result.final_time(), reference.final_time())
+          << "jobs=" << jobs << " cache=" << cache;
+      EXPECT_EQ(result.base_time(), reference.base_time());
+      EXPECT_DOUBLE_EQ(result.total_area(), reference.total_area());
+      EXPECT_EQ(result.num_ise_types(), reference.num_ise_types());
+      EXPECT_EQ(result.hot_blocks, reference.hot_blocks);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, FlowDeterminism,
+    ::testing::Values(std::pair{bench_suite::Benchmark::kCrc32,
+                                bench_suite::OptLevel::kO0},
+                      std::pair{bench_suite::Benchmark::kFft,
+                                bench_suite::OptLevel::kO3}));
+
+// explore_best_of itself (the §5.1 best-of loop) is deterministic across
+// pool sizes, including against a hand-rolled serial reference.
+TEST(ExplorerDeterminism, BestOfMatchesSerialReference) {
+  const auto machine = sched::MachineConfig::make(2, {6, 3});
+  isa::IsaFormat format;
+  format.reg_file = machine.reg_file;
+  const core::MultiIssueExplorer explorer(machine, format,
+                                          hw::HwLibrary::paper_default());
+  const dfg::Graph block = isex::testing::make_diamond();
+
+  // Serial reference: split-then-explore, first strictly better kept.
+  Rng serial_rng(5);
+  core::ExplorationResult best;
+  bool have_best = false;
+  for (int r = 0; r < 4; ++r) {
+    Rng child = serial_rng.split();
+    core::ExplorationResult attempt = explorer.explore(block, child);
+    const bool better =
+        !have_best || attempt.final_cycles < best.final_cycles ||
+        (attempt.final_cycles == best.final_cycles &&
+         attempt.total_area() < best.total_area());
+    if (better) {
+      best = std::move(attempt);
+      have_best = true;
+    }
+  }
+
+  Rng rng(5);
+  const core::ExplorationResult parallel =
+      explorer.explore_best_of(block, 4, rng);
+  EXPECT_EQ(parallel.final_cycles, best.final_cycles);
+  EXPECT_EQ(parallel.base_cycles, best.base_cycles);
+  EXPECT_DOUBLE_EQ(parallel.total_area(), best.total_area());
+  EXPECT_EQ(parallel.ises.size(), best.ises.size());
+}
+
+// ---------------------------------------------------------------- RuntimeStats
+
+TEST(RuntimeStats, CollectsPoolCacheAndStageData) {
+  ThreadPool pool(2);
+  pool.parallel_for(16, [](std::size_t) {});
+  stage_times().reset();
+  {
+    StageTimer timer("unit-test-stage");
+  }
+  const RuntimeStats stats = collect_runtime_stats(pool);
+  EXPECT_EQ(stats.pool.threads, 2);
+  EXPECT_GE(stats.pool.jobs_run, 16u);
+  bool found = false;
+  for (const auto& [name, seconds] : stats.stages) {
+    if (name == "unit-test-stage") {
+      found = true;
+      EXPECT_GE(seconds, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  std::ostringstream out;
+  stats.print(out);
+  EXPECT_NE(out.str().find("schedule cache"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace isex::runtime

@@ -12,7 +12,10 @@
 //   --issue N          issue width (default 2)
 //   --ports R/W        register-file read/write ports (default 6/3)
 //   --repeats N        exploration repeats, best kept (default 5)
-//   --seed S           RNG seed (default 1)
+//   --seed S           RNG seed (default 1); results are bit-identical for
+//                      the same seed at any --jobs value
+//   --jobs N           exploration worker threads (default: ISEX_JOBS env
+//                      var, else hardware concurrency)
 //   --max-latency N    pipestage cap on ISE latency in cycles (default off)
 //   --baseline         use the single-issue (legality-only) explorer
 //   --set name=value   bind a live-in (eval only; repeatable; 0x.. ok)
@@ -34,6 +37,7 @@
 #include "isa/tac_parser.hpp"
 #include "flow/listing.hpp"
 #include "rtl/verilog.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sched/list_scheduler.hpp"
 #include "util/table_printer.hpp"
 
@@ -49,6 +53,7 @@ struct CliOptions {
   int write_ports = 3;
   int repeats = 5;
   std::uint64_t seed = 1;
+  int jobs = 0;  // 0 = ISEX_JOBS env var, else hardware concurrency
   int max_latency = 0;
   bool baseline = false;
   std::vector<std::pair<std::string, std::uint32_t>> bindings;
@@ -59,8 +64,12 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: isex <explore|schedule|dot|eval|verilog|listing> <kernel.tac> "
                "[--issue N] [--ports R/W]\n"
-               "            [--repeats N] [--seed S] [--max-latency N] "
-               "[--baseline] [--set v=N]\n");
+               "            [--repeats N] [--seed S] [--jobs N] "
+               "[--max-latency N] [--baseline] [--set v=N]\n"
+               "\n"
+               "  --seed S  RNG seed; same seed -> same result at any --jobs\n"
+               "  --jobs N  exploration worker threads (default: ISEX_JOBS "
+               "env var, else hardware concurrency)\n");
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -88,6 +97,9 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       if (opt.repeats < 1) usage("--repeats must be >= 1");
     } else if (arg == "--seed") {
       opt.seed = std::strtoull(next_value(), nullptr, 0);
+    } else if (arg == "--jobs") {
+      opt.jobs = std::atoi(next_value());
+      if (opt.jobs < 1) usage("--jobs must be >= 1");
     } else if (arg == "--max-latency") {
       opt.max_latency = std::atoi(next_value());
     } else if (arg == "--baseline") {
@@ -281,6 +293,10 @@ int cmd_eval(const CliOptions& opt, const isa::ParsedBlock& block) {
 int main(int argc, char** argv) {
   const std::optional<CliOptions> opt = parse_args(argc, argv);
   if (!opt) usage();
+
+  // Size the shared exploration pool before any work touches it.  Results
+  // are seed-deterministic regardless of the job count.
+  if (opt->jobs > 0) runtime::ThreadPool::set_default_jobs(opt->jobs);
 
   isa::ParsedBlock block;
   try {
