@@ -1,6 +1,8 @@
 #include "harness_common.hpp"
 
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <ostream>
 
 #include "baseline/si_explorer.hpp"
@@ -9,9 +11,23 @@
 #include "flow/replacement.hpp"
 #include "runtime/job_graph.hpp"
 #include "runtime/runtime_stats.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace isex::benchx {
+namespace {
+
+/// ISEX_TRACE_OUT=file.json turns the global tracer on before main() runs,
+/// so every harness captures stage/explorer spans without code changes; the
+/// file is written by print_runtime_stats (which every sweep calls last).
+[[maybe_unused]] const bool g_tracer_armed = [] {
+  if (std::getenv("ISEX_TRACE_OUT") == nullptr) return false;
+  trace::Tracer::global().set_enabled(true);
+  return true;
+}();
+
+}  // namespace
 
 std::vector<sched::MachineConfig> paper_machines() {
   return {
@@ -131,6 +147,25 @@ void print_runtime_stats(std::ostream& out) {
       runtime::collect_runtime_stats(runtime::ThreadPool::default_pool());
   out << '\n';
   stats.print(out);
+
+  // Optional file sinks, so any harness doubles as an observability probe:
+  //   ISEX_METRICS_OUT=file.prom  Prometheus snapshot of the registry
+  //   ISEX_TRACE_OUT=file.json    Chrome trace (tracer armed at startup)
+  if (const char* path = std::getenv("ISEX_METRICS_OUT")) {
+    stats.publish(trace::MetricsRegistry::global());
+    std::ofstream file(path);
+    if (file)
+      trace::MetricsRegistry::global().write_prometheus(file);
+    else
+      std::cerr << "cannot write " << path << "\n";
+  }
+  if (const char* path = std::getenv("ISEX_TRACE_OUT")) {
+    std::ofstream file(path);
+    if (file)
+      trace::Tracer::global().write_chrome_trace(file);
+    else
+      std::cerr << "cannot write " << path << "\n";
+  }
 }
 
 }  // namespace isex::benchx

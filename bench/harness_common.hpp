@@ -64,7 +64,9 @@ std::vector<ExploredProgram> explore_programs(
     flow::Algorithm algorithm, int repeats, std::uint64_t seed);
 
 /// Prints the default pool's RuntimeStats (jobs, steals, cache hit rate,
-/// stage wall times); every sweep harness calls this before exiting.
+/// stage wall times); every sweep harness calls this before exiting.  With
+/// ISEX_METRICS_OUT / ISEX_TRACE_OUT set it also writes a Prometheus
+/// snapshot / Chrome trace to those paths (see docs/OBSERVABILITY.md).
 void print_runtime_stats(std::ostream& out);
 
 }  // namespace isex::benchx

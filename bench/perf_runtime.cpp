@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "runtime/eval_cache.hpp"
 #include "runtime/job_graph.hpp"
 #include "runtime/runtime_stats.hpp"
+#include "trace/metrics.hpp"
 
 namespace {
 
@@ -69,6 +71,7 @@ SweepRun run_sweep(int jobs, bool cache) {
   run.reductions.assign(benchmarks.size(), 0.0);
 
   const auto start = std::chrono::steady_clock::now();
+  const runtime::StageTimer stage_timer("exploration");
   runtime::JobGraph graph;
   std::vector<runtime::JobGraph::JobId> explore_jobs;
   for (std::size_t i = 0; i < benchmarks.size(); ++i) {
@@ -162,5 +165,20 @@ int main() {
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_runtime.json\n");
+
+  // Same numbers through the metrics pipe: mirror the final configuration's
+  // point-in-time stats into the registry (the live counters accumulated
+  // during the sweep are already there) and snapshot it, so the JSON report
+  // and the Prometheus view can be cross-checked against each other.
+  runtime::collect_runtime_stats(runtime::ThreadPool::default_pool())
+      .publish(trace::MetricsRegistry::global());
+  std::ofstream prom("BENCH_runtime.prom");
+  if (prom) {
+    trace::MetricsRegistry::global().write_prometheus(prom);
+    std::printf("wrote BENCH_runtime.prom\n");
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_runtime.prom\n");
+    return 1;
+  }
   return deterministic ? 0 : 1;
 }

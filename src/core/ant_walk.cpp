@@ -6,6 +6,7 @@
 #include "dfg/analysis.hpp"
 #include "isa/opcode.hpp"
 #include "sched/schedule.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace isex::core {
@@ -71,10 +72,18 @@ int WalkResult::finish_of(dfg::NodeId v) const {
 
 AntWalk::AntWalk(const hw::GPlus& gplus, const sched::MachineConfig& machine,
                  const ExplorerParams& params, hw::ClockSpec clock)
-    : gplus_(&gplus), machine_(machine), params_(&params), clock_(clock) {}
+    : gplus_(&gplus),
+      machine_(machine),
+      params_(&params),
+      clock_(clock),
+      walks_metric_(&trace::MetricsRegistry::global().counter(
+          "isex_ant_walks_total")),
+      tet_metric_(&trace::MetricsRegistry::global().histogram(
+          "isex_ant_walk_tet_cycles", {4, 8, 16, 32, 64, 128, 256, 512})) {}
 
 WalkResult AntWalk::run(const PheromoneState& pheromone,
                         std::span<const double> sp_score, Rng& rng) const {
+  const trace::Span span("ant_walk");
   const dfg::Graph& graph = gplus_->graph();
   const std::size_t n = graph.num_nodes();
   ISEX_ASSERT(sp_score.size() == n);
@@ -232,6 +241,8 @@ WalkResult AntWalk::run(const PheromoneState& pheromone,
   int tet = 0;
   for (dfg::NodeId v = 0; v < n; ++v) tet = std::max(tet, finish_of(v));
   result.tet = tet;
+  walks_metric_->inc();
+  tet_metric_->observe(tet);
   return result;
 }
 

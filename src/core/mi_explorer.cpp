@@ -13,6 +13,8 @@
 #include "runtime/job_graph.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/priority.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace isex::core {
@@ -85,6 +87,7 @@ MultiIssueExplorer::MultiIssueExplorer(sched::MachineConfig machine,
 
 ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
                                               Rng& rng) const {
+  const trace::Span explore_span("mi_explore");
   ExplorationResult result;
   const sched::ListScheduler scheduler(machine_);
   if (block.empty()) return result;
@@ -102,6 +105,7 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
   int current_cycles = result.base_cycles;
 
   for (int round = 0; round < params_.max_rounds; ++round) {
+    const trace::Span round_span("mi_explore.round");
     const hw::GPlus gplus(current, library_);
 
     // A block with no hardware-capable node can never yield an ISE.
@@ -130,11 +134,15 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
     std::vector<int> prev_order(current.num_nodes(), -1);
     std::vector<int> best_chosen;
     int tet_old = std::numeric_limits<int>::max();
+    int worst_tet = 0;
+    long long sum_tet = 0;
     int iterations = 0;
 
     for (; iterations < params_.max_iterations; ++iterations) {
       const WalkResult walk = walker.run(pheromone, sp, rng);
       const bool improved = walk.tet <= tet_old;
+      worst_tet = std::max(worst_tet, walk.tet);
+      sum_tet += walk.tet;
 
       std::vector<bool> reordered(current.num_nodes(), false);
       for (dfg::NodeId v = 0; v < current.num_nodes(); ++v)
@@ -161,7 +169,14 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
         t.iteration = iterations;
         t.tet = walk.tet;
         t.best_tet = tet_old;
+        t.worst_tet = worst_tet;
+        t.mean_tet = static_cast<double>(sum_tet) / (iterations + 1);
         t.converged_fraction = pheromone.converged_fraction();
+        t.entropy = pheromone.decision_entropy();
+        t.max_option_probability = pheromone.min_best_probability();
+        t.p_end = params_.p_end;
+        t.ants = iterations + 1;
+        t.cache_hit_rate = runtime::schedule_cache().stats().hit_rate();
         result.trace.push_back(t);
       }
       if (pheromone.converged()) {
@@ -171,14 +186,23 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
     }
     result.total_iterations += iterations;
     ++result.rounds;
+    trace::MetricsRegistry::global()
+        .histogram("isex_aco_iterations_per_round",
+                   {5, 10, 25, 50, 100, 150, 200, 250})
+        .observe(iterations);
+    trace::Tracer::global().record_counter("aco.iterations", iterations);
 
     // Taken option per node after convergence.
     std::vector<int> taken(current.num_nodes());
     for (dfg::NodeId v = 0; v < current.num_nodes(); ++v)
       taken[v] = static_cast<int>(pheromone.best_option(v));
 
-    const std::vector<IseCandidate> candidates =
-        extract_candidates(gplus, format_, taken, reach, clock_);
+    std::vector<IseCandidate> candidates;
+    {
+      // Make-Convex + port legalization over the converged taken options.
+      const trace::Span span("extract_candidates");
+      candidates = extract_candidates(gplus, format_, taken, reach, clock_);
+    }
     if (candidates.empty()) break;
 
     // Commit the candidate with the largest scheduled gain; require > 0.

@@ -23,6 +23,7 @@
 #include "hwlib/hw_library.hpp"
 #include "isa/register_file.hpp"
 #include "sched/machine_config.hpp"
+#include "trace/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace isex::core {
@@ -41,17 +42,10 @@ struct ExploredIse {
 };
 
 /// One ACO iteration's vital signs (collected when
-/// ExplorerParams::collect_trace is set).
-struct IterationTrace {
-  int round = 0;
-  int iteration = 0;
-  /// Total execution time of the ant's schedule.
-  int tet = 0;
-  /// Best TET seen so far in the round.
-  int best_tet = 0;
-  /// Fraction of operations whose best option already exceeds P_END.
-  double converged_fraction = 0.0;
-};
+/// ExplorerParams::collect_trace is set) — the telemetry layer's
+/// convergence record: TET against the round's best/mean/worst, pheromone
+/// decision entropy, and the binding max-option-probability vs P_END.
+using IterationTrace = trace::ConvergencePoint;
 
 struct ExplorationResult {
   std::vector<ExploredIse> ises;

@@ -1,6 +1,7 @@
 #include "core/pheromone.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.hpp"
 
@@ -112,6 +113,31 @@ bool PheromoneState::converged() const {
     if (selected_probability(v, best) <= params_->p_end) return false;
   }
   return true;
+}
+
+double PheromoneState::decision_entropy() const {
+  if (trail_.empty()) return 0.0;
+  double total = 0.0;
+  for (dfg::NodeId v = 0; v < trail_.size(); ++v) {
+    const std::size_t options = trail_[v].size();
+    if (options <= 1) continue;  // single option: zero entropy
+    double h = 0.0;
+    for (std::size_t o = 0; o < options; ++o) {
+      const double p = selected_probability(v, o);
+      if (p > 0.0) h -= p * std::log2(p);
+    }
+    total += h / std::log2(static_cast<double>(options));
+  }
+  return total / static_cast<double>(trail_.size());
+}
+
+double PheromoneState::min_best_probability() const {
+  double min_p = 1.0;
+  for (dfg::NodeId v = 0; v < trail_.size(); ++v) {
+    if (trail_[v].size() <= 1) continue;
+    min_p = std::min(min_p, selected_probability(v, best_option(v)));
+  }
+  return min_p;
 }
 
 double PheromoneState::converged_fraction() const {

@@ -52,6 +52,16 @@ class PheromoneState {
   /// convergence; diagnostic for the trace).
   double converged_fraction() const;
 
+  /// Mean over nodes of the normalized Shannon entropy of the selected-
+  /// probability distribution: 1.0 = every decision still uniform, 0.0 =
+  /// every decision collapsed onto one option (telemetry diagnostic).
+  double decision_entropy() const;
+
+  /// The binding convergence quantity: min over multi-option nodes of the
+  /// best option's selected probability.  converged() iff this > p_end;
+  /// 1.0 when every node has a single option.
+  double min_best_probability() const;
+
   /// Raw chosen-probability numerator (Eq. 1 numerator, without SP):
   /// α·trail + (1−α)·merit.
   double weight(dfg::NodeId v, std::size_t option) const;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "runtime/job_graph.hpp"
+#include "runtime/runtime_stats.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -48,12 +49,19 @@ std::vector<core::ExplorationResult> explore_hot_blocks(
 FlowResult run_design_flow(const ProfiledProgram& program,
                            const hw::HwLibrary& library,
                            const FlowConfig& config) {
+  // Every stage is timed into stage_times() / the metrics registry and,
+  // when the global tracer is enabled, appears as a `stage:<name>` span —
+  // the flow's wall-clock breakdown is first-class output, not printf.
   FlowResult result;
 
   // 1. Profiling + hot-block selection.
-  const std::vector<BlockCost> costs = profile_blocks(program, config.machine);
-  result.hot_blocks =
-      select_hot_blocks(costs, config.hot_coverage, config.max_hot_blocks);
+  {
+    const runtime::StageTimer timer("profiling");
+    const std::vector<BlockCost> costs =
+        profile_blocks(program, config.machine);
+    result.hot_blocks =
+        select_hot_blocks(costs, config.hot_coverage, config.max_hot_blocks);
+  }
 
   // 2. Exploration per hot block (best of `repeats`), fanned out over the
   // runtime as one (block × repeat) batch.
@@ -69,26 +77,35 @@ FlowResult run_design_flow(const ProfiledProgram& program,
 
   Rng rng(config.seed);
   std::vector<core::ExplorationResult> explorations;
-  if (config.algorithm == Algorithm::kMultiIssue) {
-    const core::MultiIssueExplorer explorer(config.machine, format, library,
-                                            config.params);
-    explorations = explore_hot_blocks(explorer, program, result.hot_blocks,
-                                      config.repeats, rng, pool);
-  } else {
-    const baseline::SingleIssueExplorer explorer(format, library,
-                                                 config.params);
-    explorations = explore_hot_blocks(explorer, program, result.hot_blocks,
-                                      config.repeats, rng, pool);
+  {
+    const runtime::StageTimer timer("exploration");
+    if (config.algorithm == Algorithm::kMultiIssue) {
+      const core::MultiIssueExplorer explorer(config.machine, format, library,
+                                              config.params);
+      explorations = explore_hot_blocks(explorer, program, result.hot_blocks,
+                                        config.repeats, rng, pool);
+    } else {
+      const baseline::SingleIssueExplorer explorer(format, library,
+                                                   config.params);
+      explorations = explore_hot_blocks(explorer, program, result.hot_blocks,
+                                        config.repeats, rng, pool);
+    }
   }
 
   // 3. Merging + selection with hardware sharing.
-  const std::vector<IseCatalogEntry> catalog =
-      build_catalog(program, result.hot_blocks, explorations);
-  result.selection = select_ises(catalog, config.constraints);
+  {
+    const runtime::StageTimer timer("selection");
+    const std::vector<IseCatalogEntry> catalog =
+        build_catalog(program, result.hot_blocks, explorations);
+    result.selection = select_ises(catalog, config.constraints);
+  }
 
   // 4. Replacement and final scheduling.
-  result.replacement = apply_selection(program, result.selection,
-                                       config.machine, config.replacement);
+  {
+    const runtime::StageTimer timer("replacement");
+    result.replacement = apply_selection(program, result.selection,
+                                         config.machine, config.replacement);
+  }
   return result;
 }
 

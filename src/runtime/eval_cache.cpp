@@ -5,7 +5,15 @@
 
 namespace isex::runtime {
 
-EvalCache::EvalCache(std::size_t capacity, std::size_t shards) {
+EvalCache::EvalCache(std::size_t capacity, std::size_t shards)
+    : hits_metric_(&trace::MetricsRegistry::global().counter(
+          "isex_schedule_cache_hits_total")),
+      misses_metric_(&trace::MetricsRegistry::global().counter(
+          "isex_schedule_cache_misses_total")),
+      insertions_metric_(&trace::MetricsRegistry::global().counter(
+          "isex_schedule_cache_insertions_total")),
+      evictions_metric_(&trace::MetricsRegistry::global().counter(
+          "isex_schedule_cache_evictions_total")) {
   ISEX_ASSERT(shards >= 1);
   shard_capacity_ = capacity / shards;
   if (shard_capacity_ == 0) shard_capacity_ = 1;
@@ -20,9 +28,11 @@ std::optional<int> EvalCache::lookup(const Key128& key) {
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     ++shard.misses;
+    misses_metric_->inc();
     return std::nullopt;
   }
   ++shard.hits;
+  hits_metric_->inc();
   return it->second;
 }
 
@@ -33,10 +43,12 @@ void EvalCache::insert(const Key128& key, int value) {
   if (!inserted) return;  // concurrent miss raced us; values are identical
   shard.fifo.push_back(key);
   ++shard.insertions;
+  insertions_metric_->inc();
   while (shard.map.size() > shard_capacity_) {
     shard.map.erase(shard.fifo.front());
     shard.fifo.pop_front();
     ++shard.evictions;
+    evictions_metric_->inc();
   }
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "runtime/hash.hpp"
+#include "trace/metrics.hpp"
 
 namespace isex::sched {
 class ListScheduler;
@@ -95,6 +96,12 @@ class EvalCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t shard_capacity_;
+  /// Process-wide metrics mirrored alongside the per-shard counters (which
+  /// stay authoritative for stats(); the registry aggregates every cache).
+  trace::Counter* hits_metric_;
+  trace::Counter* misses_metric_;
+  trace::Counter* insertions_metric_;
+  trace::Counter* evictions_metric_;
 };
 
 /// Process-wide cache for list-scheduler makespans, shared by every explorer

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "trace/trace.hpp"
+
 namespace isex::runtime {
 
 void RuntimeStats::print(std::ostream& out) const {
@@ -20,7 +22,25 @@ void RuntimeStats::print(std::ostream& out) const {
   }
 }
 
+void RuntimeStats::publish(trace::MetricsRegistry& registry) const {
+  registry.gauge("isex_pool_threads").set(pool.threads);
+  registry.gauge("isex_pool_jobs").set(static_cast<double>(pool.jobs_run));
+  registry.gauge("isex_pool_steals").set(static_cast<double>(pool.steals));
+  registry.gauge("isex_schedule_cache_hit_rate")
+      .set(schedule_cache.hit_rate());
+  registry.gauge("isex_schedule_cache_probes")
+      .set(static_cast<double>(schedule_cache.hits + schedule_cache.misses));
+  for (const auto& [stage, seconds] : stages) {
+    registry.gauge("isex_stage_seconds", {{"stage", stage}}).set(seconds);
+  }
+}
+
 void StageTimes::record(const std::string& stage, double seconds) {
+  // Stream into the process-wide registry first (monotonic counter: reset()
+  // below clears this instance's report, not the metric history).
+  trace::MetricsRegistry::global()
+      .counter("isex_stage_seconds_total", {{"stage", stage}})
+      .inc(seconds);
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, total] : stages_) {
     if (name == stage) {
@@ -46,8 +66,22 @@ StageTimes& stage_times() {
   return times;
 }
 
+StageTimer::StageTimer(std::string stage)
+    : stage_(std::move(stage)), start_(std::chrono::steady_clock::now()) {
+  trace::Tracer& tracer = trace::Tracer::global();
+  if (tracer.enabled()) {
+    traced_ = true;
+    trace_start_us_ = tracer.now_us();
+  }
+}
+
 StageTimer::~StageTimer() {
   const auto elapsed = std::chrono::steady_clock::now() - start_;
+  if (traced_) {
+    trace::Tracer& tracer = trace::Tracer::global();
+    tracer.record_span("stage:" + stage_, trace_start_us_,
+                       tracer.now_us() - trace_start_us_);
+  }
   stage_times().record(
       stage_, std::chrono::duration<double>(elapsed).count());
 }

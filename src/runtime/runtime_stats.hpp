@@ -14,6 +14,7 @@
 
 #include "runtime/eval_cache.hpp"
 #include "runtime/thread_pool.hpp"
+#include "trace/metrics.hpp"
 
 namespace isex::runtime {
 
@@ -24,9 +25,18 @@ struct RuntimeStats {
   std::vector<std::pair<std::string, double>> stages;
 
   void print(std::ostream& out) const;
+
+  /// Mirrors this snapshot into `registry` as point-in-time gauges
+  /// (isex_pool_threads, isex_schedule_cache_hit_rate, ...), alongside the
+  /// live counters the pool/cache/stage hooks stream on their own — so a
+  /// Prometheus snapshot and a printed/JSON report agree by construction.
+  void publish(trace::MetricsRegistry& registry) const;
 };
 
-/// Accumulates wall time into named stages (thread-safe).
+/// Accumulates wall time into named stages (thread-safe).  Every record()
+/// also feeds the process-wide metrics registry's
+/// isex_stage_seconds_total{stage="..."} counter, so stage wall time is
+/// machine-readable from any Prometheus snapshot, not just print().
 class StageTimes {
  public:
   void record(const std::string& stage, double seconds);
@@ -41,11 +51,11 @@ class StageTimes {
 /// Process-wide stage-time registry (what collect_runtime_stats reports).
 StageTimes& stage_times();
 
-/// RAII: adds the scope's wall time to stage_times() under `stage`.
+/// RAII: adds the scope's wall time to stage_times() under `stage` and,
+/// when the global tracer is enabled, records a `stage:<name>` span.
 class StageTimer {
  public:
-  explicit StageTimer(std::string stage)
-      : stage_(std::move(stage)), start_(std::chrono::steady_clock::now()) {}
+  explicit StageTimer(std::string stage);
   ~StageTimer();
 
   StageTimer(const StageTimer&) = delete;
@@ -54,6 +64,8 @@ class StageTimer {
  private:
   std::string stage_;
   std::chrono::steady_clock::time_point start_;
+  std::uint64_t trace_start_us_ = 0;
+  bool traced_ = false;
 };
 
 /// Snapshot of `pool` + the global schedule cache + global stage times.

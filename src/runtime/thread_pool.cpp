@@ -13,7 +13,11 @@ thread_local const ThreadPool* tls_current_pool = nullptr;
 
 }  // namespace
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads)
+    : jobs_metric_(&trace::MetricsRegistry::global().counter(
+          "isex_pool_jobs_total")),
+      steals_metric_(&trace::MetricsRegistry::global().counter(
+          "isex_pool_steals_total")) {
   if (threads <= 0) threads = default_jobs();
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i)
@@ -73,8 +77,12 @@ bool ThreadPool::run_one(int self) {
   }
   if (!task) return false;
   pending_.fetch_sub(1, std::memory_order_acq_rel);
-  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) {
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    steals_metric_->inc();
+  }
   jobs_run_.fetch_add(1, std::memory_order_relaxed);
+  jobs_metric_->inc();
   task();
   return true;
 }

@@ -33,6 +33,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "trace/metrics.hpp"
+
 namespace isex::runtime {
 
 /// Counters a pool accumulates over its lifetime (see RuntimeStats).
@@ -103,6 +105,10 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+  /// Process-wide metrics mirrored alongside the per-pool atomics: resolved
+  /// once here so run_one() pays a plain atomic add, not a registry lookup.
+  trace::Counter* jobs_metric_;
+  trace::Counter* steals_metric_;
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
   std::atomic<std::size_t> pending_{0};

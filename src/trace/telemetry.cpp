@@ -1,0 +1,74 @@
+#include "trace/telemetry.hpp"
+
+#include <ostream>
+
+namespace isex::trace {
+
+void ExplorationTelemetry::record(const ConvergencePoint& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.push_back(point);
+}
+
+void ExplorationTelemetry::record_all(std::span<const ConvergencePoint> points) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.insert(points_.end(), points.begin(), points.end());
+}
+
+std::vector<ConvergencePoint> ExplorationTelemetry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return points_;
+}
+
+void ExplorationTelemetry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+}
+
+std::size_t ExplorationTelemetry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return points_.size();
+}
+
+const char* ExplorationTelemetry::csv_header() {
+  return "round,iteration,tet,best_tet,worst_tet,mean_tet,"
+         "converged_fraction,entropy,max_option_probability,p_end,ants,"
+         "cache_hit_rate";
+}
+
+void ExplorationTelemetry::write_csv(std::ostream& out,
+                                     std::span<const ConvergencePoint> points) {
+  out << csv_header() << '\n';
+  for (const ConvergencePoint& p : points) {
+    out << p.round << ',' << p.iteration << ',' << p.tet << ',' << p.best_tet
+        << ',' << p.worst_tet << ',' << p.mean_tet << ','
+        << p.converged_fraction << ',' << p.entropy << ','
+        << p.max_option_probability << ',' << p.p_end << ',' << p.ants << ','
+        << p.cache_hit_rate << '\n';
+  }
+}
+
+void ExplorationTelemetry::write_jsonl(
+    std::ostream& out, std::span<const ConvergencePoint> points) {
+  for (const ConvergencePoint& p : points) {
+    out << "{\"round\":" << p.round << ",\"iteration\":" << p.iteration
+        << ",\"tet\":" << p.tet << ",\"best_tet\":" << p.best_tet
+        << ",\"worst_tet\":" << p.worst_tet << ",\"mean_tet\":" << p.mean_tet
+        << ",\"converged_fraction\":" << p.converged_fraction
+        << ",\"entropy\":" << p.entropy
+        << ",\"max_option_probability\":" << p.max_option_probability
+        << ",\"p_end\":" << p.p_end << ",\"ants\":" << p.ants
+        << ",\"cache_hit_rate\":" << p.cache_hit_rate << "}\n";
+  }
+}
+
+void ExplorationTelemetry::write_csv(std::ostream& out) const {
+  const std::vector<ConvergencePoint> points = snapshot();
+  write_csv(out, points);
+}
+
+void ExplorationTelemetry::write_jsonl(std::ostream& out) const {
+  const std::vector<ConvergencePoint> points = snapshot();
+  write_jsonl(out, points);
+}
+
+}  // namespace isex::trace

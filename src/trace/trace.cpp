@@ -1,0 +1,213 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace isex::trace {
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+/// Per-thread cache of the buffer registered with one tracer.  Keyed by the
+/// tracer's unique id, not its address: a tracer destroyed and another
+/// constructed at the same address must not inherit the stale buffer.
+struct TlsEntry {
+  std::uint64_t tracer_id = 0;
+  std::shared_ptr<void> buffer;
+};
+thread_local TlsEntry tls_entry;
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpan:
+      return "span";
+    case EventKind::kInstant:
+      return "instant";
+    case EventKind::kCounter:
+      return "counter";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  if (tls_entry.tracer_id != id_) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    {
+      std::lock_guard<std::mutex> lock(buffers_mutex_);
+      buffer->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
+      buffers_.push_back(buffer);
+    }
+    tls_entry.tracer_id = id_;
+    tls_entry.buffer = buffer;
+  }
+  return *static_cast<ThreadBuffer*>(tls_entry.buffer.get());
+}
+
+void Tracer::append(std::string_view name, EventKind kind, std::uint64_t ts_us,
+                    std::uint64_t dur_us, double value) {
+  ThreadBuffer& buffer = local_buffer();
+  TraceEvent event;
+  event.name = std::string(name);
+  event.kind = kind;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = buffer.tid;
+  event.value = value;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+void Tracer::record_span(std::string_view name, std::uint64_t ts_us,
+                         std::uint64_t dur_us) {
+  if (!enabled()) return;
+  append(name, EventKind::kSpan, ts_us, dur_us, 0.0);
+}
+
+void Tracer::record_instant(std::string_view name) {
+  if (!enabled()) return;
+  append(name, EventKind::kInstant, now_us(), 0, 0.0);
+}
+
+void Tracer::record_counter(std::string_view name, double value) {
+  if (!enabled()) return;
+  append(name, EventKind::kCounter, now_us(), 0, value);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> merged;
+  std::lock_guard<std::mutex> registry_lock(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    merged.insert(merged.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return merged;
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::vector<TraceEvent> merged;
+  std::lock_guard<std::mutex> registry_lock(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    merged.insert(merged.end(),
+                  std::make_move_iterator(buffer->events.begin()),
+                  std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+  }
+  return merged;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> registry_lock(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::size_t Tracer::num_events() const {
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> registry_lock(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = snapshot();
+  trace::write_chrome_trace(out, events);
+}
+
+void Tracer::write_jsonl(std::ostream& out) const {
+  const std::vector<TraceEvent> events = snapshot();
+  trace::write_jsonl(out, events);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out,
+                        std::span<const TraceEvent> events) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << json_escape(e.name) << "\",\"pid\":1,\"tid\":"
+        << e.tid << ",\"ts\":" << e.ts_us;
+    switch (e.kind) {
+      case EventKind::kSpan:
+        out << ",\"ph\":\"X\",\"dur\":" << e.dur_us;
+        break;
+      case EventKind::kInstant:
+        out << ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case EventKind::kCounter:
+        out << ",\"ph\":\"C\",\"args\":{\"value\":" << e.value << "}";
+        break;
+    }
+    out << "}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_jsonl(std::ostream& out, std::span<const TraceEvent> events) {
+  for (const TraceEvent& e : events) {
+    out << "{\"name\":\"" << json_escape(e.name) << "\",\"kind\":\""
+        << kind_name(e.kind) << "\",\"ts_us\":" << e.ts_us
+        << ",\"dur_us\":" << e.dur_us << ",\"tid\":" << e.tid
+        << ",\"value\":" << e.value << "}\n";
+  }
+}
+
+}  // namespace isex::trace

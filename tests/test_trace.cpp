@@ -1,0 +1,477 @@
+// Tests for the observability layer: Tracer/Span event semantics and export
+// formats, MetricsRegistry counter/gauge/histogram semantics under
+// concurrency (run under TSan in CI), telemetry CSV/JSONL, and the
+// DesignFlow stage spans.
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_suite/kernels.hpp"
+#include "flow/design_flow.hpp"
+#include "trace/metrics.hpp"
+#include "trace/telemetry.hpp"
+
+namespace isex::trace {
+namespace {
+
+// --- minimal JSON syntax checker ------------------------------------------
+// Recursive-descent validator: enough JSON to prove the Chrome trace and
+// JSONL writers emit well-formed documents (structure, strings, numbers),
+// without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      } else if (static_cast<unsigned char>(text_[pos_]) < 0x20) {
+        return false;  // raw control character — must be escaped
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+// --- Tracer ---------------------------------------------------------------
+
+TEST(TracerTest, DisabledByDefaultAndRecordsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.record_instant("ignored");
+  tracer.record_counter("ignored", 1.0);
+  { const Span span("ignored", tracer); }
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+TEST(TracerTest, PreservesPerThreadEventOrder) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record_instant("a");
+  tracer.record_instant("b");
+  tracer.record_counter("c", 3.0);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[2].name, "c");
+  EXPECT_EQ(events[2].kind, EventKind::kCounter);
+  EXPECT_DOUBLE_EQ(events[2].value, 3.0);
+  // One thread recorded everything: same tid, monotonic timestamps.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+}
+
+TEST(TracerTest, SpanFlushesOnDrop) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    const Span span("work", tracer);
+    EXPECT_EQ(tracer.num_events(), 0u);  // nothing until the dtor
+  }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].kind, EventKind::kSpan);
+}
+
+TEST(TracerTest, SpanStartedWhileDisabledIsDropped) {
+  Tracer tracer;
+  {
+    const Span span("late", tracer);
+    tracer.set_enabled(true);  // enabling mid-span must not fabricate events
+  }
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+TEST(TracerTest, BuffersSurviveThreadExit) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  std::thread worker([&] { tracer.record_instant("from_worker"); });
+  worker.join();
+  tracer.record_instant("from_main");
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(TracerTest, ConcurrentRecordingLosesNothing) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  Tracer tracer;
+  tracer.set_enabled(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) tracer.record_instant("tick");
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.num_events(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(TracerTest, DrainEmptiesAndResetRestartsEpoch) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record_instant("one");
+  EXPECT_EQ(tracer.drain().size(), 1u);
+  EXPECT_EQ(tracer.num_events(), 0u);
+  tracer.record_instant("two");
+  tracer.reset();
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+TEST(TracerTest, ChromeTraceIsValidJson) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record_instant("needs \"escaping\"\n");
+  tracer.record_counter("aco.iterations", 42.0);
+  { const Span span("phase", tracer); }
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);  // the span
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);  // the counter
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);  // the instant
+}
+
+TEST(TracerTest, JsonlLinesAreEachValidJson) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record_instant("a");
+  tracer.record_counter("b", 1.5);
+  std::ostringstream out;
+  tracer.write_jsonl(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+// --- metrics --------------------------------------------------------------
+
+TEST(MetricsTest, RegistryInternsSeriesByNameAndLabels) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("jobs_total");
+  Counter& b = registry.counter("jobs_total");
+  EXPECT_EQ(&a, &b);
+  Counter& labeled = registry.counter("jobs_total", {{"pool", "p0"}});
+  EXPECT_NE(&a, &labeled);
+  // Label order must not matter.
+  Gauge& g1 = registry.gauge("g", {{"x", "1"}, {"y", "2"}});
+  Gauge& g2 = registry.gauge("g", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&g1, &g2);
+  EXPECT_EQ(registry.num_series(), 3u);
+}
+
+TEST(MetricsTest, ConcurrentFirstUseRegistrationIsSafe) {
+  // Pool workers race on the first use of a series (AntWalk's ctor inside
+  // parallel explores); lookup and payload creation must be one atomic step.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      registry.counter("c_total").inc();
+      registry.histogram("h", {1.0, 2.0}).observe(1.0);
+      registry.gauge("g").add(1.0);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(registry.counter("c_total").value(), kThreads);
+  EXPECT_EQ(registry.histogram("h", {1.0, 2.0}).count(),
+            static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(registry.num_series(), 3u);
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hits_total");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, ConcurrentHistogramObservationsAreExact) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("lat", {1.0, 10.0, 100.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t, &hist] {
+      for (int i = 0; i < kPerThread; ++i)
+        hist.observe(static_cast<double>((t * kPerThread + i) % 200));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t binned = 0;
+  for (const std::uint64_t c : hist.bin_counts()) binned += c;
+  EXPECT_EQ(binned, hist.count());
+}
+
+TEST(MetricsTest, HistogramBinsAreCumulativeInPrometheusOutput) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("tet_cycles", {2.0, 4.0, 8.0});
+  for (const double v : {1.0, 3.0, 3.0, 7.0, 100.0}) hist.observe(v);
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE tet_cycles histogram"), std::string::npos);
+  EXPECT_NE(text.find("tet_cycles_bucket{le=\"2\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("tet_cycles_bucket{le=\"4\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("tet_cycles_bucket{le=\"8\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("tet_cycles_bucket{le=\"+Inf\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("tet_cycles_count 5"), std::string::npos);
+  EXPECT_NE(text.find("tet_cycles_sum 114"), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusOutputIsSortedWithOneTypeLinePerFamily) {
+  MetricsRegistry registry;
+  registry.counter("zz_total").inc();
+  registry.gauge("aa").set(1.0);
+  registry.counter("mm_total", {{"stage", "b"}}).inc();
+  registry.counter("mm_total", {{"stage", "a"}}).inc(2.0);
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_LT(text.find("aa"), text.find("mm_total"));
+  EXPECT_LT(text.find("mm_total"), text.find("zz_total"));
+  EXPECT_LT(text.find("mm_total{stage=\"a\"} 2"),
+            text.find("mm_total{stage=\"b\"} 1"));
+  EXPECT_EQ(count_occurrences(text, "# TYPE mm_total counter"), 1u);
+}
+
+TEST(MetricsTest, ResetZeroesEverySeries) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(5.0);
+  registry.gauge("g").set(2.0);
+  registry.histogram("h", {1.0}).observe(3.0);
+  registry.reset();
+  EXPECT_DOUBLE_EQ(registry.counter("c").value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 0.0);
+  EXPECT_EQ(registry.histogram("h", {1.0}).count(), 0u);
+}
+
+// --- telemetry ------------------------------------------------------------
+
+ConvergencePoint make_point(int round, int iteration, int tet) {
+  ConvergencePoint p;
+  p.round = round;
+  p.iteration = iteration;
+  p.tet = tet;
+  p.best_tet = tet;
+  p.worst_tet = tet + 2;
+  p.mean_tet = tet + 1.0;
+  p.converged_fraction = 0.5;
+  p.entropy = 0.25;
+  p.max_option_probability = 0.75;
+  p.p_end = 0.99;
+  p.ants = iteration + 1;
+  p.cache_hit_rate = 0.125;
+  return p;
+}
+
+TEST(TelemetryTest, CsvHasHeaderAndOneRowPerPoint) {
+  ExplorationTelemetry telemetry;
+  telemetry.record(make_point(0, 0, 19));
+  telemetry.record(make_point(0, 1, 17));
+  std::ostringstream out;
+  telemetry.write_csv(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, ExplorationTelemetry::csv_header());
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(line.begin(), line.end(), ',')),
+            11u);  // 12 columns
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 11);
+    ++rows;
+  }
+  EXPECT_EQ(rows, telemetry.size());
+}
+
+TEST(TelemetryTest, JsonlRowsAreValidJson) {
+  const std::vector<ConvergencePoint> points = {make_point(1, 3, 12)};
+  std::ostringstream out;
+  ExplorationTelemetry::write_jsonl(out, points);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(JsonChecker(line).valid()) << line;
+  EXPECT_NE(line.find("\"round\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"tet\":12"), std::string::npos);
+}
+
+TEST(TelemetryTest, ConcurrentRecordKeepsEveryPoint) {
+  ExplorationTelemetry telemetry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t, &telemetry] {
+      for (int i = 0; i < kPerThread; ++i)
+        telemetry.record(make_point(t, i, 10));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(telemetry.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+// --- integration ----------------------------------------------------------
+
+TEST(DesignFlowTraceTest, StageSpansAppear) {
+  Tracer& tracer = Tracer::global();
+  tracer.reset();
+  tracer.set_enabled(true);
+  const auto program = bench_suite::make_program(
+      bench_suite::Benchmark::kCrc32, bench_suite::OptLevel::kO3);
+  flow::FlowConfig config;
+  config.machine = sched::MachineConfig::make(2, {6, 3});
+  config.repeats = 2;
+  config.seed = 99;
+  flow::run_design_flow(program, hw::HwLibrary::paper_default(), config);
+  tracer.set_enabled(false);
+  const auto events = tracer.snapshot();
+  tracer.reset();
+
+  const auto has_span = [&](std::string_view name) {
+    return std::any_of(events.begin(), events.end(), [&](const TraceEvent& e) {
+      return e.kind == EventKind::kSpan && e.name == name;
+    });
+  };
+  EXPECT_TRUE(has_span("stage:profiling"));
+  EXPECT_TRUE(has_span("stage:exploration"));
+  EXPECT_TRUE(has_span("stage:selection"));
+  EXPECT_TRUE(has_span("stage:replacement"));
+  EXPECT_TRUE(has_span("mi_explore"));
+  EXPECT_TRUE(has_span("ant_walk"));
+}
+
+}  // namespace
+}  // namespace isex::trace

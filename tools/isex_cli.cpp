@@ -19,6 +19,12 @@
 //   --max-latency N    pipestage cap on ISE latency in cycles (default off)
 //   --baseline         use the single-issue (legality-only) explorer
 //   --set name=value   bind a live-in (eval only; repeatable; 0x.. ok)
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --trace-out F        write a Chrome trace_event JSON (open in Perfetto /
+//                        chrome://tracing); enables the tracer for the run
+//   --metrics-out F      write a Prometheus text-format metrics snapshot
+//   --convergence-out F  write the per-iteration ACO convergence curve (CSV)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,8 +43,12 @@
 #include "isa/tac_parser.hpp"
 #include "flow/listing.hpp"
 #include "rtl/verilog.hpp"
+#include "runtime/runtime_stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/list_scheduler.hpp"
+#include "trace/metrics.hpp"
+#include "trace/telemetry.hpp"
+#include "trace/trace.hpp"
 #include "util/table_printer.hpp"
 
 namespace {
@@ -57,6 +67,9 @@ struct CliOptions {
   int max_latency = 0;
   bool baseline = false;
   std::vector<std::pair<std::string, std::uint32_t>> bindings;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string convergence_out;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
@@ -66,10 +79,16 @@ struct CliOptions {
                "[--issue N] [--ports R/W]\n"
                "            [--repeats N] [--seed S] [--jobs N] "
                "[--max-latency N] [--baseline] [--set v=N]\n"
+               "            [--trace-out F] [--metrics-out F] "
+               "[--convergence-out F]\n"
                "\n"
                "  --seed S  RNG seed; same seed -> same result at any --jobs\n"
                "  --jobs N  exploration worker threads (default: ISEX_JOBS "
-               "env var, else hardware concurrency)\n");
+               "env var, else hardware concurrency)\n"
+               "  --trace-out F        Chrome trace_event JSON "
+               "(chrome://tracing / Perfetto)\n"
+               "  --metrics-out F      Prometheus text metrics snapshot\n"
+               "  --convergence-out F  per-iteration ACO convergence CSV\n");
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -104,6 +123,12 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opt.max_latency = std::atoi(next_value());
     } else if (arg == "--baseline") {
       opt.baseline = true;
+    } else if (arg == "--trace-out") {
+      opt.trace_out = next_value();
+    } else if (arg == "--metrics-out") {
+      opt.metrics_out = next_value();
+    } else if (arg == "--convergence-out") {
+      opt.convergence_out = next_value();
     } else if (arg == "--set") {
       const std::string binding = next_value();
       const std::size_t eq = binding.find('=');
@@ -143,13 +168,32 @@ core::ExplorationResult explore(const CliOptions& opt,
   format.reg_file = machine.reg_file;
   format.max_ise_latency_cycles = opt.max_latency;
   const hw::HwLibrary library = hw::HwLibrary::paper_default();
+  core::ExplorerParams params;
+  params.collect_trace = !opt.convergence_out.empty();
   Rng rng(opt.seed);
-  if (opt.baseline) {
-    const baseline::SingleIssueExplorer explorer(format, library);
-    return explorer.explore_best_of(graph, opt.repeats, rng);
+  core::ExplorationResult result;
+  {
+    const runtime::StageTimer timer("exploration");
+    if (opt.baseline) {
+      const baseline::SingleIssueExplorer explorer(format, library, params);
+      result = explorer.explore_best_of(graph, opt.repeats, rng);
+    } else {
+      const core::MultiIssueExplorer explorer(machine, format, library,
+                                              params);
+      result = explorer.explore_best_of(graph, opt.repeats, rng);
+    }
   }
-  const core::MultiIssueExplorer explorer(machine, format, library);
-  return explorer.explore_best_of(graph, opt.repeats, rng);
+  if (!opt.convergence_out.empty()) {
+    std::ofstream out(opt.convergence_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.convergence_out.c_str());
+      std::exit(1);
+    }
+    // The curve of the best-of attempt that won (deterministic in --seed).
+    trace::ExplorationTelemetry::write_csv(out, result.trace);
+  }
+  return result;
 }
 
 int cmd_explore(const CliOptions& opt, const isa::ParsedBlock& block) {
@@ -290,6 +334,31 @@ int cmd_eval(const CliOptions& opt, const isa::ParsedBlock& block) {
 
 }  // namespace
 
+/// Writes the --trace-out / --metrics-out sinks after the command ran.
+void write_observability(const CliOptions& opt) {
+  if (!opt.trace_out.empty()) {
+    std::ofstream out(opt.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.trace_out.c_str());
+      std::exit(1);
+    }
+    trace::Tracer::global().write_chrome_trace(out);
+  }
+  if (!opt.metrics_out.empty()) {
+    std::ofstream out(opt.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.metrics_out.c_str());
+      std::exit(1);
+    }
+    // Fold the runtime's point-in-time stats (pool width, cache hit rate,
+    // stage seconds) into the registry next to the live counters.
+    runtime::collect_runtime_stats(runtime::ThreadPool::default_pool())
+        .publish(trace::MetricsRegistry::global());
+    trace::MetricsRegistry::global().write_prometheus(out);
+  }
+}
+
 int main(int argc, char** argv) {
   const std::optional<CliOptions> opt = parse_args(argc, argv);
   if (!opt) usage();
@@ -297,6 +366,7 @@ int main(int argc, char** argv) {
   // Size the shared exploration pool before any work touches it.  Results
   // are seed-deterministic regardless of the job count.
   if (opt->jobs > 0) runtime::ThreadPool::set_default_jobs(opt->jobs);
+  if (!opt->trace_out.empty()) trace::Tracer::global().set_enabled(true);
 
   isa::ParsedBlock block;
   try {
@@ -306,11 +376,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (opt->command == "explore") return cmd_explore(*opt, block);
-  if (opt->command == "schedule") return cmd_schedule(*opt, block);
-  if (opt->command == "dot") return cmd_dot(*opt, block);
-  if (opt->command == "eval") return cmd_eval(*opt, block);
-  if (opt->command == "verilog") return cmd_verilog(*opt, block);
-  if (opt->command == "listing") return cmd_listing(*opt, block);
-  usage(("unknown command '" + opt->command + "'").c_str());
+  int rc = -1;
+  {
+    const trace::Span command_span("isex:" + opt->command);
+    if (opt->command == "explore") rc = cmd_explore(*opt, block);
+    else if (opt->command == "schedule") rc = cmd_schedule(*opt, block);
+    else if (opt->command == "dot") rc = cmd_dot(*opt, block);
+    else if (opt->command == "eval") rc = cmd_eval(*opt, block);
+    else if (opt->command == "verilog") rc = cmd_verilog(*opt, block);
+    else if (opt->command == "listing") rc = cmd_listing(*opt, block);
+  }
+  if (rc < 0) usage(("unknown command '" + opt->command + "'").c_str());
+  write_observability(*opt);
+  return rc;
 }

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts `isex` and the bench harnesses emit.
+
+Checks three file kinds (each optional — pass what you have):
+
+  --trace t.json        Chrome trace_event JSON: well-formed JSON, a
+                        `traceEvents` list of events whose required keys and
+                        `ph` phases are sane, timestamps non-negative.
+  --metrics m.prom      Prometheus text exposition: parseable lines, `# TYPE`
+                        before first sample of a family, histogram bucket
+                        counts cumulative and consistent with _count, and the
+                        core isex_* families present.
+  --convergence c.csv   Convergence curve CSV: exact header, numeric rows,
+                        per-(round) best_tet non-increasing, probabilities
+                        in [0, 1].
+
+Exit code 0 iff every provided file validates.  CI runs this against a real
+`isex explore` invocation; see docs/OBSERVABILITY.md.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+EXPECTED_CSV_HEADER = (
+    "round,iteration,tet,best_tet,worst_tet,mean_tet,converged_fraction,"
+    "entropy,max_option_probability,p_end,ants,cache_hit_rate"
+)
+
+# Metric families every exploration run must populate (tools/isex explore
+# with --metrics-out, or any bench harness with ISEX_METRICS_OUT).
+REQUIRED_METRIC_FAMILIES = [
+    "isex_ant_walks_total",
+    "isex_ant_walk_tet_cycles",
+    "isex_aco_iterations_per_round",
+    "isex_pool_jobs_total",
+    "isex_schedule_cache_hits_total",
+    "isex_schedule_cache_misses_total",
+    "isex_stage_seconds_total",
+]
+
+VALID_PHASES = {"X", "i", "C", "B", "E", "M"}
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def validate_trace(path, errors):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, f"{path}: not valid JSON: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, f"{path}: missing 'traceEvents' list")
+        return
+    if not events:
+        fail(errors, f"{path}: traceEvents is empty — tracer never recorded")
+        return
+    phases = set()
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                fail(errors, f"{path}: event {i} lacks '{key}': {e}")
+                return
+        if e["ph"] not in VALID_PHASES:
+            fail(errors, f"{path}: event {i} has unknown phase {e['ph']!r}")
+            return
+        if e["ts"] < 0 or (e["ph"] == "X" and e.get("dur", 0) < 0):
+            fail(errors, f"{path}: event {i} has negative time: {e}")
+            return
+        phases.add(e["ph"])
+    if "X" not in phases:
+        fail(errors, f"{path}: no complete spans (ph=X) — stage/explorer "
+                     "instrumentation missing")
+    print(f"{path}: OK ({len(events)} events, phases {sorted(phases)})")
+
+
+def parse_prometheus(path, errors):
+    """Returns {family: [(labels_str, value)]} or None on parse failure."""
+    samples = {}
+    typed = set()
+    try:
+        lines = open(path, encoding="utf-8").read().splitlines()
+    except OSError as e:
+        fail(errors, f"{path}: {e}")
+        return None
+    for n, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram"):
+                fail(errors, f"{path}:{n}: malformed TYPE line: {line}")
+                return None
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            fail(errors, f"{path}:{n}: malformed sample: {line}")
+            return None
+        try:
+            value = float(value_part)
+        except ValueError:
+            fail(errors, f"{path}:{n}: non-numeric value: {line}")
+            return None
+        name, _, labels = name_part.partition("{")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            fail(errors, f"{path}:{n}: sample before its # TYPE line: {line}")
+            return None
+        samples.setdefault(name, []).append((labels.rstrip("}"), value))
+    return samples
+
+
+def validate_metrics(path, errors):
+    samples = parse_prometheus(path, errors)
+    if samples is None:
+        return
+    for family in REQUIRED_METRIC_FAMILIES:
+        hits = [n for n in samples
+                if n == family or n.startswith(family + "_")
+                or n.startswith(family + "{")]
+        if not hits:
+            fail(errors, f"{path}: required metric family '{family}' absent")
+    # Histogram sanity: buckets cumulative, +Inf bucket == _count.
+    for name in [n for n in samples if n.endswith("_bucket")]:
+        base = name[: -len("_bucket")]
+        per_series = {}
+        for labels, value in samples[name]:
+            le = [kv for kv in labels.split(",") if kv.startswith("le=")]
+            rest = ",".join(kv for kv in labels.split(",")
+                            if not kv.startswith("le="))
+            if not le:
+                fail(errors, f"{path}: {name} sample without le label")
+                return
+            per_series.setdefault(rest, []).append(
+                (float("inf") if le[0] == 'le="+Inf"'
+                 else float(le[0][4:-1]), value))
+        for rest, buckets in per_series.items():
+            buckets.sort()
+            values = [v for _, v in buckets]
+            if values != sorted(values):
+                fail(errors, f"{path}: {name}{{{rest}}} buckets not "
+                             f"cumulative: {values}")
+            count = dict(samples.get(base + "_count", []))
+            if rest in count and buckets[-1][1] != count[rest]:
+                fail(errors, f"{path}: {name}{{{rest}}} +Inf bucket "
+                             f"{buckets[-1][1]} != _count {count[rest]}")
+    print(f"{path}: OK ({len(samples)} series)")
+
+
+def validate_convergence(path, errors):
+    try:
+        with open(path, encoding="utf-8", newline="") as f:
+            reader = csv.reader(f)
+            header = next(reader, None)
+            if header is None or ",".join(header) != EXPECTED_CSV_HEADER:
+                fail(errors, f"{path}: header mismatch: {header}")
+                return
+            rows = list(reader)
+    except OSError as e:
+        fail(errors, f"{path}: {e}")
+        return
+    if not rows:
+        fail(errors, f"{path}: no data rows — was collect_trace enabled?")
+        return
+    best_by_round = {}
+    for n, row in enumerate(rows, 2):
+        if len(row) != len(header):
+            fail(errors, f"{path}:{n}: expected {len(header)} fields")
+            return
+        try:
+            rec = dict(zip(header, (float(v) for v in row)))
+        except ValueError:
+            fail(errors, f"{path}:{n}: non-numeric field: {row}")
+            return
+        for prob in ("converged_fraction", "max_option_probability", "p_end",
+                     "cache_hit_rate"):
+            if not 0.0 <= rec[prob] <= 1.0:
+                fail(errors, f"{path}:{n}: {prob}={rec[prob]} outside [0,1]")
+                return
+        if rec["best_tet"] > best_by_round.get(rec["round"], float("inf")):
+            fail(errors, f"{path}:{n}: best_tet increased within round")
+            return
+        best_by_round[rec["round"]] = rec["best_tet"]
+    print(f"{path}: OK ({len(rows)} points, {len(best_by_round)} rounds)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace JSON to validate")
+    parser.add_argument("--metrics", help="Prometheus snapshot to validate")
+    parser.add_argument("--convergence", help="convergence CSV to validate")
+    args = parser.parse_args()
+    if not (args.trace or args.metrics or args.convergence):
+        parser.error("nothing to validate — pass --trace/--metrics/"
+                     "--convergence")
+    errors = []
+    if args.trace:
+        validate_trace(args.trace, errors)
+    if args.metrics:
+        validate_metrics(args.metrics, errors)
+    if args.convergence:
+        validate_convergence(args.convergence, errors)
+    for message in errors:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
