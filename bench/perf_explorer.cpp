@@ -2,7 +2,14 @@
 // stages the complexity analysis (§4.4) covers: one ant walk, one merit
 // update (dominated by Hardware-Grouping's O(k²)), one list schedule, and
 // a full single-round exploration, swept over DFG size k.
+//
+// A custom main injects --benchmark_out=BENCH_explorer.json (JSON format)
+// unless the caller passed their own --benchmark_out, so a bare run always
+// leaves a machine-readable report next to the other BENCH_*.json files.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
 
 #include "core/ant_walk.hpp"
 #include "core/merit.hpp"
@@ -66,6 +73,27 @@ void BM_AntWalk(benchmark::State& state) {
 }
 BENCHMARK(BM_AntWalk)->Range(16, 256)->Complexity(benchmark::oNSquared);
 
+// Steady-state hot path: same walk, but reusing one WalkScratch the way
+// MultiIssueExplorer::explore does — allocation-free after the first walk.
+void BM_AntWalkScratchReuse(benchmark::State& state) {
+  const dfg::Graph g = random_dag(static_cast<std::size_t>(state.range(0)), 2);
+  const hw::HwLibrary lib = hw::HwLibrary::paper_default();
+  const hw::GPlus gplus(g, lib);
+  const core::ExplorerParams params;
+  const core::PheromoneState pheromone(gplus, params);
+  const core::AntWalk walker(gplus, sched::MachineConfig::make(2, {6, 3}),
+                             params);
+  const std::vector<double> sp(g.num_nodes(), 1.0);
+  Rng rng(3);
+  core::WalkScratch scratch;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(walker.run(pheromone, sp, rng, scratch));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AntWalkScratchReuse)
+    ->Range(16, 256)
+    ->Complexity(benchmark::oNSquared);
+
 void BM_MeritUpdate(benchmark::State& state) {
   const dfg::Graph g = random_dag(static_cast<std::size_t>(state.range(0)), 4);
   const hw::HwLibrary lib = hw::HwLibrary::paper_default();
@@ -112,3 +140,23 @@ BENCHMARK(BM_ExploreBlock)->Arg(32)->Arg(64)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char out_flag[] = "--benchmark_out=BENCH_explorer.json";
+  char fmt_flag[] = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,7 +10,12 @@
 // Note on reading the numbers: thread scaling is bounded by the cores the
 // host actually grants (recorded as hardware_concurrency); on a 1-core
 // container jobs=8 ≈ jobs=1 while the cache still pays.  ISEX_BENCH_REPEATS
-// overrides the default 3 repeats.
+// overrides the default 3 best-of exploration repeats; each configuration is
+// additionally timed ISEX_BENCH_TIMING_REPEATS times (default 3, fresh pool
+// and cold cache per timing repeat) and the JSON reports per-repeat wall
+// times plus their min and median — min for headline speedups, median as
+// the noise check.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -37,21 +42,36 @@ int sweep_repeats() {
   return 3;
 }
 
+int timing_repeats() {
+  if (const char* env = std::getenv("ISEX_BENCH_TIMING_REPEATS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 3;
+}
+
 struct SweepRun {
   int jobs = 1;
   bool cache = true;
-  double seconds = 0.0;
-  runtime::PoolStats pool;
-  runtime::CacheStats cache_stats;
+  std::vector<double> seconds_each;  // wall time of every timing repeat
+  runtime::PoolStats pool;           // from the last timing repeat
+  runtime::CacheStats cache_stats;   // from the last timing repeat
   std::vector<double> reductions;  // per benchmark, for determinism checking
+
+  double seconds_min() const {
+    return *std::min_element(seconds_each.begin(), seconds_each.end());
+  }
+  double seconds_median() const {
+    std::vector<double> s = seconds_each;
+    std::sort(s.begin(), s.end());
+    const std::size_t n = s.size();
+    return n % 2 == 1 ? s[n / 2] : 0.5 * (s[n / 2 - 1] + s[n / 2]);
+  }
 };
 
-SweepRun run_sweep(int jobs, bool cache) {
-  SweepRun run;
-  run.jobs = jobs;
-  run.cache = cache;
-
-  // Fresh pool (fresh counters) at the requested width; cold cache.
+void run_sweep_once(SweepRun& run, int jobs, bool cache) {
+  // Fresh pool (fresh counters) at the requested width; cold cache, so
+  // every timing repeat measures the same work.
   runtime::ThreadPool::set_default_jobs(jobs);
   runtime::schedule_cache().clear();
   runtime::schedule_cache().reset_stats();
@@ -91,9 +111,16 @@ SweepRun run_sweep(int jobs, bool cache) {
   graph.run(runtime::ThreadPool::default_pool());
   const auto elapsed = std::chrono::steady_clock::now() - start;
 
-  run.seconds = std::chrono::duration<double>(elapsed).count();
+  run.seconds_each.push_back(std::chrono::duration<double>(elapsed).count());
   run.pool = runtime::ThreadPool::default_pool().stats();
   run.cache_stats = runtime::schedule_cache().stats();
+}
+
+SweepRun run_sweep(int jobs, bool cache) {
+  SweepRun run;
+  run.jobs = jobs;
+  run.cache = cache;
+  for (int r = 0; r < timing_repeats(); ++r) run_sweep_once(run, jobs, cache);
   return run;
 }
 
@@ -102,8 +129,8 @@ SweepRun run_sweep(int jobs, bool cache) {
 int main() {
   const unsigned hardware = std::thread::hardware_concurrency();
   std::printf("perf_runtime: Fig 5.2.1-style sweep (7 benchmarks, O3, MI)\n");
-  std::printf("hardware_concurrency: %u, repeats: %d\n\n", hardware,
-              sweep_repeats());
+  std::printf("hardware_concurrency: %u, repeats: %d, timing_repeats: %d\n\n",
+              hardware, sweep_repeats(), timing_repeats());
 
   std::vector<SweepRun> runs;
   for (const int jobs : {1, 2, 4, 8}) runs.push_back(run_sweep(jobs, true));
@@ -115,13 +142,13 @@ int main() {
   for (const SweepRun& run : runs)
     if (run.reductions != runs.front().reductions) deterministic = false;
 
-  const double base = runs.front().seconds;
+  const double base = runs.front().seconds_min();
   for (const SweepRun& run : runs) {
     std::printf(
-        "jobs=%d cache=%-3s  %7.3f s  speedup %.2fx  jobs_run=%llu "
-        "steals=%llu  cache: %llu/%llu hits (%d%%)\n",
-        run.jobs, run.cache ? "on" : "off", run.seconds,
-        base / run.seconds,
+        "jobs=%d cache=%-3s  min %7.3f s  median %7.3f s  speedup %.2fx  "
+        "jobs_run=%llu steals=%llu  cache: %llu/%llu hits (%d%%)\n",
+        run.jobs, run.cache ? "on" : "off", run.seconds_min(),
+        run.seconds_median(), base / run.seconds_min(),
         static_cast<unsigned long long>(run.pool.jobs_run),
         static_cast<unsigned long long>(run.pool.steals),
         static_cast<unsigned long long>(run.cache_stats.hits),
@@ -141,19 +168,25 @@ int main() {
   std::fprintf(json, "  \"sweep\": \"fig_5_2_1_style_7bench_O3_MI_6_3_2IS\",\n");
   std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hardware);
   std::fprintf(json, "  \"repeats\": %d,\n", sweep_repeats());
+  std::fprintf(json, "  \"timing_repeats\": %d,\n", timing_repeats());
   std::fprintf(json, "  \"deterministic\": %s,\n",
                deterministic ? "true" : "false");
   std::fprintf(json, "  \"runs\": [\n");
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const SweepRun& run = runs[i];
     std::fprintf(json,
-                 "    {\"jobs\": %d, \"cache\": %s, \"seconds\": %.4f, "
+                 "    {\"jobs\": %d, \"cache\": %s, \"seconds_each\": [",
+                 run.jobs, run.cache ? "true" : "false");
+    for (std::size_t r = 0; r < run.seconds_each.size(); ++r)
+      std::fprintf(json, "%s%.4f", r > 0 ? ", " : "", run.seconds_each[r]);
+    std::fprintf(json,
+                 "], \"seconds_min\": %.4f, \"seconds_median\": %.4f, "
                  "\"speedup_vs_jobs1\": %.3f, \"pool_jobs_run\": %llu, "
                  "\"pool_steals\": %llu, \"cache_hits\": %llu, "
                  "\"cache_misses\": %llu, \"cache_evictions\": %llu, "
                  "\"cache_hit_rate\": %.4f}%s\n",
-                 run.jobs, run.cache ? "true" : "false", run.seconds,
-                 base / run.seconds,
+                 run.seconds_min(), run.seconds_median(),
+                 base / run.seconds_min(),
                  static_cast<unsigned long long>(run.pool.jobs_run),
                  static_cast<unsigned long long>(run.pool.steals),
                  static_cast<unsigned long long>(run.cache_stats.hits),

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "dfg/analysis.hpp"
 #include "isa/opcode.hpp"
 #include "sched/schedule.hpp"
 #include "trace/trace.hpp"
@@ -12,26 +11,24 @@
 namespace isex::core {
 namespace {
 
-struct CycleRes {
-  int issue = 0;
-  int reads = 0;
-  int writes = 0;
-  std::array<int, sched::kNumFuClasses> fu{};
-};
-
+/// Ledger view over the scratch-owned per-cycle rows.  Construction
+/// zero-fills the retained rows instead of deallocating them.
 class Ledger {
  public:
-  explicit Ledger(const sched::MachineConfig& cfg) : cfg_(&cfg) {}
+  Ledger(const sched::MachineConfig& cfg, std::vector<LedgerRow>& rows)
+      : cfg_(&cfg), rows_(&rows) {
+    std::fill(rows.begin(), rows.end(), LedgerRow{});
+  }
 
-  CycleRes& at(int cycle) {
+  LedgerRow& at(int cycle) {
     ISEX_ASSERT(cycle >= 0);
-    if (static_cast<std::size_t>(cycle) >= rows_.size())
-      rows_.resize(static_cast<std::size_t>(cycle) + 1);
-    return rows_[static_cast<std::size_t>(cycle)];
+    if (static_cast<std::size_t>(cycle) >= rows_->size())
+      rows_->resize(static_cast<std::size_t>(cycle) + 1);
+    return (*rows_)[static_cast<std::size_t>(cycle)];
   }
 
   bool fits(int cycle, int issue, int reads, int writes, int fu_class) {
-    const CycleRes& r = at(cycle);
+    const LedgerRow& r = at(cycle);
     if (r.issue + issue > cfg_->issue_width) return false;
     if (r.reads + reads > cfg_->reg_file.read_ports) return false;
     if (r.writes + writes > cfg_->reg_file.write_ports) return false;
@@ -43,7 +40,7 @@ class Ledger {
   }
 
   void charge(int cycle, int issue, int reads, int writes, int fu_class) {
-    CycleRes& r = at(cycle);
+    LedgerRow& r = at(cycle);
     r.issue += issue;
     r.reads += reads;
     r.writes += writes;
@@ -52,7 +49,7 @@ class Ledger {
 
  private:
   const sched::MachineConfig* cfg_;
-  std::vector<CycleRes> rows_;
+  std::vector<LedgerRow>* rows_;
 };
 
 int software_cycles(const hw::IoTable& table, std::size_t option) {
@@ -81,65 +78,205 @@ AntWalk::AntWalk(const hw::GPlus& gplus, const sched::MachineConfig& machine,
       tet_metric_(&trace::MetricsRegistry::global().histogram(
           "isex_ant_walk_tet_cycles", {4, 8, 16, 32, 64, 128, 256, 512})) {}
 
-WalkResult AntWalk::run(const PheromoneState& pheromone,
-                        std::span<const double> sp_score, Rng& rng) const {
+const WalkResult& AntWalk::run(const PheromoneState& pheromone,
+                               std::span<const double> sp_score, Rng& rng,
+                               WalkScratch& s) const {
   const trace::Span span("ant_walk");
   const dfg::Graph& graph = gplus_->graph();
   const std::size_t n = graph.num_nodes();
   ISEX_ASSERT(sp_score.size() == n);
 
-  WalkResult result;
+  WalkResult& result = s.result;
+  // Recycle the previous walk's group storage: the NodeSet word buffers move
+  // into the stash and come back via open_group(), so growing a group never
+  // re-allocates once the scratch has seen the walk's high-water sizes.
+  for (GroupState& g : result.groups) s.group_stash.push_back(std::move(g));
+  result.groups.clear();
   result.chosen.assign(n, -1);
   result.slot.assign(n, -1);
   result.order.assign(n, -1);
   result.group_id.assign(n, -1);
   result.finish_.assign(n, 0);
+  result.tet = 0;
+  s.steps = 0;
+  s.entry_shifts = 0;
+  s.max_entries = 0;
   if (n == 0) return result;
 
-  Ledger ledger(machine_);
-  // Per-node combinational depth accumulated inside its group.
-  std::vector<double> hw_depth(n, 0.0);
+  Ledger ledger(machine_, s.ledger_rows);
+  s.hw_depth.assign(n, 0.0);
+  std::vector<double>& hw_depth = s.hw_depth;
 
-  std::vector<int> unresolved(n, 0);
+  s.unresolved.resize(n);
   for (dfg::NodeId v = 0; v < n; ++v)
-    unresolved[v] = static_cast<int>(graph.preds(v).size());
-  std::vector<dfg::NodeId> ready;
-  for (dfg::NodeId v = 0; v < n; ++v)
-    if (unresolved[v] == 0) ready.push_back(v);
+    s.unresolved[v] = static_cast<int>(graph.preds(v).size());
 
-  // Flattened Ready-Matrix entries: (node, option).
-  std::vector<std::pair<dfg::NodeId, int>> entries;
-  std::vector<double> weights;
+  // Per-walk weight table: trail and merit are const for the duration of a
+  // walk, so the Eq. 1 numerator + λ·SP of every (node, option) pair is
+  // computed once here — O(n × options) — instead of for every ready entry
+  // on every step (O(steps × ready × options)).
+  s.weight_offset.resize(n);
+  std::int32_t total_options = 0;
+  for (dfg::NodeId v = 0; v < n; ++v) {
+    s.weight_offset[v] = total_options;
+    total_options += static_cast<std::int32_t>(gplus_->table(v).size());
+  }
+  s.base_weight.resize(static_cast<std::size_t>(total_options));
+  for (dfg::NodeId v = 0; v < n; ++v) {
+    const std::span<double> row(
+        s.base_weight.data() + s.weight_offset[v], gplus_->table(v).size());
+    pheromone.weights_into(v, row);
+    const double sp_bias = params_->lambda * sp_score[v];
+    for (double& w : row) w += sp_bias;
+  }
+
+  // Incremental Ready-Matrix: entries append when a node becomes ready and
+  // compact out in place when it schedules.  Surviving entries keep their
+  // relative order, so rng.weighted_pick sees exactly the weight sequence a
+  // per-step rebuild over the ready list would produce.
+  s.entries.clear();
+  s.weights.clear();
+  s.entry_pos.assign(n, -1);
+  auto enter_ready = [&](dfg::NodeId v) {
+    s.entry_pos[v] = static_cast<std::int32_t>(s.entries.size());
+    const std::size_t options = gplus_->table(v).size();
+    const double* row = s.base_weight.data() + s.weight_offset[v];
+    for (std::size_t o = 0; o < options; ++o) {
+      s.entries.emplace_back(v, static_cast<int>(o));
+      s.weights.push_back(row[o]);
+    }
+    s.max_entries =
+        std::max(s.max_entries, static_cast<std::uint64_t>(s.entries.size()));
+  };
+  auto leave_ready = [&](dfg::NodeId v) {
+    const auto pos = static_cast<std::size_t>(s.entry_pos[v]);
+    const std::size_t len = gplus_->table(v).size();
+    s.entries.erase(s.entries.begin() + static_cast<std::ptrdiff_t>(pos),
+                    s.entries.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    s.weights.erase(s.weights.begin() + static_cast<std::ptrdiff_t>(pos),
+                    s.weights.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    s.entry_pos[v] = -1;
+    s.entry_shifts += s.entries.size() - pos;
+    // Re-anchor the first-entry index of every node whose entries shifted.
+    dfg::NodeId prev = dfg::kInvalidNode;
+    for (std::size_t i = pos; i < s.entries.size(); ++i) {
+      const dfg::NodeId u = s.entries[i].first;
+      if (u != prev) {
+        s.entry_pos[u] = static_cast<std::int32_t>(i);
+        prev = u;
+      }
+    }
+  };
+  for (dfg::NodeId v = 0; v < n; ++v)
+    if (s.unresolved[v] == 0) enter_ready(v);
+
+  for (std::vector<int>& ids : s.group_extern_ids) ids.clear();
 
   auto finish_of = [&](dfg::NodeId v) { return result.finish_of(v); };
 
-  auto group_io = [&](const dfg::NodeSet& members) {
-    return std::pair<int, int>{dfg::count_inputs(graph, members),
-                               dfg::count_outputs(graph, members)};
+  // Pooled group construction: reuses a stashed GroupState (and its NodeSet
+  // capacity) when one is available.
+  auto open_group = [&]() -> GroupState {
+    GroupState g;
+    if (!s.group_stash.empty()) {
+      g = std::move(s.group_stash.back());
+      s.group_stash.pop_back();
+    }
+    g.members.resize(n);  // re-zeroes in place, keeps capacity
+    g.start = 0;
+    g.depth_ns = 0.0;
+    g.cycles = 1;
+    g.reads = 0;
+    g.writes = 0;
+    return g;
+  };
+
+  auto extern_ids_bucket = [&](int gid) -> std::vector<int>& {
+    while (s.group_extern_ids.size() <= static_cast<std::size_t>(gid))
+      s.group_extern_ids.emplace_back();
+    return s.group_extern_ids[static_cast<std::size_t>(gid)];
   };
 
   // Attempts to pack `v` (with hardware option `opt`) into group `gid`.
+  // IN/OUT are maintained incrementally: the delta of adding v follows from
+  // v's own edges against the membership, with no NodeSet copy and no full
+  // count_inputs/count_outputs recount over the group.
   auto try_join = [&](dfg::NodeId v, std::size_t opt, int gid) -> bool {
     GroupState& g = result.groups[static_cast<std::size_t>(gid)];
     // All producers outside the group must be done before the group issues.
     for (const dfg::NodeId p : graph.preds(v)) {
       if (!g.members.contains(p) && finish_of(p) > g.start) return false;
     }
-    dfg::NodeSet grown = g.members;
-    grown.insert(v);
-    const auto [reads, writes] = group_io(grown);
-    const int dr = reads - g.reads;
-    const int dw = writes - g.writes;
+    std::vector<int>& gext = extern_ids_bucket(gid);
+    // ΔIN: predecessors of v that become new outside producers…
+    int dr = 0;
+    for (const dfg::NodeId p : graph.preds(v)) {
+      if (g.members.contains(p)) continue;
+      bool already_feeds = false;
+      for (const dfg::NodeId c : graph.succs(p)) {
+        if (g.members.contains(c)) {
+          already_feeds = true;
+          break;
+        }
+      }
+      if (!already_feeds) ++dr;
+    }
+    // …plus v's live-in values the group does not consume yet…
+    const std::span<const int> ids = graph.extern_input_ids(v);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (std::find(gext.begin(), gext.end(), ids[i]) != gext.end()) continue;
+      if (std::find(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(i),
+                    ids[i]) !=
+          ids.begin() + static_cast<std::ptrdiff_t>(i))
+        continue;  // duplicate among v's own operands
+      ++dr;
+    }
+    // …minus v itself if it previously fed the group from outside.
+    for (const dfg::NodeId c : graph.succs(v)) {
+      if (g.members.contains(c)) {
+        --dr;
+        break;
+      }
+    }
+    // ΔOUT: +1 if v's value escapes the grown group; -1 for each member
+    // predecessor whose value stops escaping once v is inside.
+    int dw = 0;
+    bool v_escapes = graph.live_out(v);
+    if (!v_escapes) {
+      for (const dfg::NodeId c : graph.succs(v)) {
+        if (!g.members.contains(c)) {
+          v_escapes = true;
+          break;
+        }
+      }
+    }
+    if (v_escapes) ++dw;
+    for (const dfg::NodeId p : graph.preds(v)) {
+      if (!g.members.contains(p) || graph.live_out(p)) continue;
+      bool still_escapes = false;
+      for (const dfg::NodeId c : graph.succs(p)) {
+        if (c != v && !g.members.contains(c)) {
+          still_escapes = true;
+          break;
+        }
+      }
+      if (!still_escapes) --dw;  // v was p's only consumer outside the group
+    }
     if (!ledger.fits(g.start, 0, dr, dw, -1)) return false;
 
     // Commit.
     ledger.charge(g.start, 0, dr, dw, -1);
-    g.members = std::move(grown);
-    g.reads = reads;
-    g.writes = writes;
+    g.members.insert(v);
+    g.reads += dr;
+    g.writes += dw;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (std::find(gext.begin(), gext.end(), ids[i]) == gext.end())
+        gext.push_back(ids[i]);
+    }
     double depth_in = 0.0;
     for (const dfg::NodeId p : graph.preds(v)) {
-      if (g.members.contains(p) && p != v) depth_in = std::max(depth_in, hw_depth[p]);
+      if (g.members.contains(p) && p != v)
+        depth_in = std::max(depth_in, hw_depth[p]);
     }
     hw_depth[v] = depth_in + gplus_->table(v).option(opt).delay;
     g.depth_ns = std::max(g.depth_ns, hw_depth[v]);
@@ -152,36 +289,24 @@ WalkResult AntWalk::run(const PheromoneState& pheromone,
   std::size_t scheduled = 0;
   int pick_index = 0;
   while (scheduled < n) {
-    // Build the Ready-Matrix for this step.
-    entries.clear();
-    weights.clear();
-    for (const dfg::NodeId v : ready) {
-      const hw::IoTable& table = gplus_->table(v);
-      for (std::size_t o = 0; o < table.size(); ++o) {
-        entries.emplace_back(v, static_cast<int>(o));
-        weights.push_back(pheromone.weight(v, o) +
-                          params_->lambda * sp_score[v]);
-      }
-    }
-    ISEX_ASSERT_MSG(!entries.empty(), "ready list empty before completion");
-
-    const std::size_t pick = rng.weighted_pick(weights);
-    const auto [v, opt_i] = entries[pick];
+    ISEX_ASSERT_MSG(!s.entries.empty(), "ready list empty before completion");
+    const std::size_t pick = rng.weighted_pick(s.weights);
+    const auto [v, opt_i] = s.entries[pick];
     const auto opt = static_cast<std::size_t>(opt_i);
     const hw::IoTable& table = gplus_->table(v);
 
     if (table.is_hardware(opt)) {
       // Fig 4.3.4: prefer the group of the parent scheduled latest (LP).
-      std::vector<std::pair<int, int>> parent_groups;  // (finish, gid)
+      s.parent_groups.clear();
       for (const dfg::NodeId p : graph.preds(v)) {
         const int gid = result.group_id[p];
-        if (gid >= 0) parent_groups.emplace_back(finish_of(p), gid);
+        if (gid >= 0) s.parent_groups.emplace_back(finish_of(p), gid);
       }
-      std::sort(parent_groups.begin(), parent_groups.end(),
+      std::sort(s.parent_groups.begin(), s.parent_groups.end(),
                 [](const auto& a, const auto& b) { return a.first > b.first; });
       bool placed = false;
       int last_gid = -1;
-      for (const auto& [fin, gid] : parent_groups) {
+      for (const auto& [fin, gid] : s.parent_groups) {
         if (gid == last_gid) continue;
         last_gid = gid;
         if (try_join(v, opt, gid)) {
@@ -194,21 +319,37 @@ WalkResult AntWalk::run(const PheromoneState& pheromone,
         int avail = 0;
         for (const dfg::NodeId p : graph.preds(v))
           avail = std::max(avail, finish_of(p));
-        dfg::NodeSet solo(n);
-        solo.insert(v);
-        const auto [reads, writes] = group_io(solo);
+        // IN({v})/OUT({v}) straight from v's edges: every predecessor is an
+        // outside producer, plus v's distinct live-in values.
+        int reads = static_cast<int>(graph.preds(v).size());
+        const std::span<const int> ids = graph.extern_input_ids(v);
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          if (std::find(ids.begin(),
+                        ids.begin() + static_cast<std::ptrdiff_t>(i),
+                        ids[i]) ==
+              ids.begin() + static_cast<std::ptrdiff_t>(i))
+            ++reads;
+        }
+        const int writes =
+            (graph.live_out(v) || !graph.succs(v).empty()) ? 1 : 0;
         int cts = avail;
         while (!ledger.fits(cts, 1, reads, writes, -1)) ++cts;
         ledger.charge(cts, 1, reads, writes, -1);
-        GroupState g;
-        g.members = std::move(solo);
+        const int gid = static_cast<int>(result.groups.size());
+        GroupState g = open_group();
+        g.members.insert(v);
         g.start = cts;
         hw_depth[v] = table.option(opt).delay;
         g.depth_ns = hw_depth[v];
         g.cycles = clock_.cycles_for(g.depth_ns);
         g.reads = reads;
         g.writes = writes;
-        result.group_id[v] = static_cast<int>(result.groups.size());
+        std::vector<int>& gext = extern_ids_bucket(gid);
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          if (std::find(gext.begin(), gext.end(), ids[i]) == gext.end())
+            gext.push_back(ids[i]);
+        }
+        result.group_id[v] = gid;
         result.slot[v] = cts;
         result.groups.push_back(std::move(g));
       }
@@ -232,9 +373,10 @@ WalkResult AntWalk::run(const PheromoneState& pheromone,
     result.chosen[v] = opt_i;
     result.order[v] = pick_index++;
     ++scheduled;
-    ready.erase(std::find(ready.begin(), ready.end(), v));
-    for (const dfg::NodeId s : graph.succs(v)) {
-      if (--unresolved[s] == 0) ready.push_back(s);
+    ++s.steps;
+    leave_ready(v);
+    for (const dfg::NodeId su : graph.succs(v)) {
+      if (--s.unresolved[su] == 0) enter_ready(su);
     }
   }
 
@@ -244,6 +386,13 @@ WalkResult AntWalk::run(const PheromoneState& pheromone,
   walks_metric_->inc();
   tet_metric_->observe(tet);
   return result;
+}
+
+WalkResult AntWalk::run(const PheromoneState& pheromone,
+                        std::span<const double> sp_score, Rng& rng) const {
+  WalkScratch scratch;
+  run(pheromone, sp_score, rng, scratch);
+  return std::move(scratch.result);
 }
 
 }  // namespace isex::core

@@ -10,8 +10,20 @@
 // when legal, else open a new group (Fig 4.3.4).  Virtual groups accumulate
 // combinational depth; a group occupies ⌈depth/clock⌉ cycles and its results
 // become visible when the whole group finishes.
+//
+// Hot-path structure (see docs/PERFORMANCE.md): trail and merit are const
+// for the duration of one walk, so the Eq. 1 numerator of every (node,
+// option) pair is flattened into a per-walk weight table up front, and the
+// Ready-Matrix is maintained *incrementally* — entries append when a node
+// becomes ready and are compacted out in place when it schedules, keeping
+// the enumeration order (and therefore the RNG draw sequence) identical to
+// a per-step rebuild.  All working storage lives in a reusable WalkScratch,
+// so a warmed-up walk performs no heap allocation.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/explorer_params.hpp"
@@ -55,13 +67,76 @@ struct WalkResult {
   std::vector<int> finish_;
 };
 
+/// One per-cycle resource row of the walk's scheduling ledger.
+struct LedgerRow {
+  int issue = 0;
+  int reads = 0;
+  int writes = 0;
+  std::array<int, sched::kNumFuClasses> fu{};
+};
+
+/// Reusable working storage for AntWalk::run.  Holding one scratch per
+/// thread (MIExplorer keeps one per explore job) and passing it to every
+/// walk removes all per-walk heap allocation after the first few walks warm
+/// the buffers up to their high-water sizes.
+class WalkScratch {
+ public:
+  WalkScratch() = default;
+  WalkScratch(const WalkScratch&) = delete;
+  WalkScratch& operator=(const WalkScratch&) = delete;
+  WalkScratch(WalkScratch&&) = default;
+  WalkScratch& operator=(WalkScratch&&) = default;
+
+  /// The last walk written by run(); valid until the next run() call.
+  WalkResult result;
+
+  // --- incremental Ready-Matrix diagnostics, reset by every run() ---
+  /// Picks taken (== nodes scheduled).
+  std::uint64_t steps = 0;
+  /// Ready-Matrix entries moved by order-preserving compaction.  Bounded by
+  /// Σ_step |tail after the scheduled node| — 0 for a chain, where the
+  /// ready set never holds more than one node.
+  std::uint64_t entry_shifts = 0;
+  /// Peak number of live (node, option) entries.
+  std::uint64_t max_entries = 0;
+
+ private:
+  friend class AntWalk;
+  // Scheduling ledger rows, zero-filled (not deallocated) between walks.
+  std::vector<LedgerRow> ledger_rows;
+  // Per-node combinational depth accumulated inside its group.
+  std::vector<double> hw_depth;
+  std::vector<int> unresolved;
+  // Flattened per-(node, option) Eq. 1 numerator + λ·SP, built once per walk.
+  std::vector<double> base_weight;
+  std::vector<std::int32_t> weight_offset;
+  // Flattened Ready-Matrix: live (node, option) entries and their weights,
+  // plus each ready node's first-entry index (-1 when not ready).
+  std::vector<std::pair<dfg::NodeId, int>> entries;
+  std::vector<double> weights;
+  std::vector<std::int32_t> entry_pos;
+  // (finish, gid) candidates for Fig 4.3.4's latest-parent preference.
+  std::vector<std::pair<int, int>> parent_groups;
+  // Distinct live-in value ids consumed by each open group (for the
+  // incremental IN(S) delta of try_join); index parallels result.groups.
+  std::vector<std::vector<int>> group_extern_ids;
+  // Retired GroupStates whose NodeSet capacity is recycled between walks.
+  std::vector<GroupState> group_stash;
+};
+
 class AntWalk {
  public:
   AntWalk(const hw::GPlus& gplus, const sched::MachineConfig& machine,
           const ExplorerParams& params, hw::ClockSpec clock = {});
 
-  /// Runs one iteration.  `sp_score[v]` is the scheduling-priority term of
-  /// Eq. 1, pre-scaled to the merit scale.
+  /// Runs one iteration into `scratch` and returns `scratch.result`.
+  /// `sp_score[v]` is the scheduling-priority term of Eq. 1, pre-scaled to
+  /// the merit scale.  Allocation-free once the scratch is warmed up.
+  const WalkResult& run(const PheromoneState& pheromone,
+                        std::span<const double> sp_score, Rng& rng,
+                        WalkScratch& scratch) const;
+
+  /// Convenience overload with a throwaway scratch (tests, one-off walks).
   WalkResult run(const PheromoneState& pheromone,
                  std::span<const double> sp_score, Rng& rng) const;
 

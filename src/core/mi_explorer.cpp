@@ -93,6 +93,11 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
   if (block.empty()) return result;
 
   dfg::Graph current = block;
+  // One walk scratch per explore call: explore runs on one thread (fan-out
+  // jobs each call explore with their own Rng), so every ant walk of every
+  // round reuses these buffers and is allocation-free after warm-up.
+  WalkScratch scratch;
+  std::vector<bool> reordered;
   // Original node ids represented by each current node.
   std::vector<dfg::NodeSet> origin(block.num_nodes());
   for (dfg::NodeId v = 0; v < block.num_nodes(); ++v) {
@@ -139,12 +144,12 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
     int iterations = 0;
 
     for (; iterations < params_.max_iterations; ++iterations) {
-      const WalkResult walk = walker.run(pheromone, sp, rng);
+      const WalkResult& walk = walker.run(pheromone, sp, rng, scratch);
       const bool improved = walk.tet <= tet_old;
       worst_tet = std::max(worst_tet, walk.tet);
       sum_tet += walk.tet;
 
-      std::vector<bool> reordered(current.num_nodes(), false);
+      reordered.assign(current.num_nodes(), false);
       for (dfg::NodeId v = 0; v < current.num_nodes(); ++v)
         reordered[v] = prev_order[v] >= 0 && walk.order[v] < prev_order[v];
 

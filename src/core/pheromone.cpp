@@ -89,6 +89,17 @@ double PheromoneState::weight(dfg::NodeId v, std::size_t option) const {
   return p.alpha * trail(v, option) + (1.0 - p.alpha) * merit(v, option);
 }
 
+void PheromoneState::weights_into(dfg::NodeId v, std::span<double> out) const {
+  ISEX_ASSERT(v < trail_.size() && out.size() == trail_[v].size());
+  const ExplorerParams& p = *params_;
+  const std::vector<double>& trail = trail_[v];
+  const std::vector<double>& merit = merit_[v];
+  // Same expression as weight() so the precomputed table is bit-identical
+  // to the per-step evaluation it replaces.
+  for (std::size_t o = 0; o < out.size(); ++o)
+    out[o] = p.alpha * trail[o] + (1.0 - p.alpha) * merit[o];
+}
+
 double PheromoneState::selected_probability(dfg::NodeId v,
                                             std::size_t option) const {
   double denom = 0.0;

@@ -8,6 +8,7 @@
 // is "every operation has an option with sp > P_END".
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/explorer_params.hpp"
@@ -65,6 +66,13 @@ class PheromoneState {
   /// Raw chosen-probability numerator (Eq. 1 numerator, without SP):
   /// α·trail + (1−α)·merit.
   double weight(dfg::NodeId v, std::size_t option) const;
+
+  /// Writes weight(v, o) for every option o of node v into `out`
+  /// (out.size() must equal num_options(v)).  The ant-walk hot path calls
+  /// this once per node per walk to build its flattened weight table — trail
+  /// and merit are const during a walk — instead of calling weight() for
+  /// every ready entry on every step.
+  void weights_into(dfg::NodeId v, std::span<double> out) const;
 
  private:
   const ExplorerParams* params_;

@@ -36,6 +36,12 @@ std::size_t NodeSet::count() const {
   return total;
 }
 
+bool NodeSet::empty() const {
+  for (const auto w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
 NodeSet& NodeSet::operator|=(const NodeSet& other) {
   ISEX_ASSERT(universe_ == other.universe_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];

@@ -29,7 +29,9 @@ class NodeSet {
 
   /// Number of set bits.
   std::size_t count() const;
-  bool empty() const { return count() == 0; }
+  /// True when no bit is set.  Early-exits on the first nonzero word rather
+  /// than popcounting the whole set (empty() guards several hot loops).
+  bool empty() const;
 
   /// In-place union / intersection / difference. Universes must match.
   NodeSet& operator|=(const NodeSet& other);

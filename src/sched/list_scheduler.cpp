@@ -55,6 +55,16 @@ Schedule ListScheduler::run(const dfg::Graph& graph) const {
 
   const std::vector<double> priority = compute_priorities(graph, priority_);
 
+  // Priorities are fixed for the whole run, so the ready list is kept
+  // permanently sorted (highest priority first, ties by node id) and new
+  // arrivals merge in — no full re-sort per cycle.  The comparator is a
+  // strict total order (ids are unique), so the per-cycle issue order is
+  // identical to re-sorting from scratch.
+  const auto before = [&](dfg::NodeId a, dfg::NodeId b) {
+    if (priority[a] != priority[b]) return priority[a] > priority[b];
+    return a < b;
+  };
+
   std::vector<int> unresolved(n, 0);
   std::vector<int> ready_at(n, 0);  // earliest cycle dependences allow
   for (dfg::NodeId v = 0; v < n; ++v)
@@ -63,29 +73,40 @@ Schedule ListScheduler::run(const dfg::Graph& graph) const {
   std::vector<dfg::NodeId> ready;
   for (dfg::NodeId v = 0; v < n; ++v)
     if (unresolved[v] == 0) ready.push_back(v);
+  std::sort(ready.begin(), ready.end(), before);
 
   // Deferred arrivals: nodes whose dependences resolve at a future cycle.
   std::vector<std::vector<dfg::NodeId>> arriving;
 
+  // Merges the sorted run [mid, end) of `list` into the sorted [0, mid).
+  const auto merge_tail = [&](std::vector<dfg::NodeId>& list,
+                              std::size_t mid) {
+    std::sort(list.begin() + static_cast<std::ptrdiff_t>(mid), list.end(),
+              before);
+    std::inplace_merge(list.begin(),
+                       list.begin() + static_cast<std::ptrdiff_t>(mid),
+                       list.end(), before);
+  };
+
   std::size_t scheduled = 0;
   int cycle = 0;
   int makespan = 0;
-  std::vector<dfg::NodeId> pending;  // ready but beyond current cycle
+  std::vector<dfg::NodeId> leftover;  // reused across cycles
+  std::vector<dfg::NodeId> newly;     // successors readied for cycle + 1
+  leftover.reserve(n);
 
   while (scheduled < n) {
-    if (static_cast<std::size_t>(cycle) < arriving.size()) {
-      for (const dfg::NodeId v : arriving[cycle]) ready.push_back(v);
+    if (static_cast<std::size_t>(cycle) < arriving.size() &&
+        !arriving[cycle].empty()) {
+      const std::size_t mid = ready.size();
+      ready.insert(ready.end(), arriving[cycle].begin(), arriving[cycle].end());
+      merge_tail(ready, mid);
       arriving[cycle].clear();
     }
 
-    // Highest priority first; ties broken by node id for determinism.
-    std::sort(ready.begin(), ready.end(), [&](dfg::NodeId a, dfg::NodeId b) {
-      if (priority[a] != priority[b]) return priority[a] > priority[b];
-      return a < b;
-    });
-
     CycleResources res;
-    std::vector<dfg::NodeId> leftover;
+    leftover.clear();
+    newly.clear();
     for (const dfg::NodeId v : ready) {
       if (ready_at[v] <= cycle && fits(config_, res, graph, v)) {
         charge(res, graph, v);
@@ -99,17 +120,25 @@ Schedule ListScheduler::run(const dfg::Graph& graph) const {
             if (static_cast<std::size_t>(ready_at[s]) >= arriving.size())
               arriving.resize(static_cast<std::size_t>(ready_at[s]) + 1);
             if (ready_at[s] <= cycle + 1) {
-              leftover.push_back(s);
+              newly.push_back(s);
             } else {
               arriving[static_cast<std::size_t>(ready_at[s])].push_back(s);
             }
           }
         }
       } else {
+        // Traversal order is sorted order, so unissued nodes land in
+        // `leftover` already sorted; freshly readied successors collect in
+        // `newly` and merge in below.
         leftover.push_back(v);
       }
     }
-    ready = std::move(leftover);
+    if (!newly.empty()) {
+      const std::size_t mid = leftover.size();
+      leftover.insert(leftover.end(), newly.begin(), newly.end());
+      merge_tail(leftover, mid);
+    }
+    std::swap(ready, leftover);
     ++cycle;
     ISEX_ASSERT_MSG(cycle <= static_cast<int>(n) * 64 + 64,
                     "scheduler failed to make progress");

@@ -1,0 +1,79 @@
+// FNV-1a hashing of walk and exploration results, used by the golden-hash
+// determinism regression tests.  The hash covers every observable field so
+// any behavioural drift in the ant-walk hot path — however small — changes
+// the digest.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "core/ant_walk.hpp"
+#include "core/mi_explorer.hpp"
+
+namespace isex::testing {
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (i * 8)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void mix_int(long long v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix_double(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix_string(std::string_view s) {
+    for (const char c : s) mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+inline std::uint64_t hash_walk(const core::WalkResult& w) {
+  Fnv1a h;
+  const std::size_t n = w.chosen.size();
+  h.mix_int(static_cast<long long>(n));
+  for (std::size_t v = 0; v < n; ++v) {
+    h.mix_int(w.chosen[v]);
+    h.mix_int(w.slot[v]);
+    h.mix_int(w.order[v]);
+    h.mix_int(w.group_id[v]);
+    h.mix_int(w.finish_of(static_cast<dfg::NodeId>(v)));
+  }
+  h.mix_int(w.tet);
+  h.mix_int(static_cast<long long>(w.groups.size()));
+  for (const core::GroupState& g : w.groups) {
+    h.mix_int(g.start);
+    h.mix_int(g.cycles);
+    h.mix_int(g.reads);
+    h.mix_int(g.writes);
+    h.mix_double(g.depth_ns);
+    g.members.for_each([&](dfg::NodeId m) { h.mix_int(m); });
+  }
+  return h.value();
+}
+
+inline std::uint64_t hash_exploration(const core::ExplorationResult& r) {
+  Fnv1a h;
+  h.mix_int(r.base_cycles);
+  h.mix_int(r.final_cycles);
+  h.mix_int(r.rounds);
+  h.mix_int(r.total_iterations);
+  h.mix_int(static_cast<long long>(r.ises.size()));
+  for (const core::ExploredIse& ise : r.ises) {
+    h.mix_int(ise.in_count);
+    h.mix_int(ise.out_count);
+    h.mix_int(ise.gain_cycles);
+    h.mix_int(ise.eval.latency_cycles);
+    h.mix_double(ise.eval.area);
+    h.mix_double(ise.eval.depth_ns);
+    ise.original_nodes.for_each([&](dfg::NodeId m) { h.mix_int(m); });
+    for (const std::string& label : ise.member_labels) h.mix_string(label);
+  }
+  return h.value();
+}
+
+}  // namespace isex::testing

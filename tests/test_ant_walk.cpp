@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "golden_hash.hpp"
 #include "sched/schedule.hpp"
 #include "test_util.hpp"
 
@@ -142,6 +143,73 @@ TEST_F(AntWalkTest, DeterministicGivenSeed) {
   EXPECT_EQ(a.chosen, b.chosen);
   EXPECT_EQ(a.slot, b.slot);
   EXPECT_EQ(a.tet, b.tet);
+}
+
+TEST_F(AntWalkTest, ReusedScratchMatchesFreshScratch) {
+  // One scratch carried across many walks over *different* graphs must
+  // behave exactly like a fresh scratch per walk — leftover buffer contents
+  // and capacities from a previous (larger or smaller) graph can't leak
+  // into the result.
+  Rng gen(17);
+  WalkScratch reused;
+  for (const std::size_t n : {30u, 8u, 45u, 3u, 45u}) {
+    const dfg::Graph g = testing::make_random_dag(n, gen);
+    hw::GPlus gplus(g, lib_);
+    PheromoneState pher(gplus, params_);
+    AntWalk walker(gplus, machine_, params_);
+    std::vector<double> sp(g.num_nodes(), 1.0);
+    for (int i = 0; i < 3; ++i) {
+      const std::uint64_t seed = 1000 + 7 * i;
+      Rng rng_fresh(seed);
+      Rng rng_reused(seed);
+      const WalkResult fresh = walker.run(pher, sp, rng_fresh);
+      const WalkResult& again = walker.run(pher, sp, rng_reused, reused);
+      EXPECT_EQ(testing::hash_walk(fresh), testing::hash_walk(again))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(AntWalkTest, GoldenHashMatchesPreOptimizationWalk) {
+  // Golden captured from the pre-optimization walk (per-step Ready-Matrix
+  // rebuild, per-entry weight calls): the incremental hot path must draw
+  // the same RNG sequence and produce bit-identical placements.
+  Rng gen(13);
+  const dfg::Graph g = testing::make_random_dag(40, gen);
+  hw::GPlus gplus(g, lib_);
+  PheromoneState pher(gplus, params_);
+  AntWalk walker(gplus, machine_, params_);
+  std::vector<double> sp(g.num_nodes(), 1.0);
+  Rng rng(777);
+  std::uint64_t h = 0;
+  for (int i = 0; i < 5; ++i) {
+    const WalkResult w = walker.run(pher, sp, rng);
+    h ^= testing::hash_walk(w) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  EXPECT_EQ(h, 0x460014a70ddc6bebULL);
+}
+
+TEST_F(AntWalkTest, LongChainWalkStaysLinear) {
+  // A 1k-node chain has exactly one ready node per step.  The incremental
+  // Ready-Matrix therefore never shifts a surviving entry during compaction
+  // (the O(n) per-step erase the old per-step rebuild paid is gone), so the
+  // walk's step cost is flat rather than quadratic in chain length.
+  constexpr std::size_t kNodes = 1000;
+  const dfg::Graph g = testing::make_chain(kNodes);
+  hw::GPlus gplus(g, lib_);
+  PheromoneState pher(gplus, params_);
+  AntWalk walker(gplus, machine_, params_);
+  std::vector<double> sp(g.num_nodes(), 1.0);
+  Rng rng(5);
+  WalkScratch scratch;
+  walker.run(pher, sp, rng, scratch);
+  EXPECT_EQ(scratch.steps, kNodes);
+  EXPECT_EQ(scratch.entry_shifts, 0u);  // no compaction movement at all
+  // Never more than one node's options in the matrix at once.
+  std::size_t max_options = 0;
+  for (dfg::NodeId v = 0; v < g.num_nodes(); ++v)
+    max_options = std::max(max_options, gplus.table(v).size());
+  EXPECT_LE(scratch.max_entries, max_options);
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "bench_suite/kernels.hpp"
+#include "golden_hash.hpp"
 #include "isa/tac_parser.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sched/list_scheduler.hpp"
 #include "test_util.hpp"
 
@@ -160,6 +163,62 @@ TEST_F(MiExplorerTest, WiderMachineNeverLosesToNarrowOnBase) {
   Rng rng2(41);
   const ExplorationResult wide = make_explorer(4, 10, 5).explore(g, rng2);
   EXPECT_LE(wide.base_cycles, narrow.base_cycles);
+}
+
+// Golden hashes captured from the pre-optimization explorer (per-step
+// Ready-Matrix rebuild, fresh walk buffers, per-cycle scheduler re-sort).
+// The hot-path overhaul promises byte-identical output, so the full
+// exploration digest over two seed benchmarks must never move.
+class MiExplorerGoldenTest : public MiExplorerTest {
+ protected:
+  ExplorationResult explore_hottest_block(bench_suite::Benchmark bm) {
+    const flow::ProfiledProgram prog =
+        bench_suite::make_program(bm, bench_suite::OptLevel::kO3);
+    const auto explorer = make_explorer(2, 6, 3);
+    Rng rng(17);
+    return explorer.explore(prog.blocks.front().graph, rng);
+  }
+};
+
+TEST_F(MiExplorerGoldenTest, Crc32ExplorationMatchesGolden) {
+  const ExplorationResult r =
+      explore_hottest_block(bench_suite::Benchmark::kCrc32);
+  EXPECT_EQ(r.base_cycles, 21);
+  EXPECT_EQ(r.final_cycles, 7);
+  EXPECT_EQ(r.ises.size(), 3u);
+  EXPECT_EQ(testing::hash_exploration(r), 0x1cb513da36971670ULL);
+}
+
+TEST_F(MiExplorerGoldenTest, AdpcmExplorationMatchesGolden) {
+  const ExplorationResult r =
+      explore_hottest_block(bench_suite::Benchmark::kAdpcm);
+  EXPECT_EQ(r.base_cycles, 14);
+  EXPECT_EQ(r.final_cycles, 3);
+  EXPECT_EQ(r.ises.size(), 1u);
+  EXPECT_EQ(testing::hash_exploration(r), 0x5d13c6222e1386e5ULL);
+}
+
+TEST_F(MiExplorerGoldenTest, BestOfIsIdenticalAtEveryJobCount) {
+  // The per-explore WalkScratch is reused across a fan-out job's rounds;
+  // the digest at --jobs 1 and --jobs 8 must match exactly (same seed, same
+  // result, any thread count).
+  const flow::ProfiledProgram prog = bench_suite::make_program(
+      bench_suite::Benchmark::kCrc32, bench_suite::OptLevel::kO3);
+  const dfg::Graph& g = prog.blocks.front().graph;
+  const auto explorer = make_explorer(2, 6, 3);
+
+  runtime::ThreadPool::set_default_jobs(1);
+  Rng rng1(17);
+  const std::uint64_t jobs1 =
+      testing::hash_exploration(explorer.explore_best_of(g, 5, rng1));
+
+  runtime::ThreadPool::set_default_jobs(8);
+  Rng rng8(17);
+  const std::uint64_t jobs8 =
+      testing::hash_exploration(explorer.explore_best_of(g, 5, rng8));
+  runtime::ThreadPool::set_default_jobs(0);  // restore auto width
+
+  EXPECT_EQ(jobs1, jobs8);
 }
 
 TEST_F(MiExplorerTest, RoundAndIterationCountsAreBounded) {

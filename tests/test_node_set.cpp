@@ -104,5 +104,34 @@ TEST(NodeSet, EmptyUniverse) {
   EXPECT_EQ(s.to_vector().size(), 0u);
 }
 
+TEST(NodeSet, EmptyTracksInsertAndErase) {
+  NodeSet s(256);
+  EXPECT_TRUE(s.empty());
+  // A bit in the last word: empty() must scan far enough to see it.
+  s.insert(255);
+  EXPECT_FALSE(s.empty());
+  s.erase(255);
+  EXPECT_TRUE(s.empty());
+  // A bit in the first word: empty() early-exits on the first nonzero word.
+  s.insert(0);
+  EXPECT_FALSE(s.empty());
+  s.erase(0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(NodeSet, EmptyAgreesWithCountOnEveryWord) {
+  // One membered set per word of a multi-word universe; empty() and
+  // count() == 0 must agree no matter which word holds the bit.
+  for (NodeId bit : {0u, 63u, 64u, 127u, 128u, 200u}) {
+    NodeSet s(201);
+    s.insert(bit);
+    EXPECT_FALSE(s.empty()) << "bit " << bit;
+    EXPECT_EQ(s.count(), 1u);
+    s.erase(bit);
+    EXPECT_TRUE(s.empty()) << "bit " << bit;
+    EXPECT_EQ(s.count(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace isex::dfg
