@@ -8,9 +8,12 @@
 #include "core/merit.hpp"
 #include "core/pheromone.hpp"
 #include "dfg/analysis.hpp"
+#include "dfg/collapsed_view.hpp"
 #include "hwlib/gplus.hpp"
 #include "runtime/eval_cache.hpp"
+#include "runtime/hash.hpp"
 #include "runtime/job_graph.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/priority.hpp"
 #include "trace/metrics.hpp"
@@ -29,10 +32,29 @@ int evaluate_cycles(const sched::ListScheduler& scheduler,
                    : scheduler.cycles(graph);
 }
 
+/// Per-worker working state for one candidate evaluation: the collapsed
+/// overlay view plus the scheduler's flattened arrays.  thread_local so the
+/// parallel_for jobs share nothing and every buffer is warm after the first
+/// few candidates a worker scores — steady-state evaluations allocate
+/// nothing.
+struct CandidateEvalScratch {
+  dfg::CollapsedView view;
+  sched::SchedulerScratch sched;
+};
+
+CandidateEvalScratch& candidate_scratch() {
+  thread_local CandidateEvalScratch scratch;
+  return scratch;
+}
+
 /// Critical operations of an ant-walk schedule: fixpoint over (a) nodes
 /// finishing at the makespan, (b) tight producers (finish == consumer's
 /// start), and (c) whole virtual groups once any member is critical — a
-/// group issues as one instruction.
+/// group issues as one instruction.  The closure is a unique least fixpoint,
+/// so rule order is free; groups absorb word-at-a-time (NodeSet::intersects
+/// skips untouched groups, insert_all unions whole words) and the
+/// tight-producer rule folds its contains/insert pair into one
+/// test_and_set word access.
 dfg::NodeSet walk_critical_nodes(const dfg::Graph& graph,
                                  const WalkResult& walk) {
   const std::size_t n = graph.num_nodes();
@@ -43,25 +65,20 @@ dfg::NodeSet walk_critical_nodes(const dfg::Graph& graph,
   bool changed = true;
   while (changed) {
     changed = false;
-    for (dfg::NodeId v = 0; v < n; ++v) {
-      if (!critical.contains(v)) continue;
-      for (const dfg::NodeId p : graph.preds(v)) {
-        if (!critical.contains(p) && walk.finish_of(p) == walk.slot[v]) {
-          critical.insert(p);
-          changed = true;
-        }
-      }
-      const int gid = walk.group_id[v];
-      if (gid >= 0) {
-        walk.groups[static_cast<std::size_t>(gid)].members.for_each(
-            [&](dfg::NodeId m) {
-              if (!critical.contains(m)) {
-                critical.insert(m);
-                changed = true;
-              }
-            });
-      }
+    for (const GroupState& group : walk.groups) {
+      if (group.members.intersects(critical) &&
+          critical.insert_all(group.members))
+        changed = true;
     }
+    // for_each snapshots one word at a time, so members inserted into the
+    // current or an earlier word surface on the next sweep — exactly what
+    // the fixpoint loop is for.
+    critical.for_each([&](dfg::NodeId v) {
+      for (const dfg::NodeId p : graph.preds(v)) {
+        if (walk.finish_of(p) == walk.slot[v] && critical.test_and_set(p))
+          changed = true;
+      }
+    });
   }
   return critical;
 }
@@ -210,29 +227,64 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
     }
     if (candidates.empty()) break;
 
+    // Score every candidate concurrently on the runtime pool.  Each job
+    // schedules a copy-free dfg::CollapsedView overlay of (current, members,
+    // IseInfo) into per-thread scratch — no collapsed Graph is materialized
+    // (the winner alone is collapsed below, for the origin remap) — and
+    // memoizes the makespan under the candidate's canonical signature, so a
+    // candidate re-surfacing in a later round or repeat skips the schedule
+    // entirely.  Jobs are pure functions of their index; only the
+    // index-ordered reduction below picks the winner, so the result is
+    // identical at any --jobs width.
+    std::vector<int> cycles_after(candidates.size());
+    {
+      const trace::Span eval_span("evaluate_candidates");
+      const runtime::Key128 base_digest = params_.use_eval_cache
+                                              ? runtime::graph_digest(current)
+                                              : runtime::Key128{};
+      runtime::ThreadPool::default_pool().parallel_for(
+          candidates.size(), [&](std::size_t c) {
+            const IseCandidate& cand = candidates[c];
+            dfg::IseInfo info;
+            info.latency_cycles = cand.eval.latency_cycles;
+            info.area = cand.eval.area;
+            info.num_inputs = cand.in_count;
+            info.num_outputs = cand.out_count;
+            const auto schedule_view = [&]() {
+              CandidateEvalScratch& s = candidate_scratch();
+              s.view.assign(current, cand.members, info);
+              return scheduler.cycles(s.view, s.sched);
+            };
+            cycles_after[c] =
+                params_.use_eval_cache
+                    ? runtime::schedule_cache().get_or_compute(
+                          runtime::candidate_key(base_digest, cand.members,
+                                                 info, machine_,
+                                                 scheduler.priority()),
+                          schedule_view)
+                    : schedule_view();
+          });
+    }
+
     // Commit the candidate with the largest scheduled gain; require > 0.
+    // Ties break by smaller ASFU area, then by lowest candidate index: the
+    // scan runs in ascending index order and replaces the incumbent only
+    // when better_candidate() strictly improves, so a full (gain, area) tie
+    // deterministically keeps the earlier candidate — the invariant the
+    // parallel evaluation above relies on.
     int best_gain = 0;
     double best_area = std::numeric_limits<double>::max();
     int best_index = -1;
     int best_cycles_after = current_cycles;
-    std::vector<dfg::Graph> collapsed(candidates.size());
     for (std::size_t c = 0; c < candidates.size(); ++c) {
-      const IseCandidate& cand = candidates[c];
-      dfg::IseInfo info;
-      info.latency_cycles = cand.eval.latency_cycles;
-      info.area = cand.eval.area;
-      info.num_inputs = cand.in_count;
-      info.num_outputs = cand.out_count;
-      collapsed[c] = current.collapse(cand.members, info);
-      const int cycles_after =
-          evaluate_cycles(scheduler, collapsed[c], params_.use_eval_cache);
-      const int gain = current_cycles - cycles_after;
-      if (gain > best_gain ||
-          (gain == best_gain && gain > 0 && cand.eval.area < best_area)) {
+      const int gain = current_cycles - cycles_after[c];
+      if (gain <= 0) continue;
+      if (better_candidate(gain, candidates[c].eval.area, best_gain,
+                           best_area)) {
         best_gain = gain;
-        best_area = cand.eval.area;
+        best_area = candidates[c].eval.area;
         best_index = static_cast<int>(c);
-        best_cycles_after = cycles_after;
+        best_cycles_after = cycles_after[c];
       }
     }
     if (best_index < 0) break;  // no valid operation left (§4.0 step 3)

@@ -47,6 +47,18 @@ struct ExploredIse {
 /// decision entropy, and the binding max-option-probability vs P_END.
 using IterationTrace = trace::ConvergencePoint;
 
+/// Commit rule for a round's candidates (§4.0 step 3), exposed so the
+/// parallel reduction and its pinning test share one definition: a candidate
+/// beats the incumbent when its scheduled gain is higher, or the gain ties
+/// and its ASFU area is strictly smaller.  An area tie at equal gain keeps
+/// the incumbent — the reduction scans candidates in ascending index order,
+/// so full ties deterministically resolve to the lowest candidate index at
+/// any --jobs width.
+constexpr bool better_candidate(int gain, double area, int best_gain,
+                                double best_area) {
+  return gain > best_gain || (gain == best_gain && area < best_area);
+}
+
 struct ExplorationResult {
   std::vector<ExploredIse> ises;
   /// Scheduled block cycles with no ISE.

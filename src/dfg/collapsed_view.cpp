@@ -1,0 +1,124 @@
+#include "dfg/collapsed_view.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace isex::dfg {
+
+void CollapsedView::assign(const Graph& base, const NodeSet& members,
+                           const IseInfo& info) {
+  ISEX_ASSERT(members.universe() == base.num_nodes());
+  ISEX_ASSERT_MSG(!members.empty(), "cannot view an empty member set");
+
+  base_ = &base;
+  info_.latency_cycles = info.latency_cycles;
+  info_.area = info.area;
+  info_.num_inputs = info.num_inputs;
+  info_.num_outputs = info.num_outputs;
+
+  const std::size_t n_old = base.num_nodes();
+
+  // Node numbering, identical to Graph::collapse: survivors keep their
+  // relative order and the supernode takes the first member's position.
+  remap_.assign(n_old, kInvalidNode);
+  view_to_old_.clear();
+  super_ = kInvalidNode;
+  for (NodeId v = 0; v < n_old; ++v) {
+    if (members.contains(v)) {
+      if (super_ == kInvalidNode) {
+        super_ = static_cast<NodeId>(view_to_old_.size());
+        view_to_old_.push_back(kInvalidNode);
+      }
+      remap_[v] = super_;
+    } else {
+      remap_[v] = static_cast<NodeId>(view_to_old_.size());
+      view_to_old_.push_back(v);
+    }
+  }
+  num_nodes_ = view_to_old_.size();
+
+  build_adjacency(base, members);
+
+  // Supernode live-ins: union of member extern value ids, deduplicated the
+  // same way collapse does (ids may repeat across members; each distinct
+  // value counts once).  Member lists are tiny, so linear dedup suffices.
+  extern_scratch_.clear();
+  members.for_each([&](NodeId m) {
+    for (const int value_id : base.extern_input_ids(m)) {
+      if (std::find(extern_scratch_.begin(), extern_scratch_.end(),
+                    value_id) == extern_scratch_.end())
+        extern_scratch_.push_back(value_id);
+    }
+  });
+  super_extern_ = static_cast<int>(extern_scratch_.size());
+}
+
+void CollapsedView::build_adjacency(const Graph& base, const NodeSet& members) {
+  succ_data_.clear();
+  pred_data_.clear();
+  succ_off_.assign(num_nodes_ + 1, 0);
+  pred_off_.assign(num_nodes_ + 1, 0);
+  if (stamp_.size() < num_nodes_) stamp_.assign(num_nodes_, 0);
+
+  // Rows are emitted in view-node order, so offsets fall out of the append
+  // positions.  Only edges touching the supernode can produce duplicates
+  // (several members mapping to one id); the epoch stamp dedups them without
+  // clearing between rows.
+  const auto emit_row = [&](NodeId row, auto neighbours_of,
+                            std::vector<NodeId>& data,
+                            std::vector<std::uint32_t>& off) {
+    ++epoch_;
+    off[row] = static_cast<std::uint32_t>(data.size());
+    const auto add = [&](NodeId old_neighbour) {
+      const NodeId t = remap_[old_neighbour];
+      if (t == row) return;  // edge internal to the ISE
+      if (stamp_[t] == epoch_) return;
+      stamp_[t] = epoch_;
+      data.push_back(t);
+    };
+    if (row == super_) {
+      members.for_each([&](NodeId m) {
+        for (const NodeId u : neighbours_of(m)) add(u);
+      });
+    } else {
+      for (const NodeId u : neighbours_of(view_to_old_[row])) add(u);
+    }
+  };
+
+  for (NodeId row = 0; row < num_nodes_; ++row) {
+    emit_row(
+        row, [&](NodeId v) { return base.succs(v); }, succ_data_, succ_off_);
+  }
+  succ_off_[num_nodes_] = static_cast<std::uint32_t>(succ_data_.size());
+  for (NodeId row = 0; row < num_nodes_; ++row) {
+    emit_row(
+        row, [&](NodeId v) { return base.preds(v); }, pred_data_, pred_off_);
+  }
+  pred_off_[num_nodes_] = static_cast<std::uint32_t>(pred_data_.size());
+}
+
+CollapsedView::NodeView CollapsedView::node(NodeId v) const {
+  ISEX_ASSERT(v < num_nodes_);
+  if (v == super_) return NodeView{isa::Opcode::kNop, true, info_};
+  const Node& n = base_->node(view_to_old_[v]);
+  return NodeView{n.opcode, n.is_ise, n.ise};
+}
+
+std::span<const NodeId> CollapsedView::preds(NodeId v) const {
+  ISEX_ASSERT(v < num_nodes_);
+  return {pred_data_.data() + pred_off_[v], pred_off_[v + 1] - pred_off_[v]};
+}
+
+std::span<const NodeId> CollapsedView::succs(NodeId v) const {
+  ISEX_ASSERT(v < num_nodes_);
+  return {succ_data_.data() + succ_off_[v], succ_off_[v + 1] - succ_off_[v]};
+}
+
+int CollapsedView::extern_inputs(NodeId v) const {
+  ISEX_ASSERT(v < num_nodes_);
+  if (v == super_) return super_extern_;
+  return base_->extern_inputs(view_to_old_[v]);
+}
+
+}  // namespace isex::dfg

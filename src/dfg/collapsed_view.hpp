@@ -1,0 +1,88 @@
+// Copy-free overlay of one Graph::collapse result.
+//
+// Scoring a Make-Convex candidate needs the *scheduler-visible* shape of the
+// collapsed graph — node ids, deduplicated edges, opcodes/ISE payloads,
+// live-in counts — but Graph::collapse also materializes per-node label
+// strings, per-node adjacency vectors, and member-label lists, none of which
+// scheduling reads.  CollapsedView reproduces exactly the structure collapse
+// would build (same node numbering: survivors in original order with the
+// supernode spliced in at the first member's position; same deduplicated
+// edge sets; same aggregated live-in value count for the supernode) into
+// flat reusable buffers, so evaluating a candidate allocates nothing after
+// warm-up and the full collapse is derived only once, for the round's
+// winner.
+//
+// The interface mirrors the subset of dfg::Graph the list scheduler and the
+// priority functions read, so scheduler code templated over the graph type
+// works on either unchanged.  Equivalence with Graph::collapse is pinned by
+// tests/test_collapsed_view.cpp over randomized DAGs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "dfg/node_set.hpp"
+
+namespace isex::dfg {
+
+class CollapsedView {
+ public:
+  /// What node(v) exposes: the fields scheduling reads from dfg::Node.
+  /// `ise` references either the base graph's payload (pre-existing
+  /// supernodes) or the view's own copy (the candidate being scored).
+  struct NodeView {
+    isa::Opcode opcode;
+    bool is_ise;
+    const IseInfo& ise;
+  };
+
+  CollapsedView() = default;
+
+  /// Rebuilds the view as base.collapse(members, info) would look to the
+  /// scheduler.  Internal buffers are reused; `base` and `members` must
+  /// outlive the view (info is copied, labels excluded).
+  void assign(const Graph& base, const NodeSet& members, const IseInfo& info);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  bool empty() const { return num_nodes_ == 0; }
+
+  NodeView node(NodeId v) const;
+  std::span<const NodeId> preds(NodeId v) const;
+  std::span<const NodeId> succs(NodeId v) const;
+
+  /// Distinct live-in values consumed by the node; for the supernode this is
+  /// the deduplicated union of the members' extern value ids, exactly as
+  /// Graph::collapse aggregates it.
+  int extern_inputs(NodeId v) const;
+
+  /// Id of the candidate's supernode in view coordinates.
+  NodeId super_node() const { return super_; }
+
+ private:
+  void build_adjacency(const Graph& base, const NodeSet& members);
+
+  const Graph* base_ = nullptr;
+  IseInfo info_;  // member_labels left empty; scheduling never reads them
+  std::size_t num_nodes_ = 0;
+  NodeId super_ = kInvalidNode;
+
+  /// Old node id -> view node id (members all map to super_).
+  std::vector<NodeId> remap_;
+  /// View node id -> old node id (super_ slot value is unused).
+  std::vector<NodeId> view_to_old_;
+
+  /// CSR adjacency with edges deduplicated at the supernode boundary.
+  std::vector<NodeId> succ_data_, pred_data_;
+  std::vector<std::uint32_t> succ_off_, pred_off_;
+
+  /// Deduplicated extern value-id count of the supernode.
+  int super_extern_ = 0;
+  std::vector<int> extern_scratch_;
+
+  /// Per-view-node visit stamps for O(1) edge dedup during build.
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace isex::dfg

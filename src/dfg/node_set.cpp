@@ -30,6 +30,26 @@ void NodeSet::clear() {
   for (auto& w : words_) w = 0;
 }
 
+bool NodeSet::test_and_set(NodeId id) {
+  ISEX_ASSERT(id < universe_);
+  std::uint64_t& word = words_[id / 64];
+  const std::uint64_t bit = 1ULL << (id % 64);
+  if ((word & bit) != 0) return false;
+  word |= bit;
+  return true;
+}
+
+bool NodeSet::insert_all(const NodeSet& other) {
+  ISEX_ASSERT(universe_ == other.universe_);
+  bool changed = false;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t merged = words_[i] | other.words_[i];
+    changed = changed || merged != words_[i];
+    words_[i] = merged;
+  }
+  return changed;
+}
+
 std::size_t NodeSet::count() const {
   std::size_t total = 0;
   for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));

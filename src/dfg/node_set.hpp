@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace isex::dfg {
@@ -27,6 +28,14 @@ class NodeSet {
   bool contains(NodeId id) const;
   void clear();
 
+  /// insert(id); returns true when the bit was newly set.  Lets fixpoint
+  /// loops fold the contains/insert pair into one word access.
+  bool test_and_set(NodeId id);
+
+  /// In-place union (word-level `|=`); returns true when any bit was newly
+  /// set.  Universes must match.
+  bool insert_all(const NodeSet& other);
+
   /// Number of set bits.
   std::size_t count() const;
   /// True when no bit is set.  Early-exits on the first nonzero word rather
@@ -45,6 +54,10 @@ class NodeSet {
 
   /// Ascending list of members.
   std::vector<NodeId> to_vector() const;
+
+  /// Raw 64-bit words (bit i of word w = node w*64+i).  Exposed so
+  /// fingerprints can hash a member set without enumerating bits.
+  std::span<const std::uint64_t> words() const { return words_; }
 
   /// Calls `fn(NodeId)` for each member in ascending order.
   template <typename Fn>

@@ -63,4 +63,36 @@ Key128 schedule_key(const dfg::Graph& graph,
   return key;
 }
 
+Key128 graph_digest(const dfg::Graph& graph) {
+  return Key128{fingerprint(graph, 0x2545f4914f6cdd1dULL),
+                fingerprint(graph, 0x9e6c63d0876a9a47ULL)};
+}
+
+Key128 candidate_key(const Key128& base_digest, const dfg::NodeSet& members,
+                     const dfg::IseInfo& info,
+                     const sched::MachineConfig& machine,
+                     sched::PriorityKind priority) {
+  const auto mix_candidate = [&](Hash64& h) {
+    h.mix(members.universe());
+    for (const std::uint64_t w : members.words()) h.mix(w);
+    h.mix(static_cast<std::uint64_t>(info.latency_cycles));
+    h.mix_double(info.area);
+    h.mix(static_cast<std::uint64_t>(info.num_inputs));
+    h.mix(static_cast<std::uint64_t>(info.num_outputs));
+    h.mix(static_cast<std::uint64_t>(priority));
+  };
+  Key128 key;
+  Hash64 lo(0x6a09e667f3bcc909ULL);  // domain-separates from schedule_key
+  lo.mix(base_digest.lo);
+  mix_candidate(lo);
+  lo.mix(fingerprint(machine, 0xbb67ae8584caa73bULL));
+  key.lo = lo.value();
+  Hash64 hi(0x3c6ef372fe94f82bULL);
+  hi.mix(base_digest.hi);
+  mix_candidate(hi);
+  hi.mix(fingerprint(machine, 0xa54ff53a5f1d36f1ULL));
+  key.hi = hi.value();
+  return key;
+}
+
 }  // namespace isex::runtime

@@ -69,4 +69,21 @@ Key128 schedule_key(const dfg::Graph& graph,
                     const sched::MachineConfig& machine,
                     sched::PriorityKind priority);
 
+/// Reusable two-seed digest of a base graph.  Computed once per round, then
+/// combined with per-candidate data by candidate_key() — O(V + E) once
+/// instead of per candidate.
+Key128 graph_digest(const dfg::Graph& graph);
+
+/// Canonical signature of one Make-Convex candidate evaluation:
+/// (base-graph digest, member set, ISE payload, machine, priority).  The
+/// scheduled makespan of base.collapse(members, info) is a pure function of
+/// this tuple, so identical candidates re-surfacing across walks, rounds,
+/// and explore_best_of repeats hit the eval cache without re-fingerprinting
+/// a freshly collapsed graph.  Keys live in a separate domain from
+/// schedule_key (distinct seeds), so the two families cannot alias.
+Key128 candidate_key(const Key128& base_digest, const dfg::NodeSet& members,
+                     const dfg::IseInfo& info,
+                     const sched::MachineConfig& machine,
+                     sched::PriorityKind priority);
+
 }  // namespace isex::runtime

@@ -10,12 +10,21 @@
 // This is both the evaluation scheduler (final execution-time measurement
 // after ISE replacement) and the reference the explorer's internal
 // Operation-Scheduling is validated against.
+//
+// Two evaluation entry points share one templated core:
+//   * run(Graph)            — full Schedule, for reports and validation;
+//   * cycles(G, scratch)    — makespan only, over dfg::Graph *or* a
+//     dfg::CollapsedView candidate overlay, with all working state in a
+//     caller-owned SchedulerScratch (zero steady-state allocations).  The
+//     makespan is identical to run().cycles on the equivalent graph.
 #pragma once
 
+#include "dfg/collapsed_view.hpp"
 #include "dfg/graph.hpp"
 #include "sched/machine_config.hpp"
 #include "sched/priority.hpp"
 #include "sched/schedule.hpp"
+#include "sched/scheduler_scratch.hpp"
 
 namespace isex::sched {
 
@@ -35,9 +44,19 @@ class ListScheduler {
   /// Convenience: makespan only.
   int cycles(const dfg::Graph& graph) const { return run(graph).cycles; }
 
+  /// Makespan of `graph` (dfg::Graph or dfg::CollapsedView) using reusable
+  /// working storage; per-node placements are left in scratch.slot.
+  template <typename G>
+  int cycles(const G& graph, SchedulerScratch& scratch) const;
+
  private:
   MachineConfig config_;
   PriorityKind priority_;
 };
+
+extern template int ListScheduler::cycles<dfg::Graph>(
+    const dfg::Graph&, SchedulerScratch&) const;
+extern template int ListScheduler::cycles<dfg::CollapsedView>(
+    const dfg::CollapsedView&, SchedulerScratch&) const;
 
 }  // namespace isex::sched

@@ -1,42 +1,12 @@
 #include "sched/priority.hpp"
 
-#include <algorithm>
-
-#include "dfg/analysis.hpp"
-#include "sched/schedule.hpp"
-
 namespace isex::sched {
 
 std::vector<double> compute_priorities(const dfg::Graph& graph,
                                        PriorityKind kind) {
-  const std::size_t n = graph.num_nodes();
-  std::vector<double> score(n, 0.0);
-
-  switch (kind) {
-    case PriorityKind::kChildCount: {
-      for (dfg::NodeId v = 0; v < n; ++v)
-        score[v] = static_cast<double>(graph.succs(v).size());
-      break;
-    }
-    case PriorityKind::kMobility: {
-      const dfg::PathInfo path = dfg::longest_path(graph, [&](dfg::NodeId v) {
-        return static_cast<double>(node_latency(graph, v));
-      });
-      double max_mobility = 0.0;
-      for (dfg::NodeId v = 0; v < n; ++v)
-        max_mobility = std::max(max_mobility, path.latest[v] - path.earliest[v]);
-      for (dfg::NodeId v = 0; v < n; ++v)
-        score[v] = max_mobility - (path.latest[v] - path.earliest[v]);
-      break;
-    }
-    case PriorityKind::kDescendantCount: {
-      const dfg::Reachability reach(graph);
-      for (dfg::NodeId v = 0; v < n; ++v)
-        score[v] = static_cast<double>(reach.descendants(v).count());
-      break;
-    }
-  }
-  return score;
+  PriorityScratch scratch;
+  compute_priorities_into(graph, kind, scratch);
+  return std::move(scratch.score);
 }
 
 }  // namespace isex::sched

@@ -3,11 +3,23 @@
 // The paper uses the number of child operations as SP (§4.3) and explicitly
 // notes that mobility-based priorities are an alternative (Ch. 6 future
 // work); both are provided, plus descendant count for ablations.
+//
+// compute_priorities_into is the allocation-free core: it is templated over
+// the graph type (dfg::Graph or dfg::CollapsedView) and writes into a
+// caller-owned PriorityScratch, so the scratch-backed scheduler recomputes
+// priorities per candidate without touching the heap once warmed up.  The
+// classic vector-returning compute_priorities delegates to it; both produce
+// bit-identical scores (every floating-point reduction below is a pure
+// max/min fold, which is order-independent).
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "dfg/graph.hpp"
+#include "dfg/node_set.hpp"
+#include "sched/schedule.hpp"
+#include "util/assert.hpp"
 
 namespace isex::sched {
 
@@ -20,8 +32,111 @@ enum class PriorityKind {
   kDescendantCount,
 };
 
-/// Computes a priority score per node; higher score = schedule earlier.
-/// Scores are non-negative.
+/// Reusable buffers for compute_priorities_into.  `score` is the output;
+/// everything else is working storage for the mobility / descendant kinds.
+struct PriorityScratch {
+  std::vector<double> score;
+  std::vector<dfg::NodeId> topo;
+  std::vector<dfg::NodeId> stack;
+  std::vector<int> indeg;
+  std::vector<double> earliest;
+  std::vector<double> latest;
+  /// Per-node descendant rows (kDescendantCount only).
+  std::vector<dfg::NodeSet> desc;
+};
+
+namespace detail {
+
+/// Kahn topological order into s.topo, matching Graph::topological_order's
+/// stack discipline.  Asserts the graph is acyclic.
+template <typename G>
+void topological_order_into(const G& graph, PriorityScratch& s) {
+  const std::size_t n = graph.num_nodes();
+  s.indeg.assign(n, 0);
+  s.topo.clear();
+  for (dfg::NodeId v = 0; v < n; ++v)
+    s.indeg[v] = static_cast<int>(graph.preds(v).size());
+  s.stack.clear();
+  for (dfg::NodeId v = 0; v < n; ++v)
+    if (s.indeg[v] == 0) s.stack.push_back(v);
+  while (!s.stack.empty()) {
+    const dfg::NodeId v = s.stack.back();
+    s.stack.pop_back();
+    s.topo.push_back(v);
+    for (const dfg::NodeId c : graph.succs(v))
+      if (--s.indeg[c] == 0) s.stack.push_back(c);
+  }
+  ISEX_ASSERT_MSG(s.topo.size() == n, "graph contains a cycle");
+}
+
+}  // namespace detail
+
+/// Computes a priority score per node into s.score; higher score = schedule
+/// earlier.  Scores are non-negative.
+template <typename G>
+void compute_priorities_into(const G& graph, PriorityKind kind,
+                             PriorityScratch& s) {
+  const std::size_t n = graph.num_nodes();
+  s.score.assign(n, 0.0);
+
+  switch (kind) {
+    case PriorityKind::kChildCount: {
+      for (dfg::NodeId v = 0; v < n; ++v)
+        s.score[v] = static_cast<double>(graph.succs(v).size());
+      break;
+    }
+    case PriorityKind::kMobility: {
+      // Dependence-only ASAP/ALAP (dfg::longest_path's arithmetic, inlined
+      // so it runs over any graph type without per-call allocation).
+      detail::topological_order_into(graph, s);
+      s.earliest.assign(n, 0.0);
+      s.latest.assign(n, 0.0);
+      const auto latency = [&](dfg::NodeId v) {
+        return static_cast<double>(node_latency(graph, v));
+      };
+      double total = 0.0;
+      for (const dfg::NodeId v : s.topo) {
+        double start = 0.0;
+        for (const dfg::NodeId p : graph.preds(v))
+          start = std::max(start, s.earliest[p] + latency(p));
+        s.earliest[v] = start;
+        total = std::max(total, start + latency(v));
+      }
+      for (auto it = s.topo.rbegin(); it != s.topo.rend(); ++it) {
+        const dfg::NodeId v = *it;
+        double latest = total - latency(v);
+        for (const dfg::NodeId c : graph.succs(v))
+          latest = std::min(latest, s.latest[c] - latency(v));
+        s.latest[v] = latest;
+      }
+      double max_mobility = 0.0;
+      for (dfg::NodeId v = 0; v < n; ++v)
+        max_mobility = std::max(max_mobility, s.latest[v] - s.earliest[v]);
+      for (dfg::NodeId v = 0; v < n; ++v)
+        s.score[v] = max_mobility - (s.latest[v] - s.earliest[v]);
+      break;
+    }
+    case PriorityKind::kDescendantCount: {
+      // desc[v] = ∪ over children c of ({c} ∪ desc[c]), in reverse
+      // topological order — the same sets dfg::Reachability builds.
+      detail::topological_order_into(graph, s);
+      if (s.desc.size() < n) s.desc.resize(n);
+      for (auto it = s.topo.rbegin(); it != s.topo.rend(); ++it) {
+        const dfg::NodeId v = *it;
+        dfg::NodeSet& row = s.desc[v];
+        row.resize(n);  // clears; reuses the word buffer when sized already
+        for (const dfg::NodeId c : graph.succs(v)) {
+          row.insert(c);
+          row |= s.desc[c];
+        }
+        s.score[v] = static_cast<double>(row.count());
+      }
+      break;
+    }
+  }
+}
+
+/// Vector-returning convenience over compute_priorities_into.
 std::vector<double> compute_priorities(const dfg::Graph& graph, PriorityKind kind);
 
 }  // namespace isex::sched

@@ -7,27 +7,6 @@
 
 namespace isex::sched {
 
-int node_latency(const dfg::Graph& graph, dfg::NodeId v) {
-  const dfg::Node& n = graph.node(v);
-  return n.is_ise ? n.ise.latency_cycles : 1;
-}
-
-int read_ports_used(const dfg::Graph& graph, dfg::NodeId v) {
-  const dfg::Node& n = graph.node(v);
-  if (n.is_ise) return n.ise.num_inputs;
-  // Register sources: in-block producer edges plus live-in operands, capped
-  // by the ISA's operand count for the opcode.
-  const int operands =
-      static_cast<int>(graph.preds(v).size()) + graph.extern_inputs(v);
-  return std::min(operands, static_cast<int>(isa::traits(n.opcode).num_srcs));
-}
-
-int write_ports_used(const dfg::Graph& graph, dfg::NodeId v) {
-  const dfg::Node& n = graph.node(v);
-  if (n.is_ise) return n.ise.num_outputs;
-  return isa::traits(n.opcode).has_dst ? 1 : 0;
-}
-
 dfg::NodeSet critical_nodes(const dfg::Graph& graph, const Schedule& schedule) {
   ISEX_ASSERT(schedule.slot.size() == graph.num_nodes());
   dfg::NodeSet critical(graph.num_nodes());

@@ -1,10 +1,12 @@
 // Schedule result container and schedule-derived analyses.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "dfg/graph.hpp"
 #include "dfg/node_set.hpp"
+#include "isa/opcode.hpp"
 
 namespace isex::sched {
 
@@ -21,11 +23,34 @@ struct Schedule {
 
 /// Per-node latency in cycles used by the scheduler: 1 for regular PISA
 /// operations (paper §5.1), the committed ASFU latency for ISE supernodes.
-int node_latency(const dfg::Graph& graph, dfg::NodeId v);
+/// Templated over the graph type so dfg::Graph and dfg::CollapsedView (the
+/// copy-free candidate overlay) share one definition.
+template <typename G>
+int node_latency(const G& graph, dfg::NodeId v) {
+  // const auto& also binds CollapsedView's by-value NodeView (lifetime
+  // extension) without copying Graph's string-carrying Node.
+  const auto& n = graph.node(v);
+  return n.is_ise ? n.ise.latency_cycles : 1;
+}
 
 /// Register read/write ports a node consumes in its issue cycle.
-int read_ports_used(const dfg::Graph& graph, dfg::NodeId v);
-int write_ports_used(const dfg::Graph& graph, dfg::NodeId v);
+template <typename G>
+int read_ports_used(const G& graph, dfg::NodeId v) {
+  const auto& n = graph.node(v);
+  if (n.is_ise) return n.ise.num_inputs;
+  // Register sources: in-block producer edges plus live-in operands, capped
+  // by the ISA's operand count for the opcode.
+  const int operands =
+      static_cast<int>(graph.preds(v).size()) + graph.extern_inputs(v);
+  return std::min(operands, static_cast<int>(isa::traits(n.opcode).num_srcs));
+}
+
+template <typename G>
+int write_ports_used(const G& graph, dfg::NodeId v) {
+  const auto& n = graph.node(v);
+  if (n.is_ise) return n.ise.num_outputs;
+  return isa::traits(n.opcode).has_dst ? 1 : 0;
+}
 
 /// Nodes on a schedule-tight chain that realizes the makespan: the node's
 /// finish time equals the makespan, or some tight successor (issued exactly

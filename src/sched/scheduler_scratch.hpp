@@ -1,0 +1,38 @@
+// Reusable SoA working state for ListScheduler evaluations.
+//
+// One candidate evaluation = one full list-scheduler run; a round scores
+// dozens of candidates and a sweep scores millions, so the per-run working
+// vectors (priorities, in-degrees, ready/arrival lists, issue slots) are
+// flattened here and recycled call-to-call.  Hold one scratch per thread
+// (the explorer keeps one per evaluation worker) and every run after warm-up
+// performs zero heap allocations with the default child-count priority
+// (mobility reuses scratch too; descendant-count grows per-node bitset rows
+// on first use, then reuses them).
+#pragma once
+
+#include <vector>
+
+#include "dfg/node_set.hpp"
+#include "sched/priority.hpp"
+
+namespace isex::sched {
+
+struct SchedulerScratch {
+  PriorityScratch priority;
+  /// Unresolved-predecessor count per node.
+  std::vector<int> unresolved;
+  /// Earliest cycle dependences allow per node.
+  std::vector<int> ready_at;
+  /// Issue cycle per node (the run's output placement).
+  std::vector<int> slot;
+  std::vector<dfg::NodeId> ready;
+  std::vector<dfg::NodeId> leftover;
+  std::vector<dfg::NodeId> newly;
+  /// Tail copy for the hand-rolled sorted merge (std::inplace_merge would
+  /// heap-allocate a temporary buffer per call).
+  std::vector<dfg::NodeId> merge_tmp;
+  /// Deferred arrivals bucketed by cycle.
+  std::vector<std::vector<dfg::NodeId>> arriving;
+};
+
+}  // namespace isex::sched

@@ -198,6 +198,35 @@ TEST_F(MiExplorerGoldenTest, AdpcmExplorationMatchesGolden) {
   EXPECT_EQ(testing::hash_exploration(r), 0x5d13c6222e1386e5ULL);
 }
 
+TEST_F(MiExplorerGoldenTest, ExploreIsIdenticalAtEveryJobCount) {
+  // Candidate evaluations inside one explore() round fan out over the pool;
+  // the index-ordered reduction must pick the same winner at any width, so
+  // the full digest at --jobs 1 and --jobs 8 must both equal the golden
+  // value captured from the serial evaluator.
+  runtime::ThreadPool::set_default_jobs(1);
+  const std::uint64_t jobs1 = testing::hash_exploration(
+      explore_hottest_block(bench_suite::Benchmark::kCrc32));
+  runtime::ThreadPool::set_default_jobs(8);
+  const std::uint64_t jobs8 = testing::hash_exploration(
+      explore_hottest_block(bench_suite::Benchmark::kCrc32));
+  runtime::ThreadPool::set_default_jobs(0);  // restore auto width
+  EXPECT_EQ(jobs1, 0x1cb513da36971670ULL);
+  EXPECT_EQ(jobs8, 0x1cb513da36971670ULL);
+}
+
+TEST(BetterCandidate, PinsTheCommitTieBreak) {
+  // §4.0 step 3 commit rule: higher gain wins; equal gain falls back to
+  // strictly smaller area; a full (gain, area) tie keeps the incumbent.
+  // Because the reduction scans candidates in ascending index order, the
+  // last property is what makes the parallel evaluation deterministic: the
+  // lowest-indexed candidate of a tied group always wins.
+  EXPECT_TRUE(better_candidate(/*gain=*/3, /*area=*/9.0, 2, 1.0));
+  EXPECT_FALSE(better_candidate(2, 1.0, 3, 9.0));
+  EXPECT_TRUE(better_candidate(2, 4.0, 2, 5.0));   // tie: smaller area
+  EXPECT_FALSE(better_candidate(2, 5.0, 2, 4.0));  // tie: larger area
+  EXPECT_FALSE(better_candidate(2, 4.0, 2, 4.0));  // full tie: keep incumbent
+}
+
 TEST_F(MiExplorerGoldenTest, BestOfIsIdenticalAtEveryJobCount) {
   // The per-explore WalkScratch is reused across a fan-out job's rounds;
   // the digest at --jobs 1 and --jobs 8 must match exactly (same seed, same

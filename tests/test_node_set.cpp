@@ -119,6 +119,39 @@ TEST(NodeSet, EmptyTracksInsertAndErase) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(NodeSet, TestAndSetReportsNewBitsOnly) {
+  NodeSet s(130);
+  EXPECT_TRUE(s.test_and_set(5));
+  EXPECT_FALSE(s.test_and_set(5));  // already present
+  EXPECT_TRUE(s.test_and_set(64));  // word boundary
+  EXPECT_TRUE(s.test_and_set(129));
+  EXPECT_FALSE(s.test_and_set(129));
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(129));
+}
+
+TEST(NodeSet, InsertAllUnionsAndReportsGrowth) {
+  NodeSet a = NodeSet::of(130, {1, 64});
+  const NodeSet b = NodeSet::of(130, {64, 65, 129});
+  EXPECT_TRUE(a.insert_all(b));  // 65 and 129 are new
+  EXPECT_EQ(a, NodeSet::of(130, {1, 64, 65, 129}));
+  EXPECT_FALSE(a.insert_all(b));  // already a superset: nothing new
+  EXPECT_EQ(a.count(), 4u);
+  NodeSet empty(130);
+  EXPECT_FALSE(a.insert_all(empty));
+}
+
+TEST(NodeSet, WordsExposeThePackedBits) {
+  const NodeSet s = NodeSet::of(130, {0, 63, 64, 129});
+  const auto words = s.words();
+  ASSERT_EQ(words.size(), 3u);  // ceil(130 / 64)
+  EXPECT_EQ(words[0], (1ULL << 0) | (1ULL << 63));
+  EXPECT_EQ(words[1], 1ULL << 0);
+  EXPECT_EQ(words[2], 1ULL << 1);
+}
+
 TEST(NodeSet, EmptyAgreesWithCountOnEveryWord) {
   // One membered set per word of a multi-word universe; empty() and
   // count() == 0 must agree no matter which word holds the bit.

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Merge every BENCH_*.json in a directory into one markdown summary.
+
+Each perf harness writes its own JSON (BENCH_antwalk.json,
+BENCH_candidates.json, BENCH_runtime.json, google-benchmark outputs like
+BENCH_explorer.json, ...).  CI runs them in separate steps, so this script is
+the one place their numbers come together — the merged report is uploaded as
+a build artifact and is the first thing to read when a perf gate trips.
+
+Usage:
+    python3 tools/bench_report.py [--dir BUILD_DIR] [--out REPORT.md]
+
+Writes markdown to --out (default stdout).  Unknown JSON shapes degrade to a
+key/value listing of their top-level scalars rather than failing, so adding a
+new bench never breaks the report step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def fmt(x, digits=2):
+    if isinstance(x, bool):
+        return "yes" if x else "no"
+    if isinstance(x, float):
+        return f"{x:,.{digits}f}"
+    if isinstance(x, int):
+        return f"{x:,}"
+    return str(x)
+
+
+def table(headers, rows):
+    out = ["| " + " | ".join(headers) + " |",
+           "| " + " | ".join("---" for _ in headers) + " |"]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out) + "\n"
+
+
+def render_antwalk(data):
+    lines = ["Optimized ant walk vs pre-optimization reference "
+             f"({data.get('walks_per_dfg', '?')} walks per DFG"
+             f"{', quick' if data.get('quick') else ''}).\n"]
+    rows = [(b["name"], fmt(b["nodes"]),
+             fmt(b["reference_walks_per_sec"], 0),
+             fmt(b["optimized_walks_per_sec"], 0),
+             fmt(b["speedup"]) + "x",
+             fmt(b["optimized_allocs_per_walk"], 3),
+             fmt(b["identical"]))
+            for b in data.get("benchmarks", [])]
+    t = data.get("total", {})
+    if t:
+        rows.append(("**total**", "", fmt(t["reference_walks_per_sec"], 0),
+                     fmt(t["optimized_walks_per_sec"], 0),
+                     fmt(t["speedup"]) + "x",
+                     fmt(t["optimized_allocs_per_walk"], 3),
+                     fmt(t["identical"])))
+    lines.append(table(["DFG", "nodes", "ref walks/s", "opt walks/s",
+                        "speedup", "allocs/walk", "identical"], rows))
+    return "\n".join(lines)
+
+
+def render_candidates(data):
+    lines = ["Copy-free candidate evaluation (CollapsedView + scheduler "
+             "scratch) vs collapse-and-schedule reference "
+             f"({data.get('passes_per_case', '?')} passes per case"
+             f"{', quick' if data.get('quick') else ''}).\n"]
+    rows = [(b["name"], fmt(b["nodes"]), fmt(b["candidates"]),
+             fmt(b["reference_evals_per_sec"], 0),
+             fmt(b["optimized_evals_per_sec"], 0),
+             fmt(b["speedup"]) + "x",
+             fmt(b["optimized_allocs_per_eval"], 3),
+             fmt(b["identical"]))
+            for b in data.get("benchmarks", [])]
+    t = data.get("total", {})
+    if t:
+        rows.append(("**total**", "", "", fmt(t["reference_evals_per_sec"], 0),
+                     fmt(t["optimized_evals_per_sec"], 0),
+                     fmt(t["speedup"]) + "x",
+                     fmt(t["optimized_allocs_per_eval"], 3),
+                     fmt(t["identical"])))
+    lines.append(table(["case", "nodes", "cands", "ref evals/s",
+                        "opt evals/s", "speedup", "allocs/eval",
+                        "identical"], rows))
+    return "\n".join(lines)
+
+
+def render_runtime(data):
+    lines = [f"Exploration-sweep runtime: `{data.get('sweep', '?')}` "
+             f"(deterministic: {fmt(data.get('deterministic', '?'))}).\n"]
+    rows = [(fmt(r["jobs"]), fmt(r["cache"]), fmt(r["seconds"], 4),
+             fmt(r["speedup_vs_jobs1"]) + "x", fmt(r["cache_hits"]),
+             fmt(r["cache_misses"]), fmt(r["cache_hit_rate"], 4))
+            for r in data.get("runs", [])]
+    lines.append(table(["jobs", "cache", "seconds", "speedup vs jobs=1",
+                        "hits", "misses", "hit rate"], rows))
+    return "\n".join(lines)
+
+
+def render_google_benchmark(data):
+    ctx = data.get("context", {})
+    lines = [f"google-benchmark run ({ctx.get('date', 'unknown date')}, "
+             f"{ctx.get('num_cpus', '?')} CPUs).\n"]
+    rows = [(b.get("name", "?"),
+             fmt(b.get("real_time", 0.0), 1) + " " + b.get("time_unit", "ns"),
+             fmt(b.get("iterations", 0)))
+            for b in data.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"]
+    lines.append(table(["benchmark", "time", "iterations"], rows))
+    return "\n".join(lines)
+
+
+def render_generic(data):
+    rows = [(k, fmt(v)) for k, v in data.items()
+            if isinstance(v, (str, int, float, bool))]
+    if not rows:
+        return "_(no top-level scalars to summarize)_\n"
+    return table(["key", "value"], rows)
+
+
+def render(data):
+    if data.get("bench") == "antwalk_hotpath":
+        return render_antwalk(data)
+    if data.get("bench") == "candidate_eval_pipeline":
+        return render_candidates(data)
+    if "sweep" in data and "runs" in data:
+        return render_runtime(data)
+    if "context" in data and "benchmarks" in data:
+        return render_google_benchmark(data)
+    return render_generic(data)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".",
+                        help="directory holding BENCH_*.json (default: cwd)")
+    parser.add_argument("--out", default="-",
+                        help="output markdown path (default: stdout)")
+    args = parser.parse_args()
+
+    bench_dir = Path(args.dir)
+    files = sorted(bench_dir.glob("BENCH_*.json"))
+    sections = ["# Benchmark report\n"]
+    if not files:
+        sections.append(f"_No BENCH_*.json files found in `{bench_dir}`._\n")
+    for path in files:
+        sections.append(f"## {path.name}\n")
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            sections.append(f"_unreadable: {err}_\n")
+            continue
+        if not isinstance(data, dict):
+            sections.append("_top level is not a JSON object_\n")
+            continue
+        sections.append(render(data))
+
+    report = "\n".join(sections)
+    if args.out == "-":
+        sys.stdout.write(report)
+    else:
+        Path(args.out).write_text(report)
+        print(f"wrote {args.out} ({len(files)} bench file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
