@@ -1,0 +1,7 @@
+# 8-bit alpha blend: out = (fg*alpha + bg*(255-alpha)) >> 8
+ia = subu 255, alpha
+m0 = mult fg, alpha
+m1 = mult bg, ia
+s = addu m0, m1
+blend = srl s, 8
+live_out blend

@@ -1,0 +1,7 @@
+# leading comment
+
+   t = addu a, b   # trailing comment
+	u = xor	t, c
+# interleaved comment
+
+live_out u

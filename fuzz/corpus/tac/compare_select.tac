@@ -1,0 +1,6 @@
+lt = slt a, b
+ge = sltiu lt, 1
+m0 = mult a, lt
+m1 = multu b, ge
+s = addu m0, m1
+live_out s

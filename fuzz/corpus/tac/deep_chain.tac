@@ -1,0 +1,10 @@
+t1 = addu a, b
+t2 = xor t1, c
+t3 = sll t2, 2
+t4 = subu t3, a
+t5 = and t4, t1
+t6 = or t5, t2
+t7 = srl t6, 3
+t8 = addu t7, t4
+t9 = xor t8, t5
+live_out t9

@@ -1,0 +1,17 @@
+# GF(2^8) multiply step (AES MixColumns flavor): one iteration of the
+# Russian-peasant multiply over the Rijndael field.
+#   a2  = xtime(a)          (shift left, conditional reduce by 0x1b)
+#   acc2 = acc ^ (a & -(b & 1))
+#   b2  = b >> 1
+hi = srl a, 7
+msk = subu 0, hi
+red = andi msk, 27
+sh = sll a, 1
+shm = andi sh, 255
+a2 = xor shm, red
+lb0 = andi b, 1
+sel = subu 0, lb0
+term = and a, sel
+acc2 = xor acc, term
+b2 = srl b, 1
+live_out a2, acc2, b2

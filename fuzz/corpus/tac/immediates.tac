@@ -1,0 +1,11 @@
+# hex, negative, zero, and boundary immediates
+a = andi x, 0xff
+b = addiu x, -4
+c = ori x, 0
+d = xori x, 0xffffffff
+e = slti x, -2147483648
+f = sll a, 31
+g = lui 0x7fff
+h = addu d, e
+i = or f, g
+j = nor h, i

@@ -1,0 +1,5 @@
+t0 = addu a, b
+t1 = subu t0, c
+t2 = and t0, t1
+live_out t0, t1
+live_out t2

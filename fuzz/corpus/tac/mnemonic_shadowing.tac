@@ -1,0 +1,5 @@
+# variables may shadow store mnemonics
+sh = sll a, 1
+sb = andi sh, 255
+sw = addu sh, sb
+live_out sw

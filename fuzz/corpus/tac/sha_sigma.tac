@@ -1,0 +1,12 @@
+# SHA-256 small sigma0: ror(x,7) ^ ror(x,18) ^ (x >> 3)
+# (rotates lowered to shift pairs, as a RISC compiler emits them)
+r7a = srl x, 7
+r7b = sll x, 25
+r7 = or r7a, r7b
+r18a = srl x, 18
+r18b = sll x, 14
+r18 = or r18a, r18b
+s3 = srl x, 3
+t0 = xor r7, r18
+sigma = xor t0, s3
+live_out sigma

@@ -1,0 +1,9 @@
+# every memory form: word/half/byte loads and stores, immediate store value
+a = lw [p]
+b = lh [q]
+c = lbu [r]
+s = addu a, b
+t = xor s, c
+sw [p], t
+sh [q], 0x7fff
+sb [r], 255

@@ -1,0 +1,11 @@
+x = addu a, b
+y0 = sll x, 1
+y1 = srl x, 1
+y2 = xor x, c
+y3 = and x, d
+y4 = or x, e
+z0 = addu y0, y1
+z1 = subu y2, y3
+z2 = nor z0, z1
+z3 = xor z2, y4
+live_out z3

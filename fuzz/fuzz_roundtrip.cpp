@@ -1,0 +1,10 @@
+// libFuzzer target: parse → validate → schedule round-trip (see
+// fuzz_targets.hpp).
+//
+//   ./fuzz/fuzz_roundtrip fuzz/corpus/tac -max_total_time=30
+#include "fuzz_targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return isex::fuzz::run_roundtrip_input(data, size);
+}

@@ -1,0 +1,9 @@
+// libFuzzer target: TAC parser boundary (see fuzz_targets.hpp).
+//
+//   ./fuzz/fuzz_tac_parser fuzz/corpus/tac -max_total_time=30
+#include "fuzz_targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return isex::fuzz::run_tac_parser_input(data, size);
+}

@@ -1,0 +1,115 @@
+#include "fuzz_targets.hpp"
+
+#include <cstdio>
+#include <string_view>
+
+#include "dfg/validate.hpp"
+#include "isa/tac_parser.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/machine_config.hpp"
+#include "util/assert.hpp"
+
+namespace isex::fuzz {
+namespace {
+
+/// Inputs larger than any plausible basic block are truncated instead of
+/// rejected: the prefix still exercises the parser, and the cap keeps a
+/// single iteration fast enough for the 30s CI smoke run.
+constexpr std::size_t kMaxInputBytes = std::size_t{1} << 16;
+
+std::string_view as_source(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxInputBytes) size = kMaxInputBytes;
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+[[noreturn]] void contract_violation(const char* what,
+                                     const ValidationReport* report) {
+  std::fprintf(stderr, "fuzz contract violation: %s\n", what);
+  if (report != nullptr)
+    std::fputs(report->to_string().c_str(), stderr);
+  std::abort();
+}
+
+}  // namespace
+
+int run_tac_parser_input(const std::uint8_t* data, std::size_t size) {
+  const std::string_view source = as_source(data, size);
+
+  // Strict boundary: never throws, and the two outcomes are airtight —
+  // either a block whose graph validates, or a coded, located Error.
+  const Expected<isa::ParsedBlock> checked = isa::parse_tac_checked(source);
+  if (checked.has_value()) {
+    const isa::ParsedBlock& block = checked.value();
+    if (!block.graph.is_acyclic())
+      contract_violation("parser accepted input but produced a cyclic DFG",
+                         nullptr);
+    const ValidationReport report = dfg::validate(block.graph);
+    if (!report.ok())
+      contract_violation("parser-accepted graph failed dfg::validate",
+                         &report);
+    ISEX_ASSERT_MSG(block.statements.size() <= block.graph.num_nodes(),
+                    "more statements than DFG nodes");
+  } else {
+    const Error& e = checked.error();
+    ISEX_ASSERT_MSG(e.code() != ErrorCode::kOk,
+                    "rejection without an error code");
+    ISEX_ASSERT_MSG(e.loc().line >= 0, "negative source line in diagnostic");
+    ISEX_ASSERT_MSG(!e.message().empty(), "rejection without a message");
+  }
+
+  // Permissive boundary: the only exception type that may escape is
+  // ParseError; anything else (bad_alloc aside) is a harness catch.
+  try {
+    const isa::ParsedBlock block = isa::parse_tac(source);
+    if (!block.graph.is_acyclic())
+      contract_violation("permissive parser produced a cyclic DFG", nullptr);
+  } catch (const isa::ParseError&) {
+    // expected rejection path
+  }
+  return 0;
+}
+
+int run_roundtrip_input(const std::uint8_t* data, std::size_t size) {
+  const std::string_view source = as_source(data, size);
+  const Expected<isa::ParsedBlock> checked = isa::parse_tac_checked(source);
+  if (!checked.has_value()) return 0;  // rejected inputs go no further
+
+  const dfg::Graph& graph = checked.value().graph;
+  const ValidationReport report = dfg::validate(graph);
+  if (!report.ok())
+    contract_violation("parser-accepted graph failed dfg::validate", &report);
+
+  const auto n = graph.num_nodes();
+  if (n == 0 || n > 512) return 0;  // strict parse rejects empty; cap cost
+
+  // Validated-accepted graphs must schedule without UB on both ends of the
+  // paper's machine sweep, and the schedule must be structurally sound.
+  const sched::MachineConfig machines[] = {
+      sched::MachineConfig::make(2, {4, 2}),
+      sched::MachineConfig::make(4, {10, 5}),
+  };
+  for (const sched::MachineConfig& machine : machines) {
+    const sched::ListScheduler scheduler(machine);
+    const sched::Schedule schedule = scheduler.run(graph);
+    ISEX_ASSERT_MSG(schedule.slot.size() == n, "schedule lost nodes");
+    ISEX_ASSERT_MSG(schedule.cycles >= 1, "non-empty block in zero cycles");
+    const int floor_cycles = static_cast<int>(
+        (n + static_cast<std::size_t>(machine.issue_width) - 1) /
+        static_cast<std::size_t>(machine.issue_width));
+    ISEX_ASSERT_MSG(schedule.cycles >= floor_cycles,
+                    "makespan below the issue-width bound");
+    for (dfg::NodeId v = 0; v < n; ++v) {
+      ISEX_ASSERT_MSG(
+          schedule.slot[v] >= 0 && schedule.slot[v] < schedule.cycles,
+          "node placed outside the makespan");
+      // Parser graphs carry only unit-latency PISA ops: every consumer
+      // must issue strictly after its producer.
+      for (const dfg::NodeId s : graph.succs(v))
+        ISEX_ASSERT_MSG(schedule.slot[s] > schedule.slot[v],
+                        "schedule violates a dependence");
+    }
+  }
+  return 0;
+}
+
+}  // namespace isex::fuzz

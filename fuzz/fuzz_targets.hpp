@@ -1,0 +1,32 @@
+// Shared fuzz-harness entry points.
+//
+// The same two functions drive three consumers, so a crash found by
+// libFuzzer reproduces everywhere:
+//   * fuzz_tac_parser / fuzz_roundtrip (libFuzzer builds, or the standalone
+//     replay driver when the toolchain lacks -fsanitize=fuzzer);
+//   * tests/test_fuzz_regressions.cpp, which replays fuzz/corpus/ and
+//     fuzz/regressions/ as plain GoogleTest cases on every CI run.
+//
+// Each function treats the byte buffer as one TAC source and enforces the
+// input-boundary contracts from docs/ROBUSTNESS.md with ISEX_ASSERT — any
+// violation aborts, which is exactly the signal a fuzzer wants:
+//   * run_tac_parser_input: parse_tac_checked never throws; accepted blocks
+//     always pass dfg::validate; rejected inputs carry a structured code
+//     and location; the permissive parse_tac throws nothing but ParseError.
+//   * run_roundtrip_input: every parser-accepted, validator-accepted graph
+//     schedules on paper-sweep machines without UB — all nodes placed,
+//     dependences respected, makespan within structural bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace isex::fuzz {
+
+/// Parse (strict + permissive) and validate; returns 0 (libFuzzer ABI).
+int run_tac_parser_input(const std::uint8_t* data, std::size_t size);
+
+/// Parse → validate → schedule round-trip; returns 0 (libFuzzer ABI).
+int run_roundtrip_input(const std::uint8_t* data, std::size_t size);
+
+}  // namespace isex::fuzz

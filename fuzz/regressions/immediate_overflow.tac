@@ -1,0 +1,2 @@
+# pre-hardening: strtoll overflow was silently truncated (kParseImmediateRange)
+x = addiu a, 99999999999999999999

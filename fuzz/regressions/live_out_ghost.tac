@@ -1,0 +1,2 @@
+t = addu a, b
+live_out ghost

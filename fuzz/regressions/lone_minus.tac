@@ -1,0 +1,1 @@
+x = addu a, -

@@ -1,0 +1,2 @@
+# three register operands on a two-source opcode (kParseArity strict)
+x = addu a, b, c

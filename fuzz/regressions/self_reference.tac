@@ -1,0 +1,3 @@
+# pre-hardening: `a` silently became a live-in of its own definition
+# (kParseSelfReference in strict mode)
+a = addu a, b

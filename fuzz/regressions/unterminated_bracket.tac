@@ -1,0 +1,1 @@
+v = lw [p

@@ -1,0 +1,62 @@
+// Replay driver for toolchains without libFuzzer (GCC builds).
+//
+// Linked into the fuzz targets instead of -fsanitize=fuzzer when the
+// compiler lacks it: runs every file (or every file under every directory)
+// named on the command line through LLVMFuzzerTestOneInput once, so corpus
+// and regression inputs reproduce crashes with nothing but a C++ compiler.
+// libFuzzer-style "-flag" arguments are ignored, which keeps CI invocations
+// copy-pasteable between the two build modes.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer flag; ignore
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg, ec))
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+    } else if (std::filesystem::is_regular_file(arg, ec)) {
+      inputs.push_back(arg);
+    } else {
+      std::fprintf(stderr, "error: no such input: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <corpus-dir-or-file>... [-libfuzzer-flags ignored]\n"
+                 "(standalone replay build; compile with clang for real "
+                 "libFuzzer mutation)\n",
+                 argv[0]);
+    return 2;
+  }
+  for (const auto& path : inputs) {
+    const std::vector<std::uint8_t> bytes = read_bytes(path);
+    std::fprintf(stderr, "running: %s (%zu bytes)\n", path.c_str(),
+                 bytes.size());
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  std::fprintf(stderr, "replayed %zu input(s) without a crash\n",
+               inputs.size());
+  return 0;
+}

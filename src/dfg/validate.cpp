@@ -1,0 +1,150 @@
+#include "dfg/validate.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace isex::dfg {
+namespace {
+
+std::string node_name(const Graph& g, NodeId v) {
+  const Node& n = g.node(v);
+  std::string out = "node " + std::to_string(v);
+  if (!n.label.empty()) out += " ('" + n.label + "')";
+  return out;
+}
+
+/// Edge-level integrity.  Returns false when the adjacency lists are too
+/// corrupt for the downstream passes (cycle check) to run meaningfully.
+bool check_adjacency(const Graph& g, ValidationReport& report) {
+  const std::size_t n = g.num_nodes();
+  bool usable = true;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId s : g.succs(v)) {
+      if (s >= n) {
+        report.add(ErrorCode::kGraphDanglingOperand,
+                   node_name(g, v) + " has a successor edge to nonexistent node " +
+                       std::to_string(s));
+        usable = false;
+        continue;
+      }
+      if (s == v) {
+        report.add(ErrorCode::kGraphSelfEdge,
+                   node_name(g, v) + " feeds itself");
+        usable = false;
+      }
+      const auto preds = g.preds(s);
+      if (std::find(preds.begin(), preds.end(), v) == preds.end()) {
+        report.add(ErrorCode::kGraphAdjacencyCorrupt,
+                   "edge " + std::to_string(v) + " -> " + std::to_string(s) +
+                       " present in succs but missing from preds");
+        usable = false;
+      }
+    }
+    // Duplicate parallel edges: one producer feeding one consumer carries
+    // one value; Graph::add_edge dedupes, so a duplicate means corruption.
+    std::vector<NodeId> sorted(g.succs(v).begin(), g.succs(v).end());
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      report.add(ErrorCode::kGraphDuplicateEdge,
+                 node_name(g, v) + " has duplicate successor edges");
+      usable = false;
+    }
+    for (const NodeId p : g.preds(v)) {
+      if (p >= n) {
+        report.add(ErrorCode::kGraphDanglingOperand,
+                   node_name(g, v) + " has a predecessor edge from nonexistent node " +
+                       std::to_string(p));
+        usable = false;
+        continue;
+      }
+      const auto succs = g.succs(p);
+      if (std::find(succs.begin(), succs.end(), v) == succs.end()) {
+        report.add(ErrorCode::kGraphAdjacencyCorrupt,
+                   "edge " + std::to_string(p) + " -> " + std::to_string(v) +
+                       " present in preds but missing from succs");
+        usable = false;
+      }
+    }
+  }
+  return usable;
+}
+
+void check_nodes(const Graph& g, ValidationReport& report) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Node& n = g.node(v);
+
+    if (n.is_ise) {
+      const IseInfo& ise = n.ise;
+      if (ise.latency_cycles < 1)
+        report.add(ErrorCode::kGraphIseInfoInvalid,
+                   node_name(g, v) + " is an ISE supernode with latency " +
+                       std::to_string(ise.latency_cycles) + " (must be >= 1)");
+      if (ise.area < 0.0)
+        report.add(ErrorCode::kGraphIseInfoInvalid,
+                   node_name(g, v) + " is an ISE supernode with negative area");
+      if (ise.num_inputs < 0 || ise.num_outputs < 0)
+        report.add(ErrorCode::kGraphIseInfoInvalid,
+                   node_name(g, v) + " is an ISE supernode with negative IN/OUT " +
+                       std::to_string(ise.num_inputs) + "/" +
+                       std::to_string(ise.num_outputs));
+    } else {
+      const auto opcode_index = static_cast<std::size_t>(n.opcode);
+      if (opcode_index >= isa::kOpcodeCount) {
+        report.add(ErrorCode::kGraphOpcodeIllegal,
+                   node_name(g, v) + " carries opcode value " +
+                       std::to_string(opcode_index) +
+                       " outside the PISA subset");
+        continue;  // traits() would assert on this opcode
+      }
+      const isa::OpcodeTraits& tr = isa::traits(n.opcode);
+      if (!tr.has_dst) {
+        if (!g.succs(v).empty())
+          report.add(ErrorCode::kGraphResultlessProducer,
+                     node_name(g, v) + " ('" + std::string(tr.mnemonic) +
+                         "') produces no result but has in-block consumers");
+        if (g.live_out(v))
+          report.add(ErrorCode::kGraphResultlessProducer,
+                     node_name(g, v) + " ('" + std::string(tr.mnemonic) +
+                         "') produces no result but is marked live-out");
+      }
+      const int operands =
+          static_cast<int>(g.preds(v).size()) + g.extern_inputs(v);
+      // Warning, not error: the scheduler caps port usage at the ISA arity,
+      // so an over-arity node is suspicious but not unsafe (hand-built test
+      // graphs use set_extern_inputs liberally).  The TAC frontend rejects
+      // over-arity statements outright in strict mode (kParseArity).
+      if (operands > static_cast<int>(tr.num_srcs))
+        report.add(ErrorCode::kGraphArity,
+                   node_name(g, v) + " ('" + std::string(tr.mnemonic) +
+                       "') has " + std::to_string(operands) +
+                       " register operands; the opcode reads at most " +
+                       std::to_string(static_cast<int>(tr.num_srcs)),
+                   {}, Severity::kWarning);
+    }
+
+    for (const int value_id : g.extern_input_ids(v)) {
+      if (value_id < 0) {
+        report.add(ErrorCode::kGraphLiveInInconsistent,
+                   node_name(g, v) + " has negative live-in value id " +
+                       std::to_string(value_id));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ValidationReport validate(const Graph& graph) {
+  ValidationReport report;
+  const bool adjacency_usable = check_adjacency(graph, report);
+  check_nodes(graph, report);
+  if (adjacency_usable && !graph.is_acyclic()) {
+    report.add(ErrorCode::kGraphCycle,
+               "graph contains a directed cycle; a DFG must be a DAG");
+  }
+  return report;
+}
+
+}  // namespace isex::dfg

@@ -1,0 +1,33 @@
+// DFG structural validator.
+//
+// Every downstream subsystem (Ready-Matrix, list scheduler, collapse,
+// exploration) assumes the graph is a well-formed DAG whose nodes carry
+// legal opcodes and sane live-in/live-out annotations.  Those assumptions
+// were implicit preconditions; this pass makes them checked contracts at the
+// input boundary, so a malformed kernel is rejected with a diagnostic
+// instead of corrupting the scheduler state.
+//
+// Checked invariants (see docs/ROBUSTNESS.md for the full table):
+//   * adjacency integrity — edge endpoints in range, succs/preds mirrored,
+//     no self-edges, no duplicate parallel edges;
+//   * acyclicity — the graph is a DAG (Kahn over every node);
+//   * opcode legality — opcode inside the PISA enum; nodes whose opcode
+//     produces no result must not have consumers or be live-out;
+//   * arity — in-block producers plus live-in operands never exceed the
+//     opcode's register-source count (non-ISE nodes; reported as a warning
+//     because the scheduler caps port usage at the ISA arity);
+//   * live-in consistency — extern value ids non-negative;
+//   * ISE payload sanity — supernode latency >= 1, area >= 0, IN/OUT >= 1.
+//
+// validate() never throws and never asserts on malformed *input* shapes; it
+// returns every defect found, in node order.
+#pragma once
+
+#include "dfg/graph.hpp"
+#include "util/error.hpp"
+
+namespace isex::dfg {
+
+ValidationReport validate(const Graph& graph);
+
+}  // namespace isex::dfg

@@ -3,6 +3,7 @@
 #include <iterator>
 #include <memory>
 
+#include "flow/validate.hpp"
 #include "runtime/job_graph.hpp"
 #include "runtime/runtime_stats.hpp"
 #include "util/assert.hpp"
@@ -49,6 +50,22 @@ std::vector<core::ExplorationResult> explore_hot_blocks(
 FlowResult run_design_flow(const ProfiledProgram& program,
                            const hw::HwLibrary& library,
                            const FlowConfig& config) {
+  Expected<FlowResult> result = run_design_flow_checked(program, library, config);
+  if (!result) throw ValidationException(result.error());
+  return std::move(result).value();
+}
+
+Expected<FlowResult> run_design_flow_checked(const ProfiledProgram& program,
+                                             const hw::HwLibrary& library,
+                                             const FlowConfig& config) {
+  // Input boundary: reject malformed programs and configs before any stage
+  // touches them — a validator-rejected input never reaches the explorer.
+  {
+    const runtime::StageTimer timer("validation");
+    ValidationReport report = validate(config);
+    report.merge(validate(program));
+    if (!report.ok()) return report.first_error();
+  }
   // Every stage is timed into stage_times() / the metrics registry and,
   // when the global tracer is enabled, appears as a `stage:<name>` span —
   // the flow's wall-clock breakdown is first-class output, not printf.

@@ -54,8 +54,18 @@ struct FlowResult {
 };
 
 /// Runs the complete flow on `program`.  Deterministic in config.seed.
+/// Validates the program and config first (flow::validate) and throws
+/// isex::ValidationException on rejected input — malformed kernels never
+/// reach the explorer.
 FlowResult run_design_flow(const ProfiledProgram& program,
                            const hw::HwLibrary& library,
                            const FlowConfig& config);
+
+/// Non-throwing boundary: validates `program` and `config` up front and
+/// returns the first defect as a structured Error instead of throwing.
+/// Service and CLI callers should prefer this entry point.
+Expected<FlowResult> run_design_flow_checked(const ProfiledProgram& program,
+                                             const hw::HwLibrary& library,
+                                             const FlowConfig& config);
 
 }  // namespace isex::flow

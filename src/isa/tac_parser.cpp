@@ -1,6 +1,7 @@
 #include "isa/tac_parser.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <optional>
 #include <unordered_set>
@@ -8,6 +9,20 @@
 
 namespace isex::isa {
 namespace {
+
+/// Parses an integer literal the lexer accepted, rejecting values that do
+/// not fit the 32-bit datapath (the evaluator and RTL are 32-bit; silently
+/// truncating a 2^40 literal would corrupt results, not report them).
+std::int64_t parse_immediate(const std::string& text, int line_no) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 0);
+  if (errno == ERANGE || value > 4294967295LL || value < -2147483648LL)
+    throw ParseError(ErrorCode::kParseImmediateRange, line_no,
+                     "immediate '" + text +
+                         "' does not fit the 32-bit datapath");
+  return static_cast<std::int64_t>(value);
+}
 
 struct Token {
   enum class Kind { kIdent, kNumber, kEquals, kComma, kLBracket, kRBracket, kEnd };
@@ -79,6 +94,8 @@ class Lexer {
 
 class BlockParser {
  public:
+  explicit BlockParser(const ParseOptions& options) : options_(options) {}
+
   ParsedBlock parse(std::string_view source) {
     int line_no = 0;
     std::size_t start = 0;
@@ -90,6 +107,9 @@ class BlockParser {
       if (nl == std::string_view::npos) break;
       start = nl + 1;
     }
+    if (options_.reject_empty && block_.statements.empty())
+      throw ParseError(ErrorCode::kParseEmptyInput, 0,
+                       "input contains no statements");
     apply_implicit_live_out();
     return std::move(block_);
   }
@@ -125,7 +145,9 @@ class BlockParser {
     if (mn.kind != Token::Kind::kIdent)
       throw ParseError(line_no, "expected mnemonic after '='");
     const auto op = opcode_from_mnemonic(mn.text);
-    if (!op) throw ParseError(line_no, "unknown mnemonic '" + mn.text + "'");
+    if (!op)
+      throw ParseError(ErrorCode::kParseUnknownMnemonic, line_no,
+                       "unknown mnemonic '" + mn.text + "'");
     if (is_store(*op))
       throw ParseError(line_no, "store cannot have a destination");
     if (!traits(*op).has_dst)
@@ -168,7 +190,7 @@ class BlockParser {
     } else if (value.kind == Token::Kind::kNumber) {
       TacOperand v;
       v.kind = TacOperand::Kind::kImmediate;
-      v.imm = static_cast<std::int64_t>(std::strtoll(value.text.c_str(), nullptr, 0));
+      v.imm = parse_immediate(value.text, line_no);
       operands.push_back(std::move(v));
     } else {
       throw ParseError(line_no, "store form is: sw [addr], value");
@@ -202,7 +224,7 @@ class BlockParser {
       } else if (t.kind == Token::Kind::kNumber) {
         TacOperand o;
         o.kind = TacOperand::Kind::kImmediate;
-        o.imm = static_cast<std::int64_t>(std::strtoll(t.text.c_str(), nullptr, 0));
+        o.imm = parse_immediate(t.text, line_no);
         ops.push_back(std::move(o));
       } else {
         throw ParseError(line_no, "bad operand");
@@ -217,7 +239,18 @@ class BlockParser {
   void define(const std::string& dest, Opcode op,
               const std::vector<TacOperand>& operands, int line_no) {
     if (block_.defs.contains(dest))
-      throw ParseError(line_no, "variable '" + dest + "' redefined (block is SSA)");
+      throw ParseError(ErrorCode::kParseRedefinition, line_no,
+                       "variable '" + dest + "' redefined (block is SSA)");
+    if (options_.reject_self_reference) {
+      for (const TacOperand& o : operands) {
+        if (o.kind != TacOperand::Kind::kImmediate && o.name == dest)
+          throw ParseError(
+              ErrorCode::kParseSelfReference, line_no,
+              "variable '" + dest +
+                  "' is read in its own definition (use before def "
+                  "would form a dataflow cycle)");
+      }
+    }
     const dfg::NodeId id = make_node(op, dest, operands, line_no);
     block_.defs.emplace(dest, id);
   }
@@ -227,6 +260,18 @@ class BlockParser {
     if (is_load(op) &&
         (operands.size() != 1 || operands[0].kind != TacOperand::Kind::kMemAddr))
       throw ParseError(line_no, "load form is: dst = lw [addr]");
+    if (options_.reject_over_arity) {
+      int reg_operands = 0;
+      for (const TacOperand& o : operands)
+        if (o.kind != TacOperand::Kind::kImmediate) ++reg_operands;
+      const auto max_srcs = static_cast<int>(traits(op).num_srcs);
+      if (reg_operands > max_srcs)
+        throw ParseError(ErrorCode::kParseArity, line_no,
+                         "'" + std::string(mnemonic(op)) + "' reads at most " +
+                             std::to_string(max_srcs) +
+                             " register operand(s); got " +
+                             std::to_string(reg_operands));
+    }
 
     const dfg::NodeId id = block_.graph.add_node(op, label);
     std::vector<int> extern_ids;
@@ -259,7 +304,8 @@ class BlockParser {
     for (const auto& [name, line_no] : explicit_live_out_) {
       const auto it = block_.defs.find(name);
       if (it == block_.defs.end())
-        throw ParseError(line_no, "live_out of undefined variable '" + name + "'");
+        throw ParseError(ErrorCode::kParseUndefinedVariable, line_no,
+                         "live_out of undefined variable '" + name + "'");
       block_.graph.set_live_out(it->second, true);
     }
     // A defined value nobody in the block consumes must escape the block.
@@ -272,6 +318,7 @@ class BlockParser {
     if (lex.next().kind != kind) throw ParseError(line_no, msg);
   }
 
+  ParseOptions options_;
   ParsedBlock block_;
   std::unordered_map<std::string, int> live_in_ids_;
   std::unordered_set<dfg::NodeId> consumed_;
@@ -281,8 +328,25 @@ class BlockParser {
 }  // namespace
 
 ParsedBlock parse_tac(std::string_view source) {
-  BlockParser parser;
+  // Permissive: empty blocks, self-references, and over-arity statements
+  // keep parsing (programmatic kernels rely on the historical latitude);
+  // only defects that corrupt the DFG or the 32-bit datapath throw.
+  ParseOptions permissive;
+  permissive.reject_empty = false;
+  permissive.reject_self_reference = false;
+  permissive.reject_over_arity = false;
+  BlockParser parser(permissive);
   return parser.parse(source);
+}
+
+Expected<ParsedBlock> parse_tac_checked(std::string_view source,
+                                        const ParseOptions& options) {
+  try {
+    BlockParser parser(options);
+    return parser.parse(source);
+  } catch (const ParseError& e) {
+    return e.to_error();
+  }
 }
 
 }  // namespace isex::isa

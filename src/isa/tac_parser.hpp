@@ -25,19 +25,37 @@
 #include <unordered_map>
 
 #include "dfg/graph.hpp"
+#include "util/error.hpp"
 
 namespace isex::isa {
 
-/// Parse failure; carries the 1-based source line.
+/// Parse failure; carries a structured error code (the 1xx block of
+/// isex::ErrorCode) and the 1-based source line (0 = whole input).
 class ParseError : public std::runtime_error {
  public:
+  ParseError(ErrorCode code, int line, const std::string& message)
+      : std::runtime_error(line > 0
+                               ? "line " + std::to_string(line) + ": " + message
+                               : message),
+        code_(code),
+        line_(line),
+        raw_message_(message) {}
+  /// Back-compat constructor; classifies as generic syntax error.
   ParseError(int line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
-        line_(line) {}
+      : ParseError(ErrorCode::kParseSyntax, line, message) {}
+
+  ErrorCode code() const { return code_; }
   int line() const { return line_; }
 
+  /// The structured-diagnostic form of this failure.
+  Error to_error() const {
+    return Error(code_, raw_message_, SourceLoc{line_, 0});
+  }
+
  private:
+  ErrorCode code_;
   int line_;
+  std::string raw_message_;
 };
 
 /// One parsed operand, preserving what the DFG abstracts away (immediates,
@@ -71,8 +89,30 @@ struct ParsedBlock {
   std::vector<TacStatement> statements;
 };
 
+/// Strictness knobs for the checked entry point.  The throwing parse_tac()
+/// wrapper stays permissive (empty blocks and self-references parse) so
+/// that programmatic kernel construction keeps its historical latitude; the
+/// tool boundary (isex_cli, fuzzers) parses strictly.
+struct ParseOptions {
+  /// Reject input with zero statements (kParseEmptyInput, line 0).
+  bool reject_empty = true;
+  /// Reject "a = addu a, b" where `a` has no earlier definition: the
+  /// apparent self-dependence is the only cycle-shaped input the TAC
+  /// grammar admits, and it is always a typo (kParseSelfReference).
+  bool reject_self_reference = true;
+  /// Reject statements with more register operands than the opcode reads
+  /// (kParseArity).
+  bool reject_over_arity = true;
+};
+
 /// Parses a whole basic block.  Throws ParseError on malformed input,
 /// unknown mnemonics, or variable redefinition.
 ParsedBlock parse_tac(std::string_view source);
+
+/// Non-throwing strict boundary: parses and returns either the block or the
+/// first structured Error.  The returned block's graph always satisfies
+/// dfg::validate() — the fuzz harnesses enforce that contract.
+Expected<ParsedBlock> parse_tac_checked(std::string_view source,
+                                        const ParseOptions& options = {});
 
 }  // namespace isex::isa

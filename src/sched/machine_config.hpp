@@ -12,6 +12,7 @@
 
 #include "isa/opcode.hpp"
 #include "isa/register_file.hpp"
+#include "util/error.hpp"
 
 namespace isex::sched {
 
@@ -36,5 +37,11 @@ struct MachineConfig {
 
   friend bool operator==(const MachineConfig&, const MachineConfig&) = default;
 };
+
+/// Machine-model sanity.  Errors (rejected): issue width < 1, register
+/// read/write ports < 1, a negative FU count, or no ALU.  Warnings
+/// (processable but outside the paper's evaluation envelope): issue width
+/// beyond 2–4 or a port configuration outside the 4/2 … 10/5 sweep.
+ValidationReport validate(const MachineConfig& config);
 
 }  // namespace isex::sched

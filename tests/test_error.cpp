@@ -1,0 +1,116 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace isex {
+namespace {
+
+TEST(Error, FormatsCodeNameLineAndMessage) {
+  const Error e(ErrorCode::kParseUndefinedVariable,
+                "live_out of undefined variable 'ghost'", SourceLoc{3, 0});
+  EXPECT_EQ(e.to_string(),
+            "error E0104 [parse-undefined-variable]: line 3: "
+            "live_out of undefined variable 'ghost'");
+}
+
+TEST(Error, OmitsLineWhenUnknown) {
+  const Error e(ErrorCode::kProgramEmpty, "program 'p' has no basic blocks");
+  EXPECT_EQ(e.to_string(),
+            "error E0301 [program-empty]: program 'p' has no basic blocks");
+}
+
+TEST(Error, WarningSeverityIsVisibleInTheRendering) {
+  const Error w(ErrorCode::kConfigOutsidePaperSweep, "register file 12/6",
+                SourceLoc{}, Severity::kWarning);
+  EXPECT_EQ(w.to_string().rfind("warning ", 0), 0u);
+}
+
+TEST(Error, EveryCodeHasAStableName) {
+  // A new ErrorCode without a name would render as "unknown" — catch that.
+  for (const ErrorCode code : {
+           ErrorCode::kParseSyntax, ErrorCode::kParseUnknownMnemonic,
+           ErrorCode::kParseRedefinition, ErrorCode::kParseUndefinedVariable,
+           ErrorCode::kParseImmediateRange, ErrorCode::kParseEmptyInput,
+           ErrorCode::kParseSelfReference, ErrorCode::kParseArity,
+           ErrorCode::kGraphCycle, ErrorCode::kGraphDanglingOperand,
+           ErrorCode::kGraphAdjacencyCorrupt, ErrorCode::kGraphSelfEdge,
+           ErrorCode::kGraphDuplicateEdge, ErrorCode::kGraphArity,
+           ErrorCode::kGraphOpcodeIllegal,
+           ErrorCode::kGraphLiveInInconsistent,
+           ErrorCode::kGraphIseInfoInvalid,
+           ErrorCode::kGraphResultlessProducer, ErrorCode::kProgramEmpty,
+           ErrorCode::kProgramBlockInvalid, ErrorCode::kProgramExecCount,
+           ErrorCode::kFlowParamsInvalid, ErrorCode::kConfigIssueWidth,
+           ErrorCode::kConfigPorts, ErrorCode::kConfigFuCounts,
+           ErrorCode::kConfigOutsidePaperSweep, ErrorCode::kIoFileNotFound,
+           ErrorCode::kIoEmptyFile, ErrorCode::kIoWriteFailed,
+       }) {
+    EXPECT_NE(error_code_name(code), "unknown")
+        << "code " << static_cast<int>(code);
+  }
+}
+
+TEST(Expected, HoldsValueOrError) {
+  const Expected<int> ok = 42;
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, 42);
+
+  const Expected<int> bad = Error(ErrorCode::kIoFileNotFound, "nope");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kIoFileNotFound);
+}
+
+TEST(Expected, MoveOutConsumesTheValue) {
+  Expected<std::string> ok = std::string("payload");
+  const std::string taken = std::move(ok).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ValidationReport, OkIgnoresWarnings) {
+  ValidationReport report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.empty());
+
+  report.add(ErrorCode::kConfigOutsidePaperSweep, "outside sweep", {},
+             Severity::kWarning);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.error_count(), 0u);
+
+  report.add(ErrorCode::kGraphCycle, "cycle");
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.first_error().code(), ErrorCode::kGraphCycle);
+}
+
+TEST(ValidationReport, MergePreservesOrder) {
+  ValidationReport a;
+  a.add(ErrorCode::kGraphCycle, "first");
+  ValidationReport b;
+  b.add(ErrorCode::kGraphSelfEdge, "second");
+  a.merge(std::move(b));
+  ASSERT_EQ(a.issues().size(), 2u);
+  EXPECT_EQ(a.issues()[0].code(), ErrorCode::kGraphCycle);
+  EXPECT_EQ(a.issues()[1].code(), ErrorCode::kGraphSelfEdge);
+}
+
+TEST(ValidationReport, ToStringIsOneDiagnosticPerLine) {
+  ValidationReport report;
+  report.add(ErrorCode::kGraphCycle, "cycle");
+  report.add(ErrorCode::kProgramEmpty, "empty");
+  const std::string rendered = report.to_string();
+  EXPECT_NE(rendered.find("E0201"), std::string::npos);
+  EXPECT_NE(rendered.find("E0301"), std::string::npos);
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 2);
+}
+
+TEST(ValidationException, CarriesTheStructuredError) {
+  const ValidationException ex(Error(ErrorCode::kProgramEmpty, "no blocks"));
+  EXPECT_EQ(ex.error().code(), ErrorCode::kProgramEmpty);
+  EXPECT_NE(std::string(ex.what()).find("E0301"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace isex

@@ -213,3 +213,90 @@ TEST(TacParser, DistinctLiveInsCountSeparately) {
 
 }  // namespace
 }  // namespace isex::isa
+// -- appended: structured negative-path coverage (error codes + lines) ------
+namespace isex::isa {
+namespace {
+
+/// Asserts parse_tac_checked rejects `source` with exactly `code` at `line`.
+void expect_rejected(std::string_view source, ErrorCode code, int line) {
+  const Expected<ParsedBlock> result = parse_tac_checked(source);
+  ASSERT_FALSE(result.has_value()) << "input was accepted: " << source;
+  EXPECT_EQ(result.error().code(), code) << result.error().to_string();
+  EXPECT_EQ(result.error().loc().line, line) << result.error().to_string();
+  EXPECT_FALSE(result.error().message().empty());
+}
+
+TEST(TacParserNegative, SelfReferenceIsACycle) {
+  // `a` reads itself with no earlier definition — the only cycle-shaped
+  // input the TAC grammar admits.
+  expect_rejected("a = addu a, b", ErrorCode::kParseSelfReference, 1);
+  expect_rejected("t = addu x, y\nu = xor u, t\n",
+                  ErrorCode::kParseSelfReference, 2);
+}
+
+TEST(TacParserNegative, UndefinedOperandInLiveOut) {
+  expect_rejected("t = addu a, b\nlive_out ghost",
+                  ErrorCode::kParseUndefinedVariable, 2);
+}
+
+TEST(TacParserNegative, DuplicateDefinition) {
+  expect_rejected("x = addu a, b\nx = xor c, d",
+                  ErrorCode::kParseRedefinition, 2);
+}
+
+TEST(TacParserNegative, OversizedImmediate) {
+  expect_rejected("x = addiu a, 99999999999999999999",
+                  ErrorCode::kParseImmediateRange, 1);
+  expect_rejected("x = addiu a, 4294967296",
+                  ErrorCode::kParseImmediateRange, 1);
+  expect_rejected("x = addiu a, -2147483649",
+                  ErrorCode::kParseImmediateRange, 1);
+  expect_rejected("a = andi x, 0xff\nsw [p], 0x1ffffffff",
+                  ErrorCode::kParseImmediateRange, 2);
+}
+
+TEST(TacParserNegative, BoundaryImmediatesStillParse) {
+  EXPECT_TRUE(parse_tac_checked("x = addiu a, 4294967295").has_value());
+  EXPECT_TRUE(parse_tac_checked("x = addiu a, -2147483648").has_value());
+}
+
+TEST(TacParserNegative, EmptyFile) {
+  expect_rejected("", ErrorCode::kParseEmptyInput, 0);
+  expect_rejected("# only a comment\n\n", ErrorCode::kParseEmptyInput, 0);
+}
+
+TEST(TacParserNegative, OverArity) {
+  expect_rejected("x = addu a, b, c", ErrorCode::kParseArity, 1);
+  expect_rejected("x = mov a, b", ErrorCode::kParseArity, 1);
+}
+
+TEST(TacParserNegative, UnknownMnemonicCode) {
+  expect_rejected("x = frobnicate a, b", ErrorCode::kParseUnknownMnemonic, 1);
+}
+
+TEST(TacParserNegative, SyntaxErrorsCarryGenericCode) {
+  expect_rejected("x addu a, b", ErrorCode::kParseSyntax, 1);
+  expect_rejected("x = addu a,", ErrorCode::kParseSyntax, 1);
+  expect_rejected("v = lw [p", ErrorCode::kParseSyntax, 1);
+}
+
+TEST(TacParserNegative, ThrowingWrapperCarriesTheSameCode) {
+  try {
+    parse_tac("x = addiu a, 99999999999999999999");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseImmediateRange);
+    EXPECT_EQ(e.line(), 1);
+  }
+}
+
+TEST(TacParserNegative, PermissiveWrapperKeepsHistoricalLatitude) {
+  // Programmatic kernels rely on these parsing: empty blocks,
+  // self-references (the name becomes a live-in), and over-arity.
+  EXPECT_EQ(parse_tac("").graph.num_nodes(), 0u);
+  EXPECT_EQ(parse_tac("a = addu a, b").graph.num_nodes(), 1u);
+  EXPECT_EQ(parse_tac("x = addu a, b, c").graph.num_nodes(), 1u);
+}
+
+}  // namespace
+}  // namespace isex::isa

@@ -143,6 +143,9 @@ def main():
     args = parser.parse_args()
 
     bench_dir = Path(args.dir)
+    if not bench_dir.is_dir():
+        print(f"error: --dir {bench_dir} is not a directory", file=sys.stderr)
+        return 2
     files = sorted(bench_dir.glob("BENCH_*.json"))
     sections = ["# Benchmark report\n"]
     if not files:
@@ -157,13 +160,26 @@ def main():
         if not isinstance(data, dict):
             sections.append("_top level is not a JSON object_\n")
             continue
-        sections.append(render(data))
+        try:
+            sections.append(render(data))
+        except (KeyError, TypeError, ValueError) as err:
+            # A recognized shape with missing/mistyped fields (truncated
+            # write, schema drift): degrade to the scalar listing and say so
+            # instead of dying with a traceback mid-report.
+            sections.append(f"_malformed ({type(err).__name__}: {err}); "
+                            "top-level scalars only:_\n\n")
+            sections.append(render_generic(data))
 
     report = "\n".join(sections)
     if args.out == "-":
         sys.stdout.write(report)
     else:
-        Path(args.out).write_text(report)
+        try:
+            Path(args.out).write_text(report)
+        except OSError as err:
+            print(f"error: cannot write --out {args.out}: {err}",
+                  file=sys.stderr)
+            return 2
         print(f"wrote {args.out} ({len(files)} bench file(s))")
     return 0
 

@@ -38,6 +38,7 @@
 #include "baseline/si_explorer.hpp"
 #include "core/mi_explorer.hpp"
 #include "dfg/dot_export.hpp"
+#include "dfg/validate.hpp"
 #include "exec/evaluator.hpp"
 #include "hwlib/hw_library.hpp"
 #include "isa/tac_parser.hpp"
@@ -46,6 +47,7 @@
 #include "runtime/runtime_stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/list_scheduler.hpp"
+#include "sched/machine_config.hpp"
 #include "trace/metrics.hpp"
 #include "trace/telemetry.hpp"
 #include "trace/trace.hpp"
@@ -144,7 +146,7 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
   return opt;
 }
 
-std::string read_file(const std::string& path) {
+Expected<std::string> read_file(const std::string& path) {
   if (path == "-") {
     std::ostringstream ss;
     ss << std::cin.rdbuf();
@@ -152,12 +154,21 @@ std::string read_file(const std::string& path) {
   }
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
-    std::exit(1);
+    return Error(ErrorCode::kIoFileNotFound, "cannot open '" + path + "'");
   }
   std::ostringstream ss;
   ss << in.rdbuf();
-  return ss.str();
+  std::string content = ss.str();
+  if (content.empty())
+    return Error(ErrorCode::kIoEmptyFile, "'" + path + "' is empty");
+  return content;
+}
+
+/// Prints every diagnostic; returns false when any is error-severity.
+bool report_issues(const char* subject, const ValidationReport& report) {
+  for (const Error& e : report.issues())
+    std::fprintf(stderr, "isex: %s: %s\n", subject, e.to_string().c_str());
+  return report.ok();
 }
 
 core::ExplorationResult explore(const CliOptions& opt,
@@ -368,13 +379,30 @@ int main(int argc, char** argv) {
   if (opt->jobs > 0) runtime::ThreadPool::set_default_jobs(opt->jobs);
   if (!opt->trace_out.empty()) trace::Tracer::global().set_enabled(true);
 
-  isa::ParsedBlock block;
-  try {
-    block = isa::parse_tac(read_file(opt->input_path));
-  } catch (const isa::ParseError& e) {
-    std::fprintf(stderr, "parse error: %s\n", e.what());
+  // Input boundary: read → parse (strict) → validate, with structured
+  // diagnostics at every step.  A kernel that fails here never reaches the
+  // scheduler or the explorer (docs/ROBUSTNESS.md).
+  Expected<std::string> source = read_file(opt->input_path);
+  if (!source) {
+    std::fprintf(stderr, "isex: %s: %s\n", opt->input_path.c_str(),
+                 source.error().to_string().c_str());
     return 1;
   }
+  Expected<isa::ParsedBlock> parsed = isa::parse_tac_checked(*source);
+  if (!parsed) {
+    std::fprintf(stderr, "isex: %s: %s\n", opt->input_path.c_str(),
+                 parsed.error().to_string().c_str());
+    return 1;
+  }
+  isa::ParsedBlock block = std::move(parsed).value();
+  if (!report_issues(opt->input_path.c_str(), dfg::validate(block.graph)))
+    return 1;
+  // Machine-model diagnostics (warnings for configs outside the paper's
+  // sweep; arg parsing already rejects non-positive widths/ports).
+  if (!report_issues("machine config",
+                     sched::validate(sched::MachineConfig::make(
+                         opt->issue, {opt->read_ports, opt->write_ports}))))
+    return 1;
 
   int rc = -1;
   {

@@ -51,8 +51,15 @@ def validate_trace(path, errors):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(errors, f"{path}: not valid JSON: {e}")
+    except OSError as e:
+        fail(errors, f"{path}: cannot read trace file: {e}")
+        return
+    except json.JSONDecodeError as e:
+        fail(errors, f"{path}: not valid JSON (truncated write?): {e}")
+        return
+    if not isinstance(doc, dict):
+        fail(errors, f"{path}: top level is {type(doc).__name__}, not an "
+                     "object with 'traceEvents'")
         return
     events = doc.get("traceEvents")
     if not isinstance(events, list):
@@ -63,6 +70,10 @@ def validate_trace(path, errors):
         return
     phases = set()
     for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(errors, f"{path}: event {i} is {type(e).__name__}, not an "
+                         f"object: {e!r}")
+            return
         for key in ("name", "ph", "ts", "pid", "tid"):
             if key not in e:
                 fail(errors, f"{path}: event {i} lacks '{key}': {e}")
@@ -70,7 +81,15 @@ def validate_trace(path, errors):
         if e["ph"] not in VALID_PHASES:
             fail(errors, f"{path}: event {i} has unknown phase {e['ph']!r}")
             return
-        if e["ts"] < 0 or (e["ph"] == "X" and e.get("dur", 0) < 0):
+        ts, dur = e["ts"], e.get("dur", 0)
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            fail(errors, f"{path}: event {i} has non-numeric ts: {ts!r}")
+            return
+        if e["ph"] == "X" and (not isinstance(dur, (int, float))
+                               or isinstance(dur, bool)):
+            fail(errors, f"{path}: event {i} has non-numeric dur: {dur!r}")
+            return
+        if ts < 0 or (e["ph"] == "X" and dur < 0):
             fail(errors, f"{path}: event {i} has negative time: {e}")
             return
         phases.add(e["ph"])
