@@ -38,18 +38,35 @@ std::optional<int> EvalCache::lookup(const Key128& key) {
 
 void EvalCache::insert(const Key128& key, int value) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto [it, inserted] = shard.map.emplace(key, value);
-  if (!inserted) return;  // concurrent miss raced us; values are identical
-  shard.fifo.push_back(key);
-  ++shard.insertions;
-  insertions_metric_->inc();
-  while (shard.map.size() > shard_capacity_) {
-    shard.map.erase(shard.fifo.front());
-    shard.fifo.pop_front();
-    ++shard.evictions;
-    evictions_metric_->inc();
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, inserted] = shard.map.emplace(key, value);
+    if (!inserted) return;  // concurrent miss raced us; values are identical
+    shard.fifo.push_back(key);
+    ++shard.insertions;
+    insertions_metric_->inc();
+    while (shard.map.size() > shard_capacity_) {
+      shard.map.erase(shard.fifo.front());
+      shard.fifo.pop_front();
+      ++shard.evictions;
+      evictions_metric_->inc();
+    }
   }
+  // Write-through outside the shard lock: the sink takes its own (I/O)
+  // lock, and holding a shard lock across a disk append would serialize
+  // unrelated lookups behind it.
+  std::shared_ptr<const PersistSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(sink_mutex_);
+    sink = sink_;
+  }
+  if (sink && *sink) (*sink)(key, value);
+}
+
+void EvalCache::set_persist_sink(PersistSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = sink ? std::make_shared<const PersistSink>(std::move(sink))
+               : nullptr;
 }
 
 void EvalCache::clear() {

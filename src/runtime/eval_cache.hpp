@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -74,6 +75,13 @@ class EvalCache {
   void clear();
   void reset_stats();
 
+  /// Write-through hook: called once per *fresh* insertion (not for
+  /// duplicates racing a concurrent miss), outside any shard lock, from the
+  /// inserting thread.  The persistence layer (persistent_cache.hpp) uses it
+  /// to append new evaluations to the disk log; an empty function detaches.
+  using PersistSink = std::function<void(const Key128&, int)>;
+  void set_persist_sink(PersistSink sink);
+
   CacheStats stats() const;
   std::size_t size() const;
   std::size_t capacity() const { return shard_capacity_ * shards_.size(); }
@@ -96,6 +104,10 @@ class EvalCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t shard_capacity_;
+  /// Guarded by sink_mutex_; shared_ptr so a concurrent set_persist_sink
+  /// cannot destroy a sink mid-call.
+  mutable std::mutex sink_mutex_;
+  std::shared_ptr<const PersistSink> sink_;
   /// Process-wide metrics mirrored alongside the per-shard counters (which
   /// stay authoritative for stats(); the registry aggregates every cache).
   trace::Counter* hits_metric_;

@@ -1,0 +1,236 @@
+#include "runtime/persistent_cache.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "trace/metrics.hpp"
+
+namespace isex::runtime {
+namespace {
+
+// Layout (all integers little-endian fixed-width, written byte-by-byte so
+// the file is identical on any host):
+//
+//   header:  8-byte magic "ISEXEVC\n" | u32 version | u32 reserved (0)
+//   record:  u8 type | u32 payload_len | u64 key.lo | u64 key.hi
+//            | payload_len bytes | u64 checksum
+//
+// type 1 = schedule-eval (payload: u32 cycle count), type 2 = blob.
+constexpr char kMagic[8] = {'I', 'S', 'E', 'X', 'E', 'V', 'C', '\n'};
+constexpr std::uint8_t kTypeScheduleEval = 1;
+constexpr std::uint8_t kTypeBlob = 2;
+/// Upper bound on one payload; a length beyond this is treated as log
+/// corruption (stop scanning) rather than an allocation request.
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+constexpr std::uint64_t kChecksumSeed = 0x7c159e3779b97f4aULL;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t record_checksum(std::uint8_t type, const Key128& key,
+                              std::string_view payload) {
+  Hash64 h(kChecksumSeed);
+  h.mix(type);
+  h.mix(payload.size());
+  h.mix(key.lo);
+  h.mix(key.hi);
+  for (const char c : payload)
+    h.mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  return h.value();
+}
+
+}  // namespace
+
+PersistentEvalCache::PersistentEvalCache(std::string path)
+    : path_(std::move(path)),
+      corrupt_metric_(&trace::MetricsRegistry::global().counter(
+          "isex_persist_corrupt_records_total")),
+      appends_metric_(&trace::MetricsRegistry::global().counter(
+          "isex_persist_appends_total")) {}
+
+PersistentEvalCache::~PersistentEvalCache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+PersistLoadReport PersistentEvalCache::load(EvalCache* warm_into) {
+  PersistLoadReport result;
+  std::lock_guard<std::mutex> lock(mutex_);
+  load_ran_ = true;
+  if (path_.empty()) return result;  // memory-only mode
+
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) {
+    if (errno != ENOENT)
+      result.report.add(ErrorCode::kPersistIo,
+                        "cannot read cache file '" + path_ +
+                            "': " + std::strerror(errno));
+    return result;  // missing file: clean empty cache
+  }
+
+  // Whole-file read: cache logs are bounded by what a service evaluates,
+  // and a single buffer makes truncation checks trivial.
+  std::string data;
+  {
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) data.append(buf, n);
+  }
+  std::fclose(in);
+
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  if (data.size() < 16 || std::memcmp(data.data(), kMagic, 8) != 0 ||
+      get_u32(bytes + 8) != kFormatVersion) {
+    result.version_mismatch = true;
+    rewrite_on_open_ = true;
+    result.report.add(ErrorCode::kPersistVersionMismatch,
+                      "'" + path_ + "' is not a version-" +
+                          std::to_string(kFormatVersion) +
+                          " isex cache file; ignoring its contents",
+                      {}, Severity::kWarning);
+    return result;
+  }
+
+  std::size_t pos = 16;
+  while (pos < data.size()) {
+    // u8 type + u32 len + 2x u64 key = 21-byte fixed prefix.
+    if (data.size() - pos < 21) {
+      ++result.corrupt_skipped;
+      break;  // truncated tail
+    }
+    const std::uint8_t type = bytes[pos];
+    const std::uint32_t len = get_u32(bytes + pos + 1);
+    if (len > kMaxPayload || data.size() - pos - 21 < len + 8u) {
+      ++result.corrupt_skipped;
+      break;  // length field corrupt or payload+checksum cut off
+    }
+    Key128 key{get_u64(bytes + pos + 5), get_u64(bytes + pos + 13)};
+    const std::string_view payload(data.data() + pos + 21, len);
+    const std::uint64_t stored = get_u64(bytes + pos + 21 + len);
+    const std::size_t next = pos + 21 + len + 8;
+    if (stored != record_checksum(type, key, payload)) {
+      // Framing was intact (the length was plausible), so resynchronize at
+      // the next record instead of abandoning the rest of the log.
+      ++result.corrupt_skipped;
+      pos = next;
+      continue;
+    }
+    if (type == kTypeScheduleEval && len == 4) {
+      const auto value = static_cast<int>(
+          get_u32(reinterpret_cast<const unsigned char*>(payload.data())));
+      persisted_sched_.insert(key);
+      if (warm_into != nullptr) warm_into->insert(key, value);
+      ++result.schedule_entries;
+    } else if (type == kTypeBlob) {
+      blobs_[key] = std::string(payload);
+      ++result.blob_entries;
+    } else {
+      ++result.corrupt_skipped;  // unknown type or malformed payload size
+    }
+    pos = next;
+  }
+
+  if (result.corrupt_skipped > 0) {
+    corrupt_metric_->inc(static_cast<double>(result.corrupt_skipped));
+    result.report.add(ErrorCode::kPersistCorruptRecord,
+                      "skipped " + std::to_string(result.corrupt_skipped) +
+                          " corrupt record(s) in '" + path_ + "'",
+                      {}, Severity::kWarning);
+  }
+  return result;
+}
+
+void PersistentEvalCache::append_record(std::uint8_t type, const Key128& key,
+                                        std::string_view payload) {
+  // Caller holds mutex_.
+  if (path_.empty()) return;  // memory-only mode (no log configured)
+  if (out_ == nullptr) {
+    const bool fresh = rewrite_on_open_ || ([&] {
+                         std::FILE* probe = std::fopen(path_.c_str(), "rb");
+                         if (probe == nullptr) return true;
+                         std::fclose(probe);
+                         return false;
+                       })();
+    out_ = std::fopen(path_.c_str(), fresh ? "wb" : "ab");
+    if (out_ == nullptr) {
+      ++stats_.append_failures;
+      return;
+    }
+    rewrite_on_open_ = false;
+    if (fresh) {
+      std::string header(kMagic, 8);
+      put_u32(header, kFormatVersion);
+      put_u32(header, 0);
+      std::fwrite(header.data(), 1, header.size(), out_);
+    }
+  }
+  std::string record;
+  record.reserve(29 + payload.size());
+  record.push_back(static_cast<char>(type));
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  put_u64(record, key.lo);
+  put_u64(record, key.hi);
+  record.append(payload);
+  put_u64(record, record_checksum(type, key, payload));
+  if (std::fwrite(record.data(), 1, record.size(), out_) != record.size()) {
+    ++stats_.append_failures;
+    return;
+  }
+  ++stats_.appends;
+  appends_metric_->inc();
+}
+
+void PersistentEvalCache::put_schedule_eval(const Key128& key, int value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!persisted_sched_.insert(key).second) return;
+  std::string payload;
+  put_u32(payload, static_cast<std::uint32_t>(value));
+  append_record(kTypeScheduleEval, key, payload);
+}
+
+void PersistentEvalCache::put_blob(const Key128& key,
+                                   std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blobs_[key] = std::string(payload);
+  append_record(kTypeBlob, key, payload);
+}
+
+std::optional<std::string> PersistentEvalCache::lookup_blob(const Key128& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    ++stats_.blob_misses;
+    return std::nullopt;
+  }
+  ++stats_.blob_hits;
+  return it->second;
+}
+
+void PersistentEvalCache::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_ != nullptr) std::fflush(out_);
+}
+
+PersistStats PersistentEvalCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace isex::runtime

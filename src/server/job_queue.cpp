@@ -1,0 +1,53 @@
+#include "server/job_queue.hpp"
+
+#include <utility>
+
+namespace isex::server {
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      depth_metric_(&trace::MetricsRegistry::global().gauge(
+          "isex_server_queue_depth")) {}
+
+JobQueue::PushResult JobQueue::push(QueuedJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return PushResult::kClosed;
+    if (heap_.size() >= capacity_) return PushResult::kFull;
+    heap_.push(Entry{job.priority, next_seq_++, std::move(job.run)});
+    depth_metric_->set(static_cast<double>(heap_.size()));
+  }
+  ready_.notify_one();
+  return PushResult::kAccepted;
+}
+
+std::optional<QueuedJob> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return closed_ || !heap_.empty(); });
+  if (heap_.empty()) return std::nullopt;  // closed and drained
+  const Entry& top = heap_.top();
+  QueuedJob job{top.priority, std::move(top.run)};
+  heap_.pop();
+  depth_metric_->set(static_cast<double>(heap_.size()));
+  return job;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.size();
+}
+
+}  // namespace isex::server

@@ -1,0 +1,78 @@
+// Bounded, priority-ordered admission queue for isex_serve.
+//
+// Admission control is the server's overload story: the queue holds at most
+// `capacity` pending jobs, and a push against a full queue *fails fast* with
+// a stable signal (the connection handler turns it into E0602
+// server-queue-full) instead of buffering unboundedly or blocking the
+// socket reader.  Within the queue, higher `priority` pops first and equal
+// priorities pop in arrival order, so a latency-sensitive client can jump
+// the batch traffic without starving it of its relative order.
+//
+// close() begins the drain: further pushes fail with kClosed (→ E0603
+// server-shutting-down) while pop() keeps handing out the remaining jobs —
+// in priority order — until the queue is empty, then returns nullopt to
+// every waiting worker.  In-flight jobs are the workers' to finish; the
+// queue only promises that nothing accepted is dropped.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "trace/metrics.hpp"
+
+namespace isex::server {
+
+struct QueuedJob {
+  int priority = 0;
+  /// Work to run on a worker thread (already bound to its response channel).
+  std::function<void()> run;
+};
+
+class JobQueue {
+ public:
+  enum class PushResult { kAccepted, kFull, kClosed };
+
+  explicit JobQueue(std::size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  PushResult push(QueuedJob job);
+
+  /// Blocks until a job is available or the queue is closed and empty.
+  std::optional<QueuedJob> pop();
+
+  /// Rejects future pushes; pop() drains what was accepted, then unblocks.
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    int priority;
+    std::uint64_t seq;
+    // std::priority_queue pops the *largest*; invert seq so older wins ties.
+    bool operator<(const Entry& other) const {
+      if (priority != other.priority) return priority < other.priority;
+      return seq > other.seq;
+    }
+    mutable std::function<void()> run;  // moved out on pop
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::priority_queue<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+  trace::Gauge* depth_metric_;
+};
+
+}  // namespace isex::server

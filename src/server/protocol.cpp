@@ -1,0 +1,524 @@
+#include "server/protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hpp"  // json_escape
+
+namespace isex::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader.  Requests are single-line, flat objects; this parser
+// accepts general JSON anyway (nested values become structured JsonValues)
+// so malformed nesting yields a clean E0601 instead of a surprise.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Set when the number literal had no '.', 'e', or sign-overflow; carries
+  /// full 64-bit precision (doubles cannot hold every seed).
+  bool is_integer = false;
+  std::uint64_t integer = 0;
+  bool negative = false;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Expected<JsonValue> parse() {
+    skip_ws();
+    JsonValue value;
+    if (!parse_value(value)) return make_error();
+    skip_ws();
+    if (pos_ != text_.size())
+      return Error(ErrorCode::kServerProtocol,
+                   "trailing characters after JSON value at offset " +
+                       std::to_string(pos_));
+    return value;
+  }
+
+ private:
+  Error make_error() {
+    return Error(ErrorCode::kServerProtocol,
+                 error_.empty() ? "malformed JSON at offset " +
+                                      std::to_string(pos_)
+                                : error_);
+  }
+
+  void fail(std::string message) {
+    if (error_.empty())
+      error_ = std::move(message) + " at offset " + std::to_string(pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        if (literal("true")) return true;
+        fail("bad literal");
+        return false;
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        if (literal("false")) return true;
+        fail("bad literal");
+        return false;
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        if (literal("null")) return true;
+        fail("bad literal");
+        return false;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(key)) {
+        fail("expected object key");
+        return false;
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        fail("expected ':'");
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        fail("unterminated object");
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        fail("unterminated array");
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) break;
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // needed for TAC text; a lone surrogate encodes as-is).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+            return false;
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    out.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      out.negative = true;
+      ++pos_;
+    }
+    bool saw_digit = false, integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        saw_digit = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!saw_digit) {
+      fail("malformed number");
+      return false;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    out.number = std::strtod(token.c_str(), nullptr);
+    if (integral) {
+      out.is_integer = true;
+      out.integer = std::strtoull(
+          token.c_str() + (out.negative ? 1 : 0), nullptr, 10);
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+Error field_error(const std::string& field, const char* expected) {
+  return Error(ErrorCode::kServerProtocol,
+               "field '" + field + "' must be " + expected);
+}
+
+bool read_int(const JsonValue& v, int* out) {
+  if (v.kind != JsonValue::Kind::kNumber || !v.is_integer) return false;
+  if (v.integer > 0x7fffffffULL) return false;
+  *out = v.negative ? -static_cast<int>(v.integer)
+                    : static_cast<int>(v.integer);
+  return true;
+}
+
+}  // namespace
+
+Expected<JobRequest> parse_job_request(const std::string& line) {
+  Expected<JsonValue> parsed = JsonParser(line).parse();
+  if (!parsed) return parsed.error();
+  const JsonValue& root = *parsed;
+  if (root.kind != JsonValue::Kind::kObject)
+    return Error(ErrorCode::kServerProtocol, "request must be a JSON object");
+
+  JobRequest request;
+  bool have_kernel = false;
+  for (const auto& [key, value] : root.object) {
+    if (key == "id") {
+      if (value.kind != JsonValue::Kind::kString)
+        return field_error(key, "a string");
+      request.id = value.string;
+    } else if (key == "kernel") {
+      if (value.kind != JsonValue::Kind::kString)
+        return field_error(key, "a string (TAC source)");
+      request.kernel = value.string;
+      have_kernel = true;
+    } else if (key == "priority") {
+      if (!read_int(value, &request.priority))
+        return field_error(key, "an integer");
+    } else if (key == "issue") {
+      if (!read_int(value, &request.issue) || request.issue < 1)
+        return field_error(key, "an integer >= 1");
+    } else if (key == "read_ports") {
+      if (!read_int(value, &request.read_ports) || request.read_ports < 1)
+        return field_error(key, "an integer >= 1");
+    } else if (key == "write_ports") {
+      if (!read_int(value, &request.write_ports) || request.write_ports < 1)
+        return field_error(key, "an integer >= 1");
+    } else if (key == "repeats") {
+      if (!read_int(value, &request.repeats) || request.repeats < 1)
+        return field_error(key, "an integer >= 1");
+    } else if (key == "seed") {
+      if (value.kind != JsonValue::Kind::kNumber || !value.is_integer ||
+          value.negative)
+        return field_error(key, "a non-negative integer");
+      request.seed = value.integer;
+    } else if (key == "area_budget") {
+      if (value.kind != JsonValue::Kind::kNumber || value.number < 0.0)
+        return field_error(key, "a non-negative number");
+      request.area_budget = value.number;
+      request.has_area_budget = true;
+    } else if (key == "max_ises") {
+      if (!read_int(value, &request.max_ises) || request.max_ises < 0)
+        return field_error(key, "an integer >= 0");
+    } else if (key == "baseline") {
+      if (value.kind != JsonValue::Kind::kBool)
+        return field_error(key, "a boolean");
+      request.baseline = value.boolean;
+    } else {
+      return Error(ErrorCode::kServerProtocol,
+                   "unknown request field '" + key + "'");
+    }
+  }
+  if (!have_kernel || request.kernel.empty())
+    return Error(ErrorCode::kServerProtocol,
+                 "request is missing the 'kernel' field");
+  return request;
+}
+
+flow::FlowConfig flow_config_for(const JobRequest& request) {
+  flow::FlowConfig config;
+  config.machine = sched::MachineConfig::make(
+      request.issue, {request.read_ports, request.write_ports});
+  config.repeats = request.repeats;
+  config.seed = request.seed;
+  config.constraints.max_ises = request.max_ises;
+  if (request.has_area_budget)
+    config.constraints.area_budget = request.area_budget;
+  config.algorithm = request.baseline ? flow::Algorithm::kSingleIssue
+                                      : flow::Algorithm::kMultiIssue;
+  return config;
+}
+
+runtime::Key128 job_signature(const dfg::Graph& graph,
+                              const JobRequest& request) {
+  // Everything run_design_flow reads must be mixed in; bump when the flow's
+  // semantics change so stale persisted results cannot be replayed.
+  constexpr std::uint64_t kFlowSemanticsVersion = 1;
+  const runtime::Key128 digest = runtime::graph_digest(graph);
+  const flow::FlowConfig config = flow_config_for(request);
+  const auto mix_request = [&](runtime::Hash64& h, std::uint64_t half,
+                               std::uint64_t machine_seed) {
+    h.mix(kFlowSemanticsVersion);
+    h.mix(half);
+    h.mix(runtime::fingerprint(config.machine, machine_seed));
+    h.mix(static_cast<std::uint64_t>(request.repeats));
+    h.mix(request.seed);
+    h.mix(static_cast<std::uint64_t>(request.max_ises));
+    h.mix(request.has_area_budget ? 1 : 0);
+    h.mix_double(request.has_area_budget ? request.area_budget : 0.0);
+    h.mix(request.baseline ? 1 : 0);
+  };
+  runtime::Key128 key;
+  runtime::Hash64 lo(0xd1b54a32d192ed03ULL);  // domain: job signatures
+  mix_request(lo, digest.lo, 0xaef17502108ef2d9ULL);
+  key.lo = lo.value();
+  runtime::Hash64 hi(0x8cb92ba72f3d8dd7ULL);
+  mix_request(hi, digest.hi, 0x94d049bb133111ebULL);
+  key.hi = hi.value();
+  return key;
+}
+
+std::uint64_t flow_result_digest(const flow::FlowResult& result) {
+  runtime::Hash64 h(0x9e3779b97f4a7c15ULL);
+  h.mix(result.base_time());
+  h.mix(result.final_time());
+  h.mix(result.hot_blocks.size());
+  for (const std::size_t b : result.hot_blocks) h.mix(b);
+  h.mix(static_cast<std::uint64_t>(result.selection.num_types));
+  h.mix_double(result.selection.total_area);
+  h.mix(result.selection.selected.size());
+  for (const flow::SelectedIse& sel : result.selection.selected) {
+    h.mix(sel.entry.block_index);
+    h.mix(sel.entry.position);
+    h.mix(static_cast<std::uint64_t>(sel.type_id));
+    h.mix(sel.hardware_shared ? 1 : 0);
+    h.mix(sel.entry.benefit);
+    const core::ExploredIse& ise = sel.entry.ise;
+    h.mix(static_cast<std::uint64_t>(ise.gain_cycles));
+    h.mix(static_cast<std::uint64_t>(ise.in_count));
+    h.mix(static_cast<std::uint64_t>(ise.out_count));
+    h.mix(static_cast<std::uint64_t>(ise.eval.latency_cycles));
+    h.mix_double(ise.eval.area);
+    for (const std::uint64_t w : ise.original_nodes.words()) h.mix(w);
+  }
+  h.mix(result.replacement.outcomes.size());
+  for (const flow::BlockOutcome& block : result.replacement.outcomes) {
+    for (const char c : block.name)
+      h.mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    h.mix(block.exec_count);
+    h.mix(static_cast<std::uint64_t>(block.base_cycles));
+    h.mix(static_cast<std::uint64_t>(block.final_cycles));
+    h.mix(static_cast<std::uint64_t>(block.ise_uses));
+  }
+  return h.value();
+}
+
+std::string render_result_fragment(const flow::FlowResult& result) {
+  char buf[64];
+  std::string out;
+  const auto num = [&](const char* fmt, auto value) {
+    std::snprintf(buf, sizeof buf, fmt, value);
+    out += buf;
+  };
+  out += "\"base_time\":";
+  num("%llu", static_cast<unsigned long long>(result.base_time()));
+  out += ",\"final_time\":";
+  num("%llu", static_cast<unsigned long long>(result.final_time()));
+  out += ",\"reduction\":";
+  num("%.6f", result.reduction());
+  out += ",\"num_ises\":";
+  num("%zu", result.selection.selected.size());
+  out += ",\"num_types\":";
+  num("%d", result.num_ise_types());
+  out += ",\"total_area\":";
+  num("%.3f", result.total_area());
+  out += ",\"result_digest\":\"";
+  num("0x%016llx",
+      static_cast<unsigned long long>(flow_result_digest(result)));
+  out += "\",\"ises\":[";
+  bool first = true;
+  for (const flow::SelectedIse& sel : result.selection.selected) {
+    if (!first) out += ',';
+    first = false;
+    const core::ExploredIse& ise = sel.entry.ise;
+    out += "{\"block\":";
+    num("%zu", sel.entry.block_index);
+    out += ",\"type\":";
+    num("%d", sel.type_id);
+    out += ",\"shared\":";
+    out += sel.hardware_shared ? "true" : "false";
+    out += ",\"ops\":";
+    num("%zu", ise.original_nodes.count());
+    out += ",\"latency\":";
+    num("%d", ise.eval.latency_cycles);
+    out += ",\"area\":";
+    num("%.3f", ise.eval.area);
+    out += ",\"in\":";
+    num("%d", ise.in_count);
+    out += ",\"out\":";
+    num("%d", ise.out_count);
+    out += ",\"gain\":";
+    num("%d", ise.gain_cycles);
+    out += ",\"members\":\"";
+    std::string members;
+    for (const std::string& label : ise.member_labels) {
+      if (!members.empty()) members += ' ';
+      members += label;
+    }
+    out += trace::json_escape(members);
+    out += "\"}";
+  }
+  out += ']';
+  return out;
+}
+
+std::string render_response(const std::string& id, bool cache_hit,
+                            const std::string& result_fragment) {
+  std::string out = "{\"id\":\"" + trace::json_escape(id) +
+                    "\",\"ok\":true,\"cache_hit\":";
+  out += cache_hit ? "true" : "false";
+  out += ',';
+  out += result_fragment;
+  out += '}';
+  return out;
+}
+
+std::string render_error_response(const std::string& id, const Error& error) {
+  char code[8];
+  std::snprintf(code, sizeof code, "E%04d",
+                static_cast<int>(error.code()));
+  std::string out = "{\"id\":\"" + trace::json_escape(id) +
+                    "\",\"ok\":false,\"error_code\":\"" + code +
+                    "\",\"error_name\":\"" +
+                    std::string(error_code_name(error.code())) +
+                    "\",\"error\":\"" + trace::json_escape(error.message()) +
+                    "\"}";
+  return out;
+}
+
+}  // namespace isex::server

@@ -1,0 +1,85 @@
+// isex_serve wire protocol (docs/SERVER.md).
+//
+// Jobs travel over a TCP connection as newline-delimited JSON: one request
+// object per line in, one response object per line out, in request order.
+// The same listening socket also answers plain HTTP `GET /metrics` and
+// `GET /healthz` (the server sniffs the first bytes), so one port serves
+// both the job traffic and the scrape path.
+//
+// This header is the protocol's *data* layer — request parsing, response
+// serialization, the canonical job signature, and the golden result digest —
+// kept free of sockets so tests can exercise it in-process.  The JSON
+// reader is a deliberately small recursive-descent parser over the accepted
+// subset (objects, strings, numbers, bools, null, arrays); requests are one
+// flat object, so nothing more is needed and nothing more is accepted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "flow/design_flow.hpp"
+#include "runtime/hash.hpp"
+#include "util/error.hpp"
+
+namespace isex::server {
+
+/// One exploration job, as submitted on the wire.  Field defaults mirror
+/// isex_cli's flag defaults, so a request carrying only `kernel` explores
+/// exactly like `isex explore kernel.tac`.
+struct JobRequest {
+  /// Client-chosen token echoed verbatim in the response (optional).
+  std::string id;
+  /// TAC source of the kernel (required; see src/isa/tac_parser.hpp).
+  std::string kernel;
+  /// Higher drains first; ties drain in arrival order.
+  int priority = 0;
+  int issue = 2;
+  int read_ports = 6;
+  int write_ports = 3;
+  int repeats = 5;
+  std::uint64_t seed = 1;
+  /// ASFU area budget, µm² (absent = unlimited).
+  double area_budget = 0.0;
+  bool has_area_budget = false;
+  /// Distinct ISE type budget.
+  int max_ises = 32;
+  /// Use the single-issue (legality-only) baseline explorer.
+  bool baseline = false;
+};
+
+/// Parses one request line.  Unknown fields are rejected (a typo'd field
+/// silently exploring with a default would be worse than an error).
+Expected<JobRequest> parse_job_request(const std::string& line);
+
+/// FlowConfig the request describes (machine, repeats, seed, constraints).
+flow::FlowConfig flow_config_for(const JobRequest& request);
+
+/// Canonical signature of the evaluation a request asks for: the kernel
+/// graph's structural digest combined with every parameter that can change
+/// the result (machine, repeats, seed, constraints, algorithm).  Two
+/// requests with equal keys produce bit-identical results, so this is the
+/// persistent job-result cache key.  Domain-separated from schedule_key and
+/// candidate_key by its own seed constants.
+runtime::Key128 job_signature(const dfg::Graph& graph,
+                              const JobRequest& request);
+
+/// Order-independent digest over every observable field of a FlowResult
+/// (times, per-block outcomes, selected ISEs).  The response carries it so
+/// clients — and the warm-cache tests — can assert bit-identical results
+/// across processes and cache layers.
+std::uint64_t flow_result_digest(const flow::FlowResult& result);
+
+/// Renders the response body for a completed job: a JSON object *fragment*
+/// (no `id` / `cache_hit` — the server adds those per delivery, so the
+/// fragment is what the result cache stores and replays verbatim).
+std::string render_result_fragment(const flow::FlowResult& result);
+
+/// Full response line (without trailing newline) for a success.
+std::string render_response(const std::string& id, bool cache_hit,
+                            const std::string& result_fragment);
+
+/// Full response line for a failure, carrying the stable error code both
+/// numerically ("E0602") and as its identifier ("server-queue-full").
+std::string render_error_response(const std::string& id, const Error& error);
+
+}  // namespace isex::server

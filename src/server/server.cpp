@@ -1,0 +1,373 @@
+#include "server/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "dfg/validate.hpp"
+#include "hwlib/hw_library.hpp"
+#include "isa/tac_parser.hpp"
+#include "runtime/runtime_stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "trace/metrics.hpp"
+
+namespace isex::server {
+namespace {
+
+/// send() that survives partial writes and never raises SIGPIPE.
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string http_response(int status, const char* reason,
+                          const std::string& body,
+                          const char* content_type = "text/plain") {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "; version=0.0.4\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      connections_metric_(&trace::MetricsRegistry::global().counter(
+          "isex_server_connections_total")),
+      jobs_accepted_(&trace::MetricsRegistry::global().counter(
+          "isex_server_jobs_accepted_total")),
+      jobs_rejected_full_(&trace::MetricsRegistry::global().counter(
+          "isex_server_jobs_rejected_total",
+          {{"reason", "queue-full"}})),
+      jobs_rejected_draining_(&trace::MetricsRegistry::global().counter(
+          "isex_server_jobs_rejected_total",
+          {{"reason", "shutting-down"}})),
+      jobs_invalid_(&trace::MetricsRegistry::global().counter(
+          "isex_server_jobs_invalid_total")),
+      jobs_completed_(&trace::MetricsRegistry::global().counter(
+          "isex_server_jobs_completed_total")),
+      jobs_failed_(&trace::MetricsRegistry::global().counter(
+          "isex_server_jobs_failed_total")),
+      result_hits_(&trace::MetricsRegistry::global().counter(
+          "isex_server_job_cache_hits_total")),
+      result_misses_(&trace::MetricsRegistry::global().counter(
+          "isex_server_job_cache_misses_total")),
+      warm_start_entries_(&trace::MetricsRegistry::global().gauge(
+          "isex_server_warm_start_entries")) {}
+
+Server::~Server() {
+  if (started_.load(std::memory_order_acquire)) {
+    request_drain();
+    wait();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (drain_pipe_[0] >= 0) ::close(drain_pipe_[0]);
+  if (drain_pipe_[1] >= 0) ::close(drain_pipe_[1]);
+}
+
+Expected<std::uint16_t> Server::start() {
+  // Warm start: replay persisted schedule evaluations into the shared
+  // in-memory cache and index persisted job results, then wire the sink so
+  // fresh evaluations stream back to the log.
+  cache_ = std::make_unique<runtime::PersistentEvalCache>(options_.cache_path);
+  const runtime::PersistLoadReport loaded =
+      cache_->load(&runtime::schedule_cache());
+  for (const Error& e : loaded.report.issues())
+    std::fprintf(stderr, "isex_serve: %s\n", e.to_string().c_str());
+  warm_start_entries_->set(
+      static_cast<double>(loaded.schedule_entries + loaded.blob_entries));
+  if (!options_.cache_path.empty()) {
+    runtime::PersistentEvalCache* cache = cache_.get();
+    runtime::schedule_cache().set_persist_sink(
+        [cache](const runtime::Key128& key, int value) {
+          cache->put_schedule_eval(key, value);
+        });
+  }
+
+  if (::pipe(drain_pipe_) != 0)
+    return Error(ErrorCode::kPersistIo,
+                 std::string("pipe: ") + std::strerror(errno));
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return Error(ErrorCode::kPersistIo,
+                 std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+    return Error(ErrorCode::kPersistIo,
+                 "invalid listen address '" + options_.host + "'");
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0)
+    return Error(ErrorCode::kPersistIo,
+                 "cannot listen on " + options_.host + ":" +
+                     std::to_string(options_.port) + ": " +
+                     std::strerror(errno));
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  int workers = options_.workers;
+  if (workers <= 0) workers = std::min(4, runtime::ThreadPool::default_jobs());
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_.store(true, std::memory_order_release);
+  return port_;
+}
+
+void Server::request_drain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  // Wake the accept loop and every idle connection handler.
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(drain_pipe_[1], &byte, 1);
+  queue_.close();
+}
+
+int Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  // Connection handlers observe the drain pipe; they exit once their
+  // in-flight response is written.
+  while (true) {
+    std::vector<std::thread> pending;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      pending.swap(connections_);
+    }
+    if (pending.empty()) break;
+    for (std::thread& conn : pending)
+      if (conn.joinable()) conn.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  runtime::schedule_cache().set_persist_sink(nullptr);
+  if (cache_ != nullptr) cache_->flush();
+  started_.store(false, std::memory_order_release);
+  return 0;
+}
+
+void Server::accept_loop() {
+  while (!draining()) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {drain_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0 || draining()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    connections_metric_->inc();
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections_.emplace_back([this, conn] { handle_connection(conn); });
+  }
+  // Stop the kernel from accepting more connections while we drain.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Server::worker_loop() {
+  while (std::optional<QueuedJob> job = queue_.pop()) job->run();
+}
+
+void Server::handle_connection(int fd) {
+  std::string pending;
+  bool saw_data = false;
+  char buf[1 << 14];
+  while (true) {
+    pollfd fds[2] = {{fd, POLLIN, 0}, {drain_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+      if (draining()) break;  // idle connection during drain: close it
+      continue;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;  // peer closed (or error)
+    pending.append(buf, static_cast<std::size_t>(n));
+    saw_data = true;
+
+    // Protocol sniff: an HTTP request line instead of a JSON object.
+    if (pending.size() >= 4 && (pending.rfind("GET ", 0) == 0 ||
+                                pending.rfind("HEAD", 0) == 0)) {
+      handle_http(fd, pending);
+      break;
+    }
+
+    std::size_t newline;
+    while ((newline = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const std::string response = process_line(line);
+      if (!send_all(fd, response + "\n")) {
+        ::close(fd);
+        return;
+      }
+    }
+    if (draining() && pending.empty()) break;
+  }
+  (void)saw_data;
+  ::close(fd);
+}
+
+void Server::handle_http(int fd, const std::string& buffered) {
+  // Read until the end of the request head (we ignore the body; GETs have
+  // none) or the peer stops talking.
+  std::string head = buffered;
+  char buf[4096];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos && head.size() < (1u << 16)) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  std::istringstream first_line(head.substr(0, head.find('\n')));
+  std::string method, path;
+  first_line >> method >> path;
+
+  std::string response;
+  if (path == "/metrics") {
+    // Fold point-in-time runtime stats (pool width, cache hit rate, stage
+    // seconds) into the registry next to the live counters, like the CLI's
+    // --metrics-out does.
+    runtime::collect_runtime_stats(runtime::ThreadPool::default_pool())
+        .publish(trace::MetricsRegistry::global());
+    std::ostringstream body;
+    trace::MetricsRegistry::global().write_prometheus(body);
+    response = http_response(200, "OK", body.str());
+  } else if (path == "/healthz") {
+    response = draining() ? http_response(200, "OK", "draining\n")
+                          : http_response(200, "OK", "ok\n");
+  } else {
+    response = http_response(404, "Not Found", "not found\n");
+  }
+  send_all(fd, response);
+}
+
+std::string Server::process_line(const std::string& line) {
+  Expected<JobRequest> parsed = parse_job_request(line);
+  if (!parsed) {
+    jobs_invalid_->inc();
+    return render_error_response("", parsed.error());
+  }
+  JobRequest request = std::move(parsed).value();
+
+  if (draining()) {
+    jobs_rejected_draining_->inc();
+    return render_error_response(
+        request.id, Error(ErrorCode::kServerShuttingDown,
+                          "server is draining; resubmit elsewhere"));
+  }
+
+  // Parse + validate the kernel on the connection thread: rejections are
+  // cheap and must not occupy an exploration worker.
+  Expected<isa::ParsedBlock> block = isa::parse_tac_checked(request.kernel);
+  if (!block) {
+    jobs_invalid_->inc();
+    return render_error_response(request.id, block.error());
+  }
+  {
+    const ValidationReport report = dfg::validate(block->graph);
+    if (!report.ok()) {
+      jobs_invalid_->inc();
+      return render_error_response(request.id, report.first_error());
+    }
+  }
+
+  const runtime::Key128 signature = job_signature(block->graph, request);
+  if (std::optional<std::string> fragment = cache_->lookup_blob(signature)) {
+    result_hits_->inc();
+    return render_response(request.id, /*cache_hit=*/true, *fragment);
+  }
+  result_misses_->inc();
+
+  // Miss: run the design flow on a worker, result delivered via future.
+  flow::ProfiledProgram program;
+  program.name = request.id.empty() ? "job" : request.id;
+  program.blocks.push_back(
+      flow::ProfiledBlock{"kernel", std::move(block->graph), 1});
+  const flow::FlowConfig config = flow_config_for(request);
+
+  auto promise = std::make_shared<std::promise<Expected<std::string>>>();
+  std::future<Expected<std::string>> future = promise->get_future();
+  runtime::PersistentEvalCache* cache = cache_.get();
+  QueuedJob job;
+  job.priority = request.priority;
+  job.run = [promise, cache, signature, program = std::move(program),
+             config]() mutable {
+    Expected<flow::FlowResult> result = flow::run_design_flow_checked(
+        program, hw::HwLibrary::paper_default(), config);
+    if (!result) {
+      promise->set_value(result.error());
+      return;
+    }
+    std::string fragment = render_result_fragment(*result);
+    cache->put_blob(signature, fragment);
+    promise->set_value(std::move(fragment));
+  };
+
+  switch (queue_.push(std::move(job))) {
+    case JobQueue::PushResult::kAccepted: break;
+    case JobQueue::PushResult::kFull:
+      jobs_rejected_full_->inc();
+      return render_error_response(
+          request.id,
+          Error(ErrorCode::kServerQueueFull,
+                "admission queue is full (" +
+                    std::to_string(queue_.capacity()) + " pending)"));
+    case JobQueue::PushResult::kClosed:
+      jobs_rejected_draining_->inc();
+      return render_error_response(
+          request.id, Error(ErrorCode::kServerShuttingDown,
+                            "server is draining; resubmit elsewhere"));
+  }
+  jobs_accepted_->inc();
+
+  Expected<std::string> outcome = future.get();
+  if (!outcome) {
+    jobs_failed_->inc();
+    return render_error_response(request.id, outcome.error());
+  }
+  jobs_completed_->inc();
+  return render_response(request.id, /*cache_hit=*/false, *outcome);
+}
+
+}  // namespace isex::server

@@ -38,6 +38,12 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kIoFileNotFound: return "io-file-not-found";
     case ErrorCode::kIoEmptyFile: return "io-empty-file";
     case ErrorCode::kIoWriteFailed: return "io-write-failed";
+    case ErrorCode::kServerProtocol: return "server-protocol";
+    case ErrorCode::kServerQueueFull: return "server-queue-full";
+    case ErrorCode::kServerShuttingDown: return "server-shutting-down";
+    case ErrorCode::kPersistVersionMismatch: return "persist-version-mismatch";
+    case ErrorCode::kPersistCorruptRecord: return "persist-corrupt-record";
+    case ErrorCode::kPersistIo: return "persist-io";
   }
   return "unknown";
 }

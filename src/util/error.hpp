@@ -7,7 +7,8 @@
 // speaks:
 //
 //   * ErrorCode   — stable numeric codes, grouped by subsystem (1xx parse,
-//                   2xx DFG, 3xx program/flow, 4xx machine config, 5xx I/O);
+//                   2xx DFG, 3xx program/flow, 4xx machine config, 5xx I/O,
+//                   6xx server/persistence);
 //   * Error       — code + severity + source location + human message;
 //   * Expected<T> — value-or-Error return for fallible API boundaries
 //                   (parse_tac_checked, run_design_flow_checked, ...);
@@ -73,6 +74,14 @@ enum class ErrorCode : std::uint16_t {
   kIoFileNotFound = 501,  ///< input path unreadable
   kIoEmptyFile = 502,     ///< input file has no content
   kIoWriteFailed = 503,   ///< output sink unwritable
+
+  // 6xx — server / persistence boundary (isex_serve, PersistentEvalCache).
+  kServerProtocol = 601,      ///< malformed request line / missing field
+  kServerQueueFull = 602,     ///< admission queue at capacity; retry later
+  kServerShuttingDown = 603,  ///< daemon draining; no new jobs accepted
+  kPersistVersionMismatch = 604,  ///< warning: cache file from another format
+  kPersistCorruptRecord = 605,    ///< warning: log record skipped on load
+  kPersistIo = 606,               ///< cache file unreadable / append failed
 };
 
 /// Short stable identifier, e.g. "parse-immediate-range".

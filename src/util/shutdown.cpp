@@ -1,0 +1,80 @@
+#include "util/shutdown.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+namespace isex::util {
+namespace {
+
+std::atomic<int> g_signal{0};
+int g_pipe[2] = {-1, -1};
+
+extern "C" void isex_shutdown_handler(int signo) {
+  int expected = 0;
+  if (!g_signal.compare_exchange_strong(expected, signo)) {
+    // Second signal: the graceful path is already running (or stuck);
+    // honor the operator and die now.  _Exit is async-signal-safe.
+    std::_Exit(128 + signo);
+  }
+  // Wake every poller.  The pipe is non-blocking; if it is somehow full the
+  // first byte already woke them.
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(g_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+ShutdownRequest::ShutdownRequest() {
+  if (::pipe(g_pipe) == 0) {
+    for (const int fd : g_pipe) {
+      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+  }
+}
+
+ShutdownRequest& ShutdownRequest::instance() {
+  static ShutdownRequest req;
+  return req;
+}
+
+void ShutdownRequest::install() {
+  struct sigaction action {};
+  action.sa_handler = isex_shutdown_handler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking accept/read should wake
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequest::requested() const {
+  return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownRequest::signal_number() const {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+int ShutdownRequest::wait_fd() const { return g_pipe[0]; }
+
+void ShutdownRequest::flush_and_exit_on_signal(std::function<void()> flush) {
+  install();
+  std::thread([flush = std::move(flush)] {
+    pollfd pfd{ShutdownRequest::instance().wait_fd(), POLLIN, 0};
+    while (::poll(&pfd, 1, -1) <= 0) {
+      // EINTR et al.: keep waiting.
+    }
+    const int signo = ShutdownRequest::instance().signal_number();
+    if (flush) flush();
+    std::_Exit(128 + (signo > 0 ? signo : SIGTERM));
+  }).detach();
+}
+
+}  // namespace isex::util

@@ -1,0 +1,55 @@
+// Cooperative SIGINT/SIGTERM handling, shared by isex_cli and isex_serve.
+//
+// A signal handler may only touch async-signal-safe state, but both tools
+// have real work to do on interrupt: the CLI must flush its --trace-out /
+// --metrics-out sinks instead of losing them, and the daemon must drain its
+// admission queue and persist its cache.  ShutdownRequest splits the two
+// halves: the handler itself only records the signal and writes one byte to
+// a self-pipe; ordinary threads then observe the request either by polling
+// requested(), by poll()ing wait_fd() next to their other file descriptors
+// (the daemon's accept loop), or by parking a watcher thread on the pipe
+// that runs a flush callback and _Exits (the CLI).
+//
+// A second signal while the first is being handled exits immediately with
+// the conventional 128+signo status — an operator's double Ctrl-C always
+// wins over a stuck drain.
+#pragma once
+
+#include <functional>
+
+namespace isex::util {
+
+class ShutdownRequest {
+ public:
+  /// Process-wide instance (signal handlers need static reach).
+  static ShutdownRequest& instance();
+
+  /// Installs SIGINT/SIGTERM handlers (idempotent).  Call once from main
+  /// before any worker threads start.
+  void install();
+
+  /// True once a signal arrived.
+  bool requested() const;
+
+  /// The signal that triggered the request (0 when none yet).
+  int signal_number() const;
+
+  /// Read end of the self-pipe: becomes readable when a signal arrives.
+  /// poll() it next to a listening socket; never read from it directly
+  /// (leave the byte so every poller wakes).
+  int wait_fd() const;
+
+  /// Spawns a detached watcher thread that waits for the first signal,
+  /// runs `flush`, and _Exits with 128+signo.  For batch tools whose main
+  /// thread is deep in compute and cannot poll: the watcher gives their
+  /// output sinks a chance to hit disk before the process dies.  `flush`
+  /// runs on the watcher thread, concurrently with the interrupted work —
+  /// it must only touch thread-safe state (the metrics registry and tracer
+  /// qualify).
+  void flush_and_exit_on_signal(std::function<void()> flush);
+
+ private:
+  ShutdownRequest();
+};
+
+}  // namespace isex::util

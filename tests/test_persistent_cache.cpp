@@ -1,0 +1,267 @@
+// PersistentEvalCache edge cases: round-trip, warm start, corrupt-record
+// tolerance (truncated tail, checksum flip, version mismatch), duplicate
+// suppression, the EvalCache write-through sink, and concurrent writers
+// (the latter is part of the TSan CI matrix).
+#include "runtime/persistent_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/eval_cache.hpp"
+
+namespace isex::runtime {
+namespace {
+
+Key128 key_of(std::uint64_t n) {
+  Hash64 lo(1), hi(2);
+  lo.mix(n);
+  hi.mix(n);
+  return Key128{lo.value(), hi.value()};
+}
+
+class PersistentCacheTest : public ::testing::Test {
+ protected:
+  /// Fresh per-test path (the file does not exist yet).
+  std::string cache_path() {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string path = ::testing::TempDir() + "isex_persist_" +
+                       info->test_suite_name() + "_" + info->name() + ".log";
+    std::remove(path.c_str());
+    return path;
+  }
+
+  static std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  static void write_file(const std::string& path, const std::string& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+};
+
+TEST_F(PersistentCacheTest, MissingFileLoadsEmpty) {
+  const std::string path = cache_path();
+  PersistentEvalCache cache(path);
+  const PersistLoadReport report = cache.load(nullptr);
+  EXPECT_EQ(report.schedule_entries, 0u);
+  EXPECT_EQ(report.blob_entries, 0u);
+  EXPECT_EQ(report.corrupt_skipped, 0u);
+  EXPECT_FALSE(report.version_mismatch);
+  EXPECT_TRUE(report.report.ok());
+}
+
+TEST_F(PersistentCacheTest, RoundTripScheduleEvalsAndBlobs) {
+  const std::string path = cache_path();
+  {
+    PersistentEvalCache cache(path);
+    cache.load(nullptr);
+    for (std::uint64_t i = 0; i < 50; ++i)
+      cache.put_schedule_eval(key_of(i), static_cast<int>(i * 3));
+    cache.put_blob(key_of(1000), "first blob");
+    cache.put_blob(key_of(1001), std::string("binary\0payload", 14));
+    cache.flush();
+  }
+  EvalCache warmed(1 << 10, 4);
+  PersistentEvalCache reloaded(path);
+  const PersistLoadReport report = reloaded.load(&warmed);
+  EXPECT_EQ(report.schedule_entries, 50u);
+  EXPECT_EQ(report.blob_entries, 2u);
+  EXPECT_EQ(report.corrupt_skipped, 0u);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto hit = warmed.lookup(key_of(i));
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(*hit, static_cast<int>(i * 3));
+  }
+  EXPECT_EQ(reloaded.lookup_blob(key_of(1000)), "first blob");
+  EXPECT_EQ(reloaded.lookup_blob(key_of(1001)),
+            std::string("binary\0payload", 14));
+  EXPECT_FALSE(reloaded.lookup_blob(key_of(999)).has_value());
+}
+
+TEST_F(PersistentCacheTest, LastBlobRecordWinsOnLoad) {
+  const std::string path = cache_path();
+  {
+    PersistentEvalCache cache(path);
+    cache.load(nullptr);
+    cache.put_blob(key_of(7), "stale");
+    cache.put_blob(key_of(7), "fresh");
+    cache.flush();
+  }
+  PersistentEvalCache reloaded(path);
+  reloaded.load(nullptr);
+  EXPECT_EQ(reloaded.lookup_blob(key_of(7)), "fresh");
+}
+
+TEST_F(PersistentCacheTest, DuplicateScheduleEvalNotReappended) {
+  const std::string path = cache_path();
+  PersistentEvalCache cache(path);
+  cache.load(nullptr);
+  cache.put_schedule_eval(key_of(1), 42);
+  cache.put_schedule_eval(key_of(1), 42);  // same key: skipped
+  EXPECT_EQ(cache.stats().appends, 1u);
+}
+
+TEST_F(PersistentCacheTest, TruncatedTrailingRecordSkipped) {
+  const std::string path = cache_path();
+  {
+    PersistentEvalCache cache(path);
+    cache.load(nullptr);
+    cache.put_schedule_eval(key_of(1), 11);
+    cache.put_schedule_eval(key_of(2), 22);
+    cache.flush();
+  }
+  // Chop the last record mid-payload: a torn append after a crash.
+  std::string data = read_file(path);
+  write_file(path, data.substr(0, data.size() - 9));
+
+  EvalCache warmed(1 << 10, 4);
+  PersistentEvalCache reloaded(path);
+  const PersistLoadReport report = reloaded.load(&warmed);
+  EXPECT_EQ(report.schedule_entries, 1u);
+  EXPECT_EQ(report.corrupt_skipped, 1u);
+  EXPECT_TRUE(report.report.ok());  // corruption is a warning, not an error
+  EXPECT_FALSE(report.report.empty());
+  EXPECT_EQ(report.report.issues()[0].code(), ErrorCode::kPersistCorruptRecord);
+  EXPECT_TRUE(warmed.lookup(key_of(1)).has_value());
+  EXPECT_FALSE(warmed.lookup(key_of(2)).has_value());
+}
+
+TEST_F(PersistentCacheTest, ChecksumFlipSkipsRecordAndResyncs) {
+  const std::string path = cache_path();
+  {
+    PersistentEvalCache cache(path);
+    cache.load(nullptr);
+    cache.put_schedule_eval(key_of(1), 11);
+    cache.put_schedule_eval(key_of(2), 22);
+    cache.flush();
+  }
+  // Flip one byte inside the *first* record's payload (header is 16 bytes,
+  // record prefix is 21): the record fails its checksum, the reader must
+  // resynchronize and still load the second record.
+  std::string data = read_file(path);
+  data[16 + 21] = static_cast<char>(data[16 + 21] ^ 0x40);
+  write_file(path, data);
+
+  EvalCache warmed(1 << 10, 4);
+  PersistentEvalCache reloaded(path);
+  const PersistLoadReport report = reloaded.load(&warmed);
+  EXPECT_EQ(report.schedule_entries, 1u);
+  EXPECT_EQ(report.corrupt_skipped, 1u);
+  EXPECT_FALSE(warmed.lookup(key_of(1)).has_value());
+  EXPECT_TRUE(warmed.lookup(key_of(2)).has_value());
+}
+
+TEST_F(PersistentCacheTest, VersionMismatchIgnoredWithWarning) {
+  const std::string path = cache_path();
+  {
+    PersistentEvalCache cache(path);
+    cache.load(nullptr);
+    cache.put_schedule_eval(key_of(1), 11);
+    cache.flush();
+  }
+  // Bump the version field (bytes 8..11) to a future format.
+  std::string data = read_file(path);
+  data[8] = static_cast<char>(PersistentEvalCache::kFormatVersion + 1);
+  write_file(path, data);
+
+  EvalCache warmed(1 << 10, 4);
+  PersistentEvalCache reloaded(path);
+  const PersistLoadReport report = reloaded.load(&warmed);
+  EXPECT_TRUE(report.version_mismatch);
+  EXPECT_EQ(report.schedule_entries, 0u);
+  ASSERT_FALSE(report.report.empty());
+  EXPECT_EQ(report.report.issues()[0].code(),
+            ErrorCode::kPersistVersionMismatch);
+  EXPECT_EQ(report.report.issues()[0].severity(), Severity::kWarning);
+  EXPECT_TRUE(report.report.ok());
+
+  // Appending after a mismatch rewrites the file in the current format.
+  reloaded.put_schedule_eval(key_of(9), 99);
+  reloaded.flush();
+  PersistentEvalCache fresh(path);
+  const PersistLoadReport fresh_report = fresh.load(&warmed);
+  EXPECT_FALSE(fresh_report.version_mismatch);
+  EXPECT_EQ(fresh_report.schedule_entries, 1u);
+  EXPECT_EQ(warmed.lookup(key_of(9)), 99);
+}
+
+TEST_F(PersistentCacheTest, GarbageFileIgnoredWithWarning) {
+  const std::string path = cache_path();
+  write_file(path, "this is not a cache file\n");
+  PersistentEvalCache cache(path);
+  const PersistLoadReport report = cache.load(nullptr);
+  EXPECT_TRUE(report.version_mismatch);
+  EXPECT_TRUE(report.report.ok());
+}
+
+TEST_F(PersistentCacheTest, EvalCacheSinkWritesThrough) {
+  const std::string path = cache_path();
+  {
+    EvalCache cache(1 << 10, 4);
+    PersistentEvalCache persist(path);
+    persist.load(&cache);
+    cache.set_persist_sink([&persist](const Key128& key, int value) {
+      persist.put_schedule_eval(key, value);
+    });
+    cache.insert(key_of(1), 10);
+    cache.insert(key_of(2), 20);
+    cache.insert(key_of(1), 10);  // duplicate insert: no fresh insertion
+    cache.set_persist_sink(nullptr);
+    cache.insert(key_of(3), 30);  // after detach: not persisted
+    persist.flush();
+    EXPECT_EQ(persist.stats().appends, 2u);
+  }
+  EvalCache warmed(1 << 10, 4);
+  PersistentEvalCache reloaded(path);
+  const PersistLoadReport report = reloaded.load(&warmed);
+  EXPECT_EQ(report.schedule_entries, 2u);
+  EXPECT_EQ(warmed.lookup(key_of(1)), 10);
+  EXPECT_EQ(warmed.lookup(key_of(2)), 20);
+  EXPECT_FALSE(warmed.lookup(key_of(3)).has_value());
+}
+
+TEST_F(PersistentCacheTest, ConcurrentWritersSerialized) {
+  const std::string path = cache_path();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 64;
+  {
+    PersistentEvalCache cache(path);
+    cache.load(nullptr);
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&cache, t] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          const std::uint64_t n =
+              static_cast<std::uint64_t>(t) * kPerThread + i;
+          cache.put_schedule_eval(key_of(n), static_cast<int>(n));
+          if (i % 8 == 0)
+            cache.put_blob(key_of(100000 + n), "blob " + std::to_string(n));
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    cache.flush();
+  }
+  // Every record must come back intact: interleaved appends corrupt the
+  // framing, so a clean reload is the serialization proof.
+  EvalCache warmed(1 << 12, 4);
+  PersistentEvalCache reloaded(path);
+  const PersistLoadReport report = reloaded.load(&warmed);
+  EXPECT_EQ(report.corrupt_skipped, 0u);
+  EXPECT_EQ(report.schedule_entries, kThreads * kPerThread);
+  EXPECT_EQ(report.blob_entries, kThreads * (kPerThread / 8));
+  for (std::uint64_t n = 0; n < kThreads * kPerThread; ++n)
+    EXPECT_EQ(warmed.lookup(key_of(n)), static_cast<int>(n)) << n;
+}
+
+}  // namespace
+}  // namespace isex::runtime

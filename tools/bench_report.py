@@ -98,7 +98,26 @@ def render_runtime(data):
             for r in data.get("runs", [])]
     lines.append(table(["jobs", "cache", "seconds", "speedup vs jobs=1",
                         "hits", "misses", "hit rate"], rows))
+    for scaling in runtime_scaling(data.get("runs", [])):
+        lines.append(scaling)
     return "\n".join(lines)
+
+
+def runtime_scaling(runs):
+    """jobs=1 vs jobs=N headline, one line per cache setting present."""
+    for cache in sorted({r.get("cache") for r in runs}, reverse=True):
+        group = [r for r in runs if r.get("cache") == cache
+                 and r.get("seconds", 0) > 0]
+        base = next((r for r in group if r.get("jobs") == 1), None)
+        peak = max((r for r in group if r.get("jobs", 1) > 1),
+                   key=lambda r: r["jobs"], default=None)
+        if base is None or peak is None:
+            continue
+        ratio = base["seconds"] / peak["seconds"]
+        yield (f"\nScaling (cache={fmt(cache)}): jobs=1 -> "
+               f"jobs={peak['jobs']} is {fmt(ratio)}x "
+               f"({fmt(base['seconds'], 4)}s -> "
+               f"{fmt(peak['seconds'], 4)}s).")
 
 
 def render_google_benchmark(data):

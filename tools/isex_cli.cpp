@@ -51,6 +51,7 @@
 #include "trace/metrics.hpp"
 #include "trace/telemetry.hpp"
 #include "trace/trace.hpp"
+#include "util/shutdown.hpp"
 #include "util/table_printer.hpp"
 
 namespace {
@@ -378,6 +379,15 @@ int main(int argc, char** argv) {
   // are seed-deterministic regardless of the job count.
   if (opt->jobs > 0) runtime::ThreadPool::set_default_jobs(opt->jobs);
   if (!opt->trace_out.empty()) trace::Tracer::global().set_enabled(true);
+
+  // A Ctrl-C mid-exploration must not lose the observability sinks the user
+  // asked for: flush whatever the tracer/registry have accumulated so far,
+  // then exit with the conventional 128+signo.  (The convergence CSV only
+  // exists once an exploration finishes, so an interrupt cannot save it.)
+  if (!opt->trace_out.empty() || !opt->metrics_out.empty()) {
+    util::ShutdownRequest::instance().flush_and_exit_on_signal(
+        [opt = *opt] { write_observability(opt); });
+  }
 
   // Input boundary: read → parse (strict) → validate, with structured
   // diagnostics at every step.  A kernel that fails here never reaches the

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Client for the isex_serve exploration daemon (docs/SERVER.md).
+
+Speaks both halves of the server's protocol: newline-delimited JSON job
+submission over a plain TCP socket, and the HTTP metrics/health endpoints.
+Stdlib only, so CI and operators can use it anywhere Python 3 runs.
+
+Usage:
+    isex_client.py --port P [--host H] submit --kernel K.tac [options]
+    isex_client.py --port P [--host H] metrics
+    isex_client.py --port P [--host H] healthz
+
+Submit options: --id TOKEN --priority N --issue N --ports R/W --repeats N
+--seed N --max-ises N --area-budget A --baseline --count N (submit the same
+job N times on one connection — the warm-cache demo).
+
+Exit status: 0 when every response has "ok": true (submit) or HTTP 200
+(metrics/healthz), 1 otherwise.  Responses are printed one JSON object per
+line, exactly as received.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+
+
+def read_line(sock_file):
+    line = sock_file.readline()
+    if not line:
+        raise ConnectionError("server closed the connection")
+    return line.decode("utf-8").rstrip("\n")
+
+
+def cmd_submit(args) -> int:
+    try:
+        with open(args.kernel, "r", encoding="utf-8") as f:
+            kernel = f.read()
+    except OSError as e:
+        print(f"isex_client: cannot read {args.kernel}: {e}", file=sys.stderr)
+        return 1
+
+    request = {"kernel": kernel}
+    if args.id:
+        request["id"] = args.id
+    for field in ("priority", "issue", "repeats", "seed"):
+        value = getattr(args, field)
+        if value is not None:
+            request[field] = value
+    if args.ports:
+        try:
+            read_ports, write_ports = (int(p) for p in args.ports.split("/"))
+        except ValueError:
+            print("isex_client: --ports expects R/W, e.g. 6/3",
+                  file=sys.stderr)
+            return 1
+        request["read_ports"] = read_ports
+        request["write_ports"] = write_ports
+    if args.max_ises is not None:
+        request["max_ises"] = args.max_ises
+    if args.area_budget is not None:
+        request["area_budget"] = args.area_budget
+    if args.baseline:
+        request["baseline"] = True
+
+    line = json.dumps(request)
+    ok = True
+    with socket.create_connection((args.host, args.port),
+                                  timeout=args.timeout) as sock:
+        sock_file = sock.makefile("rb")
+        for _ in range(args.count):
+            sock.sendall(line.encode("utf-8") + b"\n")
+            response = read_line(sock_file)
+            print(response)
+            try:
+                ok = ok and bool(json.loads(response).get("ok"))
+            except json.JSONDecodeError:
+                ok = False
+    return 0 if ok else 1
+
+
+def cmd_http(args, path: str) -> int:
+    with socket.create_connection((args.host, args.port),
+                                  timeout=args.timeout) as sock:
+        sock.sendall(f"GET {path} HTTP/1.1\r\nHost: {args.host}\r\n"
+                     "Connection: close\r\n\r\n".encode("ascii"))
+        raw = b""
+        while chunk := sock.recv(65536):
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("ascii", "replace")
+    sys.stdout.write(body.decode("utf-8", "replace"))
+    return 0 if " 200 " in status_line + " " else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser("submit", help="submit an exploration job")
+    submit.add_argument("--kernel", required=True, help="TAC kernel file")
+    submit.add_argument("--id", default="")
+    submit.add_argument("--priority", type=int, default=None)
+    submit.add_argument("--issue", type=int, default=None)
+    submit.add_argument("--ports", default=None, help="R/W, e.g. 6/3")
+    submit.add_argument("--repeats", type=int, default=None)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--max-ises", type=int, default=None)
+    submit.add_argument("--area-budget", type=float, default=None)
+    submit.add_argument("--baseline", action="store_true")
+    submit.add_argument("--count", type=int, default=1,
+                        help="submit the same job N times (cache demo)")
+
+    sub.add_parser("metrics", help="print the Prometheus snapshot")
+    sub.add_parser("healthz", help="print the health probe body")
+
+    args = parser.parse_args()
+    try:
+        if args.command == "submit":
+            return cmd_submit(args)
+        return cmd_http(args, f"/{args.command}")
+    except (OSError, ConnectionError) as e:
+        print(f"isex_client: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
