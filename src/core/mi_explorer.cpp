@@ -339,7 +339,8 @@ ExplorationResult MultiIssueExplorer::explore_best_of(const dfg::Graph& block,
   runtime::ThreadPool& pool = runtime::ThreadPool::default_pool();
   std::vector<ExplorationResult> attempts = runtime::deterministic_fanout(
       pool, rng, static_cast<std::size_t>(repeats),
-      [&](std::size_t, Rng& child) { return explore(block, child); });
+      [&](std::size_t, Rng& child) { return explore(block, child); },
+      /*section=*/"explore.best_of");
   return pick_best(std::move(attempts));
 }
 

@@ -32,7 +32,8 @@ std::vector<core::ExplorationResult> explore_hot_blocks(
       [&](std::size_t job, Rng& child) {
         const std::size_t bi = hot_blocks[job / per_block];
         return explorer.explore(program.blocks[bi].graph, child);
-      });
+      },
+      /*section=*/"flow.explore_hot_blocks");
 
   std::vector<core::ExplorationResult> best;
   best.reserve(hot_blocks.size());

@@ -17,11 +17,14 @@
 //     Used by sweep harnesses whose reduce steps consume many explore jobs.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "runtime/pool_profile.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/rng.hpp"
 
@@ -30,16 +33,58 @@ namespace isex::runtime {
 /// Runs fn(i, stream_i) for i in [0, n) on `pool` and returns the results in
 /// index order.  stream_i is the i-th child of `rng` exactly as n serial
 /// rng.split() calls would produce (and `rng` advances identically).
+///
+/// When `pool` has profiling on, the fan-out is measured as one parallel
+/// section under `section` (serial stream-derivation time vs parallel wall
+/// time vs per-task body durations — the Amdahl attribution in
+/// pool_profile.hpp).  Instrumentation never touches `rng` or the streams,
+/// so results stay bit-identical whether profiling is on or off.
 template <typename Fn>
-auto deterministic_fanout(ThreadPool& pool, Rng& rng, std::size_t n, Fn fn)
+auto deterministic_fanout(ThreadPool& pool, Rng& rng, std::size_t n, Fn fn,
+                          const char* section = "fanout")
     -> std::vector<std::invoke_result_t<Fn&, std::size_t, Rng&>> {
   using R = std::invoke_result_t<Fn&, std::size_t, Rng&>;
+  using Clock = std::chrono::steady_clock;
+  const bool profiled = pool.profiling();
+
+  const auto serial_start = Clock::now();
   std::vector<Rng> streams = rng.split_n(n);
+  const auto serial_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           serial_start)
+          .count());
+
   std::vector<R> results(n);
+  std::atomic<std::uint64_t> task_ns_sum{0};
+  std::atomic<std::uint64_t> task_ns_max{0};
+  const auto wall_start = Clock::now();
   pool.parallel_for(n, [&](std::size_t i) {
     Rng local = streams[i];  // private mutable copy; streams stays pristine
-    results[i] = fn(i, local);
+    if (profiled) {
+      const auto t0 = Clock::now();
+      results[i] = fn(i, local);
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count());
+      task_ns_sum.fetch_add(ns, std::memory_order_relaxed);
+      std::uint64_t seen = task_ns_max.load(std::memory_order_relaxed);
+      while (seen < ns && !task_ns_max.compare_exchange_weak(
+                              seen, ns, std::memory_order_relaxed)) {
+      }
+    } else {
+      results[i] = fn(i, local);
+    }
   });
+  if (profiled) {
+    const auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             wall_start)
+            .count());
+    record_parallel_section(section, serial_ns, wall_ns, n,
+                            task_ns_sum.load(std::memory_order_relaxed),
+                            task_ns_max.load(std::memory_order_relaxed));
+  }
   return results;
 }
 

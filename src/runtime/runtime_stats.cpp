@@ -72,15 +72,24 @@ StageTimer::StageTimer(std::string stage)
   if (tracer.enabled()) {
     traced_ = true;
     trace_start_us_ = tracer.now_us();
+    // Join the context tree: parent under the ambient context (the CLI
+    // run's or server job's root span) and become the current context so
+    // pool tasks fanned out during this stage nest under the stage span.
+    span_id_ = trace::mint_span_id();
+    parent_ = trace::current_context();
+    trace::exchange_current_context(
+        trace::TraceContext{parent_.trace_id, span_id_});
   }
 }
 
 StageTimer::~StageTimer() {
   const auto elapsed = std::chrono::steady_clock::now() - start_;
   if (traced_) {
+    trace::exchange_current_context(parent_);
     trace::Tracer& tracer = trace::Tracer::global();
     tracer.record_span("stage:" + stage_, trace_start_us_,
-                       tracer.now_us() - trace_start_us_);
+                       tracer.now_us() - trace_start_us_, parent_.trace_id,
+                       span_id_, parent_.span_id);
   }
   stage_times().record(
       stage_, std::chrono::duration<double>(elapsed).count());

@@ -15,6 +15,7 @@
 #include "runtime/eval_cache.hpp"
 #include "runtime/thread_pool.hpp"
 #include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace isex::runtime {
 
@@ -52,7 +53,11 @@ class StageTimes {
 StageTimes& stage_times();
 
 /// RAII: adds the scope's wall time to stage_times() under `stage` and,
-/// when the global tracer is enabled, records a `stage:<name>` span.
+/// when the global tracer is enabled, records a `stage:<name>` span that
+/// participates in context propagation — it parents under the thread's
+/// current TraceContext (the CLI run / server job root) and is itself the
+/// current context while open, so pool tasks fanned out inside the stage
+/// nest under it.
 class StageTimer {
  public:
   explicit StageTimer(std::string stage);
@@ -65,6 +70,8 @@ class StageTimer {
   std::string stage_;
   std::chrono::steady_clock::time_point start_;
   std::uint64_t trace_start_us_ = 0;
+  std::uint64_t span_id_ = 0;
+  trace::TraceContext parent_;
   bool traced_ = false;
 };
 

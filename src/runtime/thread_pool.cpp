@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace isex::runtime {
@@ -11,17 +12,49 @@ namespace {
 /// Set for the duration of a worker loop; lets parallel_for detect nesting.
 thread_local const ThreadPool* tls_current_pool = nullptr;
 
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+std::vector<double> task_bounds_seconds() {
+  std::vector<double> bounds;
+  for (const double us : ThreadPool::task_duration_bounds_us())
+    bounds.push_back(us * 1e-6);
+  return bounds;
+}
+
 }  // namespace
+
+const std::vector<double>& ThreadPool::task_duration_bounds_us() {
+  // Log-spaced from 50µs (around the cheapest candidate-eval tasks) to 1s;
+  // kTaskBins - 1 bounds plus the implicit +Inf bucket.  Leaked on purpose:
+  // record_profiled_task reads these after the task's completion latch, a
+  // window that extends into static destruction for the default pool's
+  // final task.
+  static const std::vector<double>& bounds = *new std::vector<double>{
+      50,    100,   250,    500,    1000,   2500,   5000,
+      10000, 25000, 50000, 100000, 250000, 1000000};
+  return bounds;
+}
 
 ThreadPool::ThreadPool(int threads)
     : jobs_metric_(&trace::MetricsRegistry::global().counter(
           "isex_pool_jobs_total")),
       steals_metric_(&trace::MetricsRegistry::global().counter(
-          "isex_pool_steals_total")) {
+          "isex_pool_steals_total")),
+      task_seconds_metric_(&trace::MetricsRegistry::global().histogram(
+          "isex_pool_task_seconds", task_bounds_seconds())) {
   if (threads <= 0) threads = default_jobs();
+  ISEX_ASSERT(task_duration_bounds_us().size() + 1 == kTaskBins);
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i)
     workers_.push_back(std::make_unique<Worker>());
+  prof_slots_.reserve(static_cast<std::size_t>(threads) + 1);
+  for (int i = 0; i < threads + 1; ++i)
+    prof_slots_.push_back(std::make_unique<ProfSlot>());
   threads_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i)
     threads_.emplace_back([this, i]() { worker_loop(i); });
@@ -40,6 +73,18 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   ISEX_ASSERT(!workers_.empty());
+  // Trace-context propagation: carry the submitter's ambient context across
+  // the thread hop so spans recorded inside the task parent under the span
+  // (stage, job) that spawned it.  Costs nothing while tracing is off.
+  if (trace::Tracer::global().enabled()) {
+    const trace::TraceContext ctx = trace::current_context();
+    if (ctx.active()) {
+      task = [ctx, inner = std::move(task)]() {
+        const trace::ContextScope scope(ctx);
+        inner();
+      };
+    }
+  }
   const std::size_t target =
       next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   {
@@ -83,19 +128,57 @@ bool ThreadPool::run_one(int self) {
   }
   jobs_run_.fetch_add(1, std::memory_order_relaxed);
   jobs_metric_->inc();
-  task();
+  if (profiling()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    task();
+    record_profiled_task(self, stolen, elapsed_ns(t0));
+  } else {
+    task();
+  }
   return true;
+}
+
+void ThreadPool::record_profiled_task(int self, bool stolen,
+                                      std::uint64_t ns) {
+  ProfSlot& slot =
+      *prof_slots_[self >= 0 ? static_cast<std::size_t>(self)
+                             : workers_.size()];
+  slot.tasks.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) slot.steals.fetch_add(1, std::memory_order_relaxed);
+  slot.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  prof_task_count_.fetch_add(1, std::memory_order_relaxed);
+  prof_task_ns_.fetch_add(ns, std::memory_order_relaxed);
+  const double us = static_cast<double>(ns) * 1e-3;
+  const std::vector<double>& bounds = task_duration_bounds_us();
+  std::size_t bin = bounds.size();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (us <= bounds[i]) {
+      bin = i;
+      break;
+    }
+  }
+  task_bins_[bin].fetch_add(1, std::memory_order_relaxed);
+  task_seconds_metric_->observe(static_cast<double>(ns) * 1e-9);
 }
 
 void ThreadPool::worker_loop(int index) {
   tls_current_pool = this;
   for (;;) {
     if (run_one(index)) continue;
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    wake_cv_.wait(lock, [this]() {
-      return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+    const bool prof = profiling();
+    const auto idle_start = prof ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait(lock, [this]() {
+        return stop_.load(std::memory_order_acquire) ||
+               pending_.load(std::memory_order_acquire) > 0;
+      });
+    }
+    if (prof) {
+      prof_slots_[static_cast<std::size_t>(index)]->idle_ns.fetch_add(
+          elapsed_ns(idle_start), std::memory_order_relaxed);
+    }
     if (stop_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0)
       break;
@@ -158,6 +241,31 @@ PoolStats ThreadPool::stats() const {
   s.steals = steals_.load(std::memory_order_relaxed);
   s.threads = num_threads();
   return s;
+}
+
+std::vector<WorkerOccupancy> ThreadPool::occupancy() const {
+  std::vector<WorkerOccupancy> out;
+  out.reserve(prof_slots_.size());
+  for (const auto& slot : prof_slots_) {
+    WorkerOccupancy w;
+    w.tasks = slot->tasks.load(std::memory_order_relaxed);
+    w.steals = slot->steals.load(std::memory_order_relaxed);
+    w.busy_seconds =
+        static_cast<double>(slot->busy_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    w.idle_seconds =
+        static_cast<double>(slot->idle_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> ThreadPool::task_duration_counts() const {
+  std::vector<std::uint64_t> counts(kTaskBins);
+  for (std::size_t i = 0; i < kTaskBins; ++i)
+    counts[i] = task_bins_[i].load(std::memory_order_relaxed);
+  return counts;
 }
 
 bool ThreadPool::on_worker_thread() const { return tls_current_pool == this; }

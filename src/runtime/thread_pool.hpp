@@ -22,6 +22,7 @@
 // std::thread::hardware_concurrency().  tools/isex --jobs N overrides it.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -33,6 +34,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "runtime/pool_profile.hpp"
 #include "trace/metrics.hpp"
 
 namespace isex::runtime {
@@ -77,6 +79,35 @@ class ThreadPool {
 
   PoolStats stats() const;
 
+  /// Occupancy profiling (see pool_profile.hpp).  Off by default: each
+  /// task then costs one extra relaxed load.  When on, a task pays two
+  /// steady_clock reads plus a handful of relaxed atomic adds, and idle
+  /// workers time their waits.  Counters accumulate across toggles.
+  void set_profiling(bool enabled) {
+    profiling_.store(enabled, std::memory_order_relaxed);
+  }
+  bool profiling() const {
+    return profiling_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-worker occupancy snapshot: num_threads() + 1 entries, the last
+  /// being the synthetic slot for external threads helping in parallel_for.
+  std::vector<WorkerOccupancy> occupancy() const;
+
+  /// Task-duration histogram bucket bounds, microseconds (shared by every
+  /// pool; the +Inf bucket is implicit).
+  static const std::vector<double>& task_duration_bounds_us();
+  /// Per-bucket counts (task_duration_bounds_us().size() + 1 entries).
+  std::vector<std::uint64_t> task_duration_counts() const;
+  std::uint64_t profiled_task_count() const {
+    return prof_task_count_.load(std::memory_order_relaxed);
+  }
+  double profiled_task_seconds() const {
+    return static_cast<double>(
+               prof_task_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
   /// True when the calling thread is one of this pool's workers.
   bool on_worker_thread() const;
 
@@ -97,11 +128,22 @@ class ThreadPool {
     std::mutex mutex;
   };
 
+  /// One worker's profiling accounting; heap-allocated so the atomics sit
+  /// on their own cache lines relative to the deque mutexes.  The slot at
+  /// index num_threads() aggregates external helping threads.
+  struct ProfSlot {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+  };
+
   void enqueue(std::function<void()> task);
   /// Pops one queued task and runs it; false when every deque was empty.
   /// `self` is the caller's worker index, or -1 for external threads.
   bool run_one(int self);
   void worker_loop(int index);
+  void record_profiled_task(int self, bool stolen, std::uint64_t ns);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -109,6 +151,9 @@ class ThreadPool {
   /// once here so run_one() pays a plain atomic add, not a registry lookup.
   trace::Counter* jobs_metric_;
   trace::Counter* steals_metric_;
+  /// Live copy of the task-duration histogram (seconds buckets) so /metrics
+  /// shows task timings without an explicit PoolProfile publish.
+  trace::Histogram* task_seconds_metric_;
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
   std::atomic<std::size_t> pending_{0};
@@ -116,6 +161,13 @@ class ThreadPool {
   std::atomic<std::uint64_t> jobs_run_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> profiling_{false};
+  std::vector<std::unique_ptr<ProfSlot>> prof_slots_;  ///< threads + 1
+  /// Task-duration bins: task_duration_bounds_us().size() + 1 (+Inf last).
+  static constexpr std::size_t kTaskBins = 14;
+  std::array<std::atomic<std::uint64_t>, kTaskBins> task_bins_{};
+  std::atomic<std::uint64_t> prof_task_count_{0};
+  std::atomic<std::uint64_t> prof_task_ns_{0};
 };
 
 /// results[i] = fn(items[i]) with every call running as its own pool task;

@@ -497,15 +497,38 @@ std::string render_result_fragment(const flow::FlowResult& result) {
   return out;
 }
 
+std::string render_timings(const JobTimings& timings) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "\"timings\":{\"queue_wait_us\":%llu,\"validate_us\":%llu,"
+                "\"explore_us\":%llu,\"cache_us\":%llu,\"total_us\":%llu}",
+                static_cast<unsigned long long>(timings.queue_wait_us),
+                static_cast<unsigned long long>(timings.validate_us),
+                static_cast<unsigned long long>(timings.explore_us),
+                static_cast<unsigned long long>(timings.cache_us),
+                static_cast<unsigned long long>(timings.total_us));
+  return buf;
+}
+
 std::string render_response(const std::string& id, bool cache_hit,
+                            const JobTimings& timings,
                             const std::string& result_fragment) {
   std::string out = "{\"id\":\"" + trace::json_escape(id) +
                     "\",\"ok\":true,\"cache_hit\":";
   out += cache_hit ? "true" : "false";
   out += ',';
+  // Per-delivery before the fragment: the cached fragment (base_time ...
+  // result_digest ... ises) replays byte-identically on every delivery.
+  out += render_timings(timings);
+  out += ',';
   out += result_fragment;
   out += '}';
   return out;
+}
+
+std::string render_response(const std::string& id, bool cache_hit,
+                            const std::string& result_fragment) {
+  return render_response(id, cache_hit, JobTimings{}, result_fragment);
 }
 
 std::string render_error_response(const std::string& id, const Error& error) {

@@ -74,7 +74,29 @@ std::uint64_t flow_result_digest(const flow::FlowResult& result);
 /// fragment is what the result cache stores and replays verbatim).
 std::string render_result_fragment(const flow::FlowResult& result);
 
-/// Full response line (without trailing newline) for a success.
+/// Per-delivery timing breakdown (microseconds) the server attaches to
+/// every job response: where this submission's latency went.  Cache hits
+/// report zero queue_wait/explore (they never touch the queue); total is
+/// receive-to-render wall time on the connection thread.
+struct JobTimings {
+  std::uint64_t queue_wait_us = 0;
+  std::uint64_t validate_us = 0;
+  std::uint64_t explore_us = 0;
+  std::uint64_t cache_us = 0;
+  std::uint64_t total_us = 0;
+};
+
+/// `"timings":{...}` JSON fragment for a response.
+std::string render_timings(const JobTimings& timings);
+
+/// Full response line (without trailing newline) for a success.  The
+/// timings are a per-delivery field, rendered *before* the cached result
+/// fragment so the fragment tail stays byte-identical across deliveries.
+std::string render_response(const std::string& id, bool cache_hit,
+                            const JobTimings& timings,
+                            const std::string& result_fragment);
+
+/// Convenience overload with all-zero timings (tests, replay paths).
 std::string render_response(const std::string& id, bool cache_hit,
                             const std::string& result_fragment);
 

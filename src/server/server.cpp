@@ -15,9 +15,11 @@
 #include "dfg/validate.hpp"
 #include "hwlib/hw_library.hpp"
 #include "isa/tac_parser.hpp"
+#include "runtime/pool_profile.hpp"
 #include "runtime/runtime_stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace isex::server {
 namespace {
@@ -48,6 +50,38 @@ std::string http_response(int status, const char* reason,
   return out;
 }
 
+std::vector<double> job_latency_bounds() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+          0.5,   1.0,    2.5,   5.0,  10.0,  30.0, 60.0};
+}
+
+std::vector<double> queue_wait_bounds() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+          0.05,   0.1,     0.25,   0.5,   1.0,    5.0,   10.0};
+}
+
+void append_histogram_json(std::string& out, const trace::Histogram& h) {
+  char buf[32];
+  out += "{\"bounds_s\":[";
+  const std::vector<double>& bounds = h.bounds();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (i != 0) out += ',';
+    std::snprintf(buf, sizeof buf, "%g", bounds[i]);
+    out += buf;
+  }
+  out += "],\"counts\":[";
+  const std::vector<std::uint64_t> counts = h.bin_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(counts[i]);
+  }
+  out += "],\"count\":" + std::to_string(h.count());
+  std::snprintf(buf, sizeof buf, "%.6f", h.sum());
+  out += ",\"sum_s\":";
+  out += buf;
+  out += '}';
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
@@ -74,7 +108,17 @@ Server::Server(ServerOptions options)
       result_misses_(&trace::MetricsRegistry::global().counter(
           "isex_server_job_cache_misses_total")),
       warm_start_entries_(&trace::MetricsRegistry::global().gauge(
-          "isex_server_warm_start_entries")) {}
+          "isex_server_warm_start_entries")),
+      inflight_gauge_(&trace::MetricsRegistry::global().gauge(
+          "isex_server_jobs_inflight")),
+      queue_capacity_gauge_(&trace::MetricsRegistry::global().gauge(
+          "isex_server_queue_capacity")),
+      job_latency_(&trace::MetricsRegistry::global().histogram(
+          "isex_server_job_latency_seconds", job_latency_bounds())),
+      queue_wait_(&trace::MetricsRegistry::global().histogram(
+          "isex_server_queue_wait_seconds", queue_wait_bounds())) {
+  queue_capacity_gauge_->set(static_cast<double>(queue_.capacity()));
+}
 
 Server::~Server() {
   if (started_.load(std::memory_order_acquire)) {
@@ -91,8 +135,8 @@ Expected<std::uint16_t> Server::start() {
   // in-memory cache and index persisted job results, then wire the sink so
   // fresh evaluations stream back to the log.
   cache_ = std::make_unique<runtime::PersistentEvalCache>(options_.cache_path);
-  const runtime::PersistLoadReport loaded =
-      cache_->load(&runtime::schedule_cache());
+  load_report_ = cache_->load(&runtime::schedule_cache());
+  const runtime::PersistLoadReport& loaded = load_report_;
   for (const Error& e : loaded.report.issues())
     std::fprintf(stderr, "isex_serve: %s\n", e.to_string().c_str());
   warm_start_entries_->set(
@@ -136,12 +180,49 @@ Expected<std::uint16_t> Server::start() {
 
   int workers = options_.workers;
   if (workers <= 0) workers = std::min(4, runtime::ThreadPool::default_jobs());
+  worker_count_ = workers;
+  // The observatory's occupancy view (/statusz, PoolProfile artifact) wants
+  // worker timelines for the pool every job fans out on; the cost is two
+  // clock reads per pool task, negligible at exploration-task granularity.
+  runtime::ThreadPool::default_pool().set_profiling(true);
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
   started_.store(true, std::memory_order_release);
   return port_;
+}
+
+std::uint64_t Server::uptime_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint64_t Server::register_inflight(const std::string& id, int priority) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  const std::uint64_t key = next_inflight_key_++;
+  InflightJob& job = inflight_[key];
+  job.id = id;
+  job.priority = priority;
+  job.accepted_us = uptime_us();
+  inflight_gauge_->set(static_cast<double>(inflight_.size()));
+  return key;
+}
+
+void Server::mark_inflight_exploring(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  const auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+  it->second.stage = "exploring";
+  it->second.started_us = uptime_us();
+}
+
+void Server::unregister_inflight(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  inflight_.erase(key);
+  inflight_gauge_->set(static_cast<double>(inflight_.size()));
 }
 
 void Server::request_drain() {
@@ -264,7 +345,10 @@ void Server::handle_http(int fd, const std::string& buffered) {
   first_line >> method >> path;
 
   std::string response;
-  if (path == "/metrics") {
+  if (path == "/statusz") {
+    response = http_response(200, "OK", render_statusz(),
+                             "application/json");
+  } else if (path == "/metrics") {
     // Fold point-in-time runtime stats (pool width, cache hit rate, stage
     // seconds) into the registry next to the live counters, like the CLI's
     // --metrics-out does.
@@ -282,7 +366,81 @@ void Server::handle_http(int fd, const std::string& buffered) {
   send_all(fd, response);
 }
 
+std::string Server::render_statusz() const {
+  const auto count = [](const trace::Counter* c) {
+    return std::to_string(static_cast<std::uint64_t>(c->value()));
+  };
+  std::string out = "{\"uptime_us\":" + std::to_string(uptime_us()) +
+                    ",\"draining\":";
+  out += draining() ? "true" : "false";
+  out += ",\n\"queue\":{\"depth\":" + std::to_string(queue_.depth()) +
+         ",\"capacity\":" + std::to_string(queue_.capacity()) +
+         ",\"workers\":" + std::to_string(worker_count_) + "},";
+
+  out += "\n\"inflight\":[";
+  {
+    const std::uint64_t now_us = uptime_us();
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    bool first = true;
+    for (const auto& [key, job] : inflight_) {
+      if (!first) out += ',';
+      first = false;
+      // queue_wait: admission → worker pop for running jobs, admission →
+      // now for jobs still queued.
+      const std::uint64_t wait_end =
+          job.started_us != 0 ? job.started_us : now_us;
+      out += "\n{\"id\":\"" + trace::json_escape(job.id) +
+             "\",\"priority\":" + std::to_string(job.priority) +
+             ",\"stage\":\"" + job.stage +
+             "\",\"age_us\":" + std::to_string(now_us - job.accepted_us) +
+             ",\"queue_wait_us\":" +
+             std::to_string(wait_end - job.accepted_us) + "}";
+    }
+  }
+  out += "],";
+
+  out += "\n\"jobs\":{\"accepted\":" + count(jobs_accepted_) +
+         ",\"completed\":" + count(jobs_completed_) +
+         ",\"failed\":" + count(jobs_failed_) +
+         ",\"invalid\":" + count(jobs_invalid_) +
+         ",\"rejected_queue_full\":" + count(jobs_rejected_full_) +
+         ",\"rejected_draining\":" + count(jobs_rejected_draining_) +
+         ",\"cache_hits\":" + count(result_hits_) +
+         ",\"cache_misses\":" + count(result_misses_) + "},";
+
+  out += "\n\"job_latency\":";
+  append_histogram_json(out, *job_latency_);
+  out += ",\n\"queue_wait\":";
+  append_histogram_json(out, *queue_wait_);
+  out += ',';
+
+  const runtime::PersistStats persist =
+      cache_ != nullptr ? cache_->stats() : runtime::PersistStats{};
+  out += "\n\"cache\":{\"warm_start_schedule_entries\":" +
+         std::to_string(load_report_.schedule_entries) +
+         ",\"warm_start_blob_entries\":" +
+         std::to_string(load_report_.blob_entries) +
+         ",\"corrupt_skipped\":" +
+         std::to_string(load_report_.corrupt_skipped) +
+         ",\"version_mismatch\":" +
+         std::to_string(load_report_.version_mismatch) +
+         ",\"appends\":" + std::to_string(persist.appends) +
+         ",\"append_failures\":" + std::to_string(persist.append_failures) +
+         ",\"blob_hits\":" + std::to_string(persist.blob_hits) +
+         ",\"blob_misses\":" + std::to_string(persist.blob_misses) + "},";
+
+  // The shared exploration pool's occupancy + section profile, embedded as
+  // the same object write_json produces for the PoolProfile artifact.
+  std::ostringstream pool;
+  runtime::collect_pool_profile(runtime::ThreadPool::default_pool())
+      .write_json(pool);
+  out += "\n\"pool\":" + pool.str();
+  out += "}\n";
+  return out;
+}
+
 std::string Server::process_line(const std::string& line) {
+  const std::uint64_t received_us = uptime_us();
   Expected<JobRequest> parsed = parse_job_request(line);
   if (!parsed) {
     jobs_invalid_->inc();
@@ -299,6 +457,7 @@ std::string Server::process_line(const std::string& line) {
 
   // Parse + validate the kernel on the connection thread: rejections are
   // cheap and must not occupy an exploration worker.
+  JobTimings timings;
   Expected<isa::ParsedBlock> block = isa::parse_tac_checked(request.kernel);
   if (!block) {
     jobs_invalid_->inc();
@@ -311,11 +470,17 @@ std::string Server::process_line(const std::string& line) {
       return render_error_response(request.id, report.first_error());
     }
   }
+  timings.validate_us = uptime_us() - received_us;
 
+  const std::uint64_t cache_start_us = uptime_us();
   const runtime::Key128 signature = job_signature(block->graph, request);
-  if (std::optional<std::string> fragment = cache_->lookup_blob(signature)) {
+  std::optional<std::string> cached = cache_->lookup_blob(signature);
+  timings.cache_us = uptime_us() - cache_start_us;
+  if (cached) {
     result_hits_->inc();
-    return render_response(request.id, /*cache_hit=*/true, *fragment);
+    timings.total_us = uptime_us() - received_us;
+    job_latency_->observe(static_cast<double>(timings.total_us) * 1e-6);
+    return render_response(request.id, /*cache_hit=*/true, timings, *cached);
   }
   result_misses_->inc();
 
@@ -326,27 +491,68 @@ std::string Server::process_line(const std::string& line) {
       flow::ProfiledBlock{"kernel", std::move(block->graph), 1});
   const flow::FlowConfig config = flow_config_for(request);
 
+  // Trace identity: one trace id per job, with a root span covering
+  // admission → completion.  Everything recorded while the worker runs the
+  // flow (stage spans, fanned-out pool tasks) nests under this root via the
+  // ContextScope the worker installs.
+  trace::Tracer& tracer = trace::Tracer::global();
+  const bool traced = tracer.enabled();
+  const std::uint64_t trace_id = traced ? trace::mint_trace_id() : 0;
+  const std::uint64_t root_span = traced ? trace::mint_span_id() : 0;
+  const std::uint64_t root_ts_us = traced ? tracer.now_us() : 0;
+
+  const std::uint64_t inflight_key =
+      register_inflight(request.id, request.priority);
+  const std::uint64_t enqueued_us = uptime_us();
+
   auto promise = std::make_shared<std::promise<Expected<std::string>>>();
   std::future<Expected<std::string>> future = promise->get_future();
   runtime::PersistentEvalCache* cache = cache_.get();
+  // Worker-side timing slots, written before the promise is fulfilled (the
+  // future.get() below synchronizes the read).
+  auto worker_times = std::make_shared<std::pair<std::uint64_t, std::uint64_t>>();
   QueuedJob job;
   job.priority = request.priority;
-  job.run = [promise, cache, signature, program = std::move(program),
-             config]() mutable {
-    Expected<flow::FlowResult> result = flow::run_design_flow_checked(
-        program, hw::HwLibrary::paper_default(), config);
-    if (!result) {
-      promise->set_value(result.error());
-      return;
+  job.run = [this, promise, cache, signature, program = std::move(program),
+             config, inflight_key, trace_id, root_span, root_ts_us,
+             enqueued_us, worker_times]() mutable {
+    const std::uint64_t popped_us = uptime_us();
+    worker_times->first = popped_us - enqueued_us;  // queue wait
+    queue_wait_->observe(static_cast<double>(worker_times->first) * 1e-6);
+    mark_inflight_exploring(inflight_key);
+    trace::Tracer& tracer = trace::Tracer::global();
+    if (trace_id != 0) {
+      // The queue wait as its own span under the job root, so queue-time
+      // percentiles fall out of the trace alone.
+      tracer.record_span("job.queue_wait", root_ts_us,
+                         tracer.now_us() - root_ts_us, trace_id,
+                         trace::mint_span_id(), root_span);
     }
-    std::string fragment = render_result_fragment(*result);
-    cache->put_blob(signature, fragment);
-    promise->set_value(std::move(fragment));
+    {
+      const trace::ContextScope scope(
+          trace::TraceContext{trace_id, root_span});
+      Expected<flow::FlowResult> result = flow::run_design_flow_checked(
+          program, hw::HwLibrary::paper_default(), config);
+      worker_times->second = uptime_us() - popped_us;  // explore
+      if (!result) {
+        promise->set_value(result.error());
+      } else {
+        std::string fragment = render_result_fragment(*result);
+        cache->put_blob(signature, fragment);
+        promise->set_value(std::move(fragment));
+      }
+    }
+    if (trace_id != 0) {
+      tracer.record_span("job:" + program.name, root_ts_us,
+                         tracer.now_us() - root_ts_us, trace_id, root_span,
+                         /*parent_id=*/0);
+    }
   };
 
   switch (queue_.push(std::move(job))) {
     case JobQueue::PushResult::kAccepted: break;
     case JobQueue::PushResult::kFull:
+      unregister_inflight(inflight_key);
       jobs_rejected_full_->inc();
       return render_error_response(
           request.id,
@@ -354,6 +560,7 @@ std::string Server::process_line(const std::string& line) {
                 "admission queue is full (" +
                     std::to_string(queue_.capacity()) + " pending)"));
     case JobQueue::PushResult::kClosed:
+      unregister_inflight(inflight_key);
       jobs_rejected_draining_->inc();
       return render_error_response(
           request.id, Error(ErrorCode::kServerShuttingDown,
@@ -362,12 +569,17 @@ std::string Server::process_line(const std::string& line) {
   jobs_accepted_->inc();
 
   Expected<std::string> outcome = future.get();
+  unregister_inflight(inflight_key);
+  timings.queue_wait_us = worker_times->first;
+  timings.explore_us = worker_times->second;
+  timings.total_us = uptime_us() - received_us;
+  job_latency_->observe(static_cast<double>(timings.total_us) * 1e-6);
   if (!outcome) {
     jobs_failed_->inc();
     return render_error_response(request.id, outcome.error());
   }
   jobs_completed_->inc();
-  return render_response(request.id, /*cache_hit=*/false, *outcome);
+  return render_response(request.id, /*cache_hit=*/false, timings, *outcome);
 }
 
 }  // namespace isex::server

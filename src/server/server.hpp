@@ -30,7 +30,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -92,11 +94,33 @@ class Server {
   /// depth; everything else should go through process_line).
   JobQueue& queue() { return queue_; }
 
+  /// The /statusz body: a JSON snapshot of live server state — in-flight
+  /// jobs with per-stage ages, queue depth, latency/queue-wait histograms,
+  /// persistent-cache hit/corruption stats, and per-worker pool occupancy.
+  /// Exposed for tests; the HTTP handler serves it verbatim.
+  std::string render_statusz() const;
+
  private:
+  /// One admitted-but-unanswered job, keyed for /statusz.
+  struct InflightJob {
+    std::string id;
+    int priority = 0;
+    const char* stage = "queued";  ///< "queued" until a worker pops it
+    std::uint64_t accepted_us = 0;
+    std::uint64_t started_us = 0;  ///< 0 while still queued
+  };
+
   void accept_loop();
   void worker_loop();
   void handle_connection(int fd);
   void handle_http(int fd, const std::string& buffered);
+
+  /// Microseconds since construction (the clock /statusz ages and the
+  /// per-job timings are measured on; monotonic, tracer-independent).
+  std::uint64_t uptime_us() const;
+  std::uint64_t register_inflight(const std::string& id, int priority);
+  void mark_inflight_exploring(std::uint64_t key);
+  void unregister_inflight(std::uint64_t key);
 
   ServerOptions options_;
   std::uint16_t port_ = 0;
@@ -107,6 +131,15 @@ class Server {
 
   JobQueue queue_;
   std::unique_ptr<runtime::PersistentEvalCache> cache_;
+  /// Warm-start outcome kept for /statusz (corrupt_skipped and friends).
+  runtime::PersistLoadReport load_report_;
+  int worker_count_ = 0;
+
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex inflight_mutex_;
+  std::uint64_t next_inflight_key_ = 1;
+  std::map<std::uint64_t, InflightJob> inflight_;
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
@@ -124,6 +157,10 @@ class Server {
   trace::Counter* result_hits_;
   trace::Counter* result_misses_;
   trace::Gauge* warm_start_entries_;
+  trace::Gauge* inflight_gauge_;
+  trace::Gauge* queue_capacity_gauge_;
+  trace::Histogram* job_latency_;  ///< seconds, submission → response
+  trace::Histogram* queue_wait_;   ///< seconds, admission → worker pop
 };
 
 }  // namespace isex::server

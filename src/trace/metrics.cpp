@@ -222,8 +222,12 @@ std::size_t MetricsRegistry::num_series() const {
 }
 
 MetricsRegistry& MetricsRegistry::global() {
-  static MetricsRegistry registry;
-  return registry;
+  // Intentionally leaked: a pool worker records its last task's metrics
+  // after the task's completion latch fires, and the default pool only
+  // joins its workers during late static destruction — the registry (and
+  // every series interned in it) must outlive that tail.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
 }
 
 }  // namespace isex::trace

@@ -17,6 +17,13 @@ struct TlsEntry {
 };
 thread_local TlsEntry tls_entry;
 
+/// The thread's ambient context.  Written only by ContextScope / Span on
+/// this thread, so no synchronization is needed.
+thread_local TraceContext tls_context;
+
+std::atomic<std::uint64_t> g_next_trace_id{1};
+std::atomic<std::uint64_t> g_next_span_id{1};
+
 const char* kind_name(EventKind kind) {
   switch (kind) {
     case EventKind::kSpan:
@@ -30,6 +37,36 @@ const char* kind_name(EventKind kind) {
 }
 
 }  // namespace
+
+TraceContext current_context() { return tls_context; }
+
+TraceContext exchange_current_context(TraceContext ctx) {
+  const TraceContext previous = tls_context;
+  tls_context = ctx;
+  return previous;
+}
+
+std::uint64_t mint_trace_id() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t mint_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+ContextScope::ContextScope(TraceContext ctx) : previous_(tls_context) {
+  tls_context = ctx;
+}
+
+ContextScope::~ContextScope() { tls_context = previous_; }
+
+void Span::open(TraceContext& parent_out, std::uint64_t& span_id_out) {
+  parent_out = tls_context;
+  span_id_out = mint_span_id();
+  tls_context = TraceContext{parent_out.trace_id, span_id_out};
+}
+
+void Span::close(const TraceContext& parent) { tls_context = parent; }
 
 Tracer::Tracer()
     : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
@@ -56,7 +93,8 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
 }
 
 void Tracer::append(std::string_view name, EventKind kind, std::uint64_t ts_us,
-                    std::uint64_t dur_us, double value) {
+                    std::uint64_t dur_us, double value, std::uint64_t trace_id,
+                    std::uint64_t span_id, std::uint64_t parent_id) {
   ThreadBuffer& buffer = local_buffer();
   TraceEvent event;
   event.name = std::string(name);
@@ -65,6 +103,9 @@ void Tracer::append(std::string_view name, EventKind kind, std::uint64_t ts_us,
   event.dur_us = dur_us;
   event.tid = buffer.tid;
   event.value = value;
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  event.parent_id = parent_id;
   std::lock_guard<std::mutex> lock(buffer.mutex);
   buffer.events.push_back(std::move(event));
 }
@@ -73,6 +114,14 @@ void Tracer::record_span(std::string_view name, std::uint64_t ts_us,
                          std::uint64_t dur_us) {
   if (!enabled()) return;
   append(name, EventKind::kSpan, ts_us, dur_us, 0.0);
+}
+
+void Tracer::record_span(std::string_view name, std::uint64_t ts_us,
+                         std::uint64_t dur_us, std::uint64_t trace_id,
+                         std::uint64_t span_id, std::uint64_t parent_id) {
+  if (!enabled()) return;
+  append(name, EventKind::kSpan, ts_us, dur_us, 0.0, trace_id, span_id,
+         parent_id);
 }
 
 void Tracer::record_instant(std::string_view name) {
@@ -188,6 +237,11 @@ void write_chrome_trace(std::ostream& out,
     switch (e.kind) {
       case EventKind::kSpan:
         out << ",\"ph\":\"X\",\"dur\":" << e.dur_us;
+        if (e.span_id != 0) {
+          out << ",\"args\":{\"trace_id\":" << e.trace_id
+              << ",\"span_id\":" << e.span_id
+              << ",\"parent_span_id\":" << e.parent_id << "}";
+        }
         break;
       case EventKind::kInstant:
         out << ",\"ph\":\"i\",\"s\":\"t\"";
@@ -206,7 +260,12 @@ void write_jsonl(std::ostream& out, std::span<const TraceEvent> events) {
     out << "{\"name\":\"" << json_escape(e.name) << "\",\"kind\":\""
         << kind_name(e.kind) << "\",\"ts_us\":" << e.ts_us
         << ",\"dur_us\":" << e.dur_us << ",\"tid\":" << e.tid
-        << ",\"value\":" << e.value << "}\n";
+        << ",\"value\":" << e.value;
+    if (e.span_id != 0) {
+      out << ",\"trace_id\":" << e.trace_id << ",\"span_id\":" << e.span_id
+          << ",\"parent_span_id\":" << e.parent_id;
+    }
+    out << "}\n";
   }
 }
 

@@ -50,6 +50,53 @@ struct TraceEvent {
   std::uint32_t tid = 0;
   /// Counter sample; zero otherwise.
   double value = 0.0;
+  /// Context ids (zero = untracked).  trace_id groups every span that
+  /// descends from one root (a CLI run, a server job); span_id is this
+  /// span's own id; parent_id is the span that was current when this one
+  /// opened.  Exported as "args" in the Chrome trace so Perfetto queries
+  /// and tools/validate_trace.py can reconstruct the tree.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+};
+
+/// The ambient trace context of the current thread: which trace this thread
+/// is working for and which span is its innermost open parent.  Propagated
+/// across thread-pool hops by ContextScope (runtime::ThreadPool::enqueue
+/// captures the submitter's context and installs it around the task), so a
+/// fanned-out task's spans parent under the stage/job that spawned it.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool active() const { return trace_id != 0 || span_id != 0; }
+};
+
+/// The calling thread's current context ({0,0} when untracked).
+TraceContext current_context();
+
+/// Replaces the calling thread's context and returns the previous one —
+/// the manual save/restore primitive behind ContextScope, for holders whose
+/// lifetime is not a lexical scope (StageTimer, server job roots).
+TraceContext exchange_current_context(TraceContext ctx);
+
+/// Process-unique nonzero ids.  A trace id identifies one root-of-work
+/// (CLI invocation, server job); span ids identify individual spans.
+std::uint64_t mint_trace_id();
+std::uint64_t mint_span_id();
+
+/// RAII: installs `ctx` as the calling thread's context, restores the
+/// previous context on destruction.  Cost is two TLS stores; safe to use
+/// on any thread, nests arbitrarily.
+class ContextScope {
+ public:
+  explicit ContextScope(TraceContext ctx);
+  ~ContextScope();
+
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext previous_;
 };
 
 class Tracer {
@@ -71,6 +118,11 @@ class Tracer {
 
   void record_span(std::string_view name, std::uint64_t ts_us,
                    std::uint64_t dur_us);
+  /// Span with explicit context ids (zero ids = untracked).  Used by the
+  /// Span/StageTimer RAII helpers and by the server's per-job root spans.
+  void record_span(std::string_view name, std::uint64_t ts_us,
+                   std::uint64_t dur_us, std::uint64_t trace_id,
+                   std::uint64_t span_id, std::uint64_t parent_id);
   void record_instant(std::string_view name);
   void record_counter(std::string_view name, double value);
 
@@ -101,7 +153,8 @@ class Tracer {
 
   ThreadBuffer& local_buffer();
   void append(std::string_view name, EventKind kind, std::uint64_t ts_us,
-              std::uint64_t dur_us, double value);
+              std::uint64_t dur_us, double value, std::uint64_t trace_id = 0,
+              std::uint64_t span_id = 0, std::uint64_t parent_id = 0);
 
   const std::uint64_t id_;  ///< distinguishes tracer instances in TLS caches
   std::atomic<bool> enabled_{false};
@@ -114,6 +167,12 @@ class Tracer {
 /// construction, records a completed span on destruction.  When the tracer
 /// is disabled the constructor is a single flag test and the destructor a
 /// null check.
+///
+/// An enabled Span participates in context propagation: it inherits the
+/// thread's current TraceContext as its parent, mints its own span id, and
+/// installs {inherited trace id, own span id} as the current context for
+/// its lifetime — so spans (and pool tasks submitted) inside its scope
+/// parent under it.
 class Span {
  public:
   explicit Span(std::string_view name, Tracer& tracer = Tracer::global())
@@ -121,20 +180,31 @@ class Span {
     if (tracer_ != nullptr) {
       name_ = name;
       start_us_ = tracer_->now_us();
+      open(parent_, span_id_);
     }
   }
   ~Span() {
-    if (tracer_ != nullptr)
-      tracer_->record_span(name_, start_us_, tracer_->now_us() - start_us_);
+    if (tracer_ != nullptr) {
+      close(parent_);
+      tracer_->record_span(name_, start_us_, tracer_->now_us() - start_us_,
+                           parent_.trace_id, span_id_, parent_.span_id);
+    }
   }
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
+  /// Out-of-line TLS manipulation (mint id, swap contexts) so the header
+  /// does not need the thread_local definition.
+  static void open(TraceContext& parent_out, std::uint64_t& span_id_out);
+  static void close(const TraceContext& parent);
+
   Tracer* tracer_;
   std::string name_;
   std::uint64_t start_us_ = 0;
+  std::uint64_t span_id_ = 0;
+  TraceContext parent_;
 };
 
 /// Chrome trace_event "JSON Object Format": {"traceEvents": [...]} with

@@ -15,10 +15,12 @@
 #include "runtime/eval_cache.hpp"
 #include "runtime/hash.hpp"
 #include "runtime/job_graph.hpp"
+#include "runtime/pool_profile.hpp"
 #include "runtime/runtime_stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/list_scheduler.hpp"
 #include "test_util.hpp"
+#include "trace/trace.hpp"
 
 namespace isex::runtime {
 namespace {
@@ -118,6 +120,123 @@ TEST(DeterministicFanout, MatchesSerialLoopAtAnyThreadCount) {
     EXPECT_EQ(results, expected) << "threads=" << threads;
     EXPECT_EQ(rng.next_u32(), Rng(serial_rng).next_u32());
   }
+}
+
+// --------------------------------------------------------------- pool profiler
+
+TEST(ThreadPool, ProfilingIsOffByDefaultAndCountsTasksWhenOn) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.profiling());
+  pool.parallel_for(32, [](std::size_t) {});
+  EXPECT_EQ(pool.profiled_task_count(), 0u);  // off: zero bookkeeping
+
+  pool.set_profiling(true);
+  pool.parallel_for(100, [](std::size_t) {});
+  EXPECT_GE(pool.profiled_task_count(), 100u);
+  std::uint64_t per_worker = 0;
+  for (const WorkerOccupancy& w : pool.occupancy()) per_worker += w.tasks;
+  EXPECT_EQ(per_worker, pool.profiled_task_count());
+  std::uint64_t binned = 0;
+  for (const std::uint64_t c : pool.task_duration_counts()) binned += c;
+  EXPECT_EQ(binned, pool.profiled_task_count());
+  EXPECT_GE(pool.profiled_task_seconds(), 0.0);
+}
+
+TEST(ThreadPool, OccupancyHasOneSlotPerWorkerPlusExternal) {
+  ThreadPool pool(3);
+  // Workers 0..2 plus the synthetic slot for non-pool threads that run
+  // tasks inline while helping a fan-out.
+  EXPECT_EQ(pool.occupancy().size(), 4u);
+  EXPECT_EQ(ThreadPool::task_duration_bounds_us().size() + 1,
+            pool.task_duration_counts().size());
+}
+
+TEST(ThreadPool, PropagatesTraceContextToPoolTasks) {
+  trace::Tracer& tracer = trace::Tracer::global();
+  tracer.set_enabled(true);
+  ThreadPool pool(2);
+  const trace::ContextScope scope(trace::TraceContext{42, 7});
+  auto future = pool.submit([] { return trace::current_context(); });
+  const trace::TraceContext seen = future.get();
+  tracer.set_enabled(false);
+  tracer.reset();
+  EXPECT_EQ(seen.trace_id, 42u);
+  EXPECT_EQ(seen.span_id, 7u);
+}
+
+TEST(ThreadPool, NoContextPropagationWhileTracerDisabled) {
+  ThreadPool pool(2);
+  const trace::ContextScope scope(trace::TraceContext{42, 7});
+  auto future = pool.submit([] { return trace::current_context(); });
+  const trace::TraceContext seen = future.get();
+  EXPECT_FALSE(seen.active());  // disabled tracer: zero capture overhead
+}
+
+TEST(DeterministicFanout, RecordsParallelSectionWhenProfiling) {
+  reset_parallel_sections();
+  ThreadPool pool(2);
+  pool.set_profiling(true);
+  Rng rng(11);
+  deterministic_fanout(
+      pool, rng, 16,
+      [](std::size_t i, Rng& r) {
+        std::uint64_t acc = i;  // enough work for a nonzero body duration
+        for (int k = 0; k < 5000; ++k) acc ^= r.next_u32();
+        return acc;
+      },
+      "test.section");
+  const std::vector<SectionProfile> sections = parallel_sections_snapshot();
+  ASSERT_EQ(sections.size(), 1u);
+  const SectionProfile& s = sections[0];
+  EXPECT_EQ(s.name, "test.section");
+  EXPECT_EQ(s.invocations, 1u);
+  EXPECT_EQ(s.tasks, 16u);
+  EXPECT_GE(s.serial_fraction(), 0.0);
+  EXPECT_LE(s.serial_fraction(), 1.0);
+  EXPECT_GE(s.imbalance(), 1.0);
+  reset_parallel_sections();
+}
+
+TEST(DeterministicFanout, ProfilingDoesNotPerturbResults) {
+  auto job = [](std::size_t i, Rng& r) {
+    std::uint64_t acc = i;
+    for (int k = 0; k < 50; ++k) acc ^= r.next_u32() + k;
+    return acc;
+  };
+  ThreadPool plain(4);
+  Rng rng_plain(21);
+  const auto expected = deterministic_fanout(plain, rng_plain, 24, job);
+
+  reset_parallel_sections();
+  ThreadPool profiled(4);
+  profiled.set_profiling(true);
+  Rng rng_profiled(21);
+  const auto measured = deterministic_fanout(profiled, rng_profiled, 24, job);
+  EXPECT_EQ(measured, expected);
+  EXPECT_EQ(rng_plain.next_u32(), rng_profiled.next_u32());
+  reset_parallel_sections();
+}
+
+TEST(ThreadPool, PoolProfileJsonHasWorkersHistogramAndSections) {
+  reset_parallel_sections();
+  ThreadPool pool(2);
+  pool.set_profiling(true);
+  Rng rng(3);
+  deterministic_fanout(
+      pool, rng, 8, [](std::size_t i, Rng&) { return i; }, "json.section");
+  const PoolProfile profile = collect_pool_profile(pool);
+  EXPECT_TRUE(profile.profiled);
+  EXPECT_EQ(profile.threads, 2);
+  std::ostringstream out;
+  profile.write_json(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"workers\":["), std::string::npos);
+  EXPECT_NE(text.find("\"worker\":\"external\""), std::string::npos);
+  EXPECT_NE(text.find("\"task_histogram\""), std::string::npos);
+  EXPECT_NE(text.find("\"json.section\""), std::string::npos);
+  EXPECT_NE(text.find("\"serial_fraction\""), std::string::npos);
+  EXPECT_NE(text.find("\"imbalance\""), std::string::npos);
+  reset_parallel_sections();
 }
 
 // -------------------------------------------------------------------- JobGraph

@@ -337,6 +337,80 @@ TEST(Server, RepeatSubmissionIsABitIdenticalCacheHit) {
   EXPECT_EQ(server.wait(), 0);
 }
 
+TEST(Server, ResponsesCarryPerJobTimings) {
+  ServerOptions options;
+  options.port = 0;
+  Server server(options);
+  ASSERT_TRUE(server.start().has_value());
+
+  const std::string miss =
+      server.process_line(job_line(kBlendKernel, "timed"));
+  ASSERT_NE(miss.find("\"ok\":true"), std::string::npos) << miss;
+  ASSERT_NE(miss.find("\"timings\":{"), std::string::npos) << miss;
+  for (const char* field : {"queue_wait_us", "validate_us", "explore_us",
+                            "cache_us", "total_us"})
+    EXPECT_FALSE(extract_field(miss, field).empty()) << field << ": " << miss;
+  // A real exploration ran: explore time is nonzero and inside the total.
+  const std::uint64_t explore_us = std::stoull(extract_field(miss,
+                                                             "explore_us"));
+  const std::uint64_t total_us = std::stoull(extract_field(miss, "total_us"));
+  EXPECT_GT(explore_us, 0u);
+  EXPECT_GE(total_us, explore_us);
+
+  // The cache hit still reports timings (zero explore), and the result
+  // payload stays bit-identical to the miss (timings precede the fragment).
+  const std::string hit =
+      server.process_line(job_line(kBlendKernel, "timed2"));
+  ASSERT_NE(hit.find("\"cache_hit\":true"), std::string::npos) << hit;
+  ASSERT_NE(hit.find("\"timings\":{"), std::string::npos) << hit;
+  EXPECT_EQ(extract_field(hit, "explore_us"), "0");
+  EXPECT_EQ(hit.substr(hit.find("\"reduction\"")),
+            miss.substr(miss.find("\"reduction\"")));
+
+  server.request_drain();
+  EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(Server, StatuszShowsQueuedJobWhileInFlight) {
+  ServerOptions options;
+  options.port = 0;
+  options.queue_capacity = 4;
+  options.workers = 1;
+  Server server(options);
+  ASSERT_TRUE(server.start().has_value());
+
+  // Pin the single worker so a submitted job provably sits in the queue.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  ASSERT_EQ(server.queue().push({0, [released] { released.wait(); }}),
+            JobQueue::PushResult::kAccepted);
+  wait_for_depth(server.queue(), 0);
+
+  std::string response;
+  std::thread submitter([&server, &response] {
+    response = server.process_line(job_line(kBlendKernel, "observed"));
+  });
+  wait_for_depth(server.queue(), 1);
+
+  const std::string statusz = server.render_statusz();
+  EXPECT_NE(statusz.find("\"id\":\"observed\""), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("\"stage\":\"queued\""), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("\"depth\":1"), std::string::npos) << statusz;
+
+  release.set_value();
+  submitter.join();
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+
+  // Completed: the job left the inflight table.
+  const std::string after = server.render_statusz();
+  EXPECT_EQ(after.find("\"id\":\"observed\""), std::string::npos) << after;
+
+  server.request_drain();
+  EXPECT_EQ(server.wait(), 0);
+}
+
 TEST(Server, WarmStartAnswersFromDiskWithZeroReExploration) {
   const std::string cache_path =
       ::testing::TempDir() + "isex_server_warm_start.cache";
@@ -465,6 +539,59 @@ TEST(Server, SocketEndToEndWithMetricsAndHealth) {
     const std::string body = health.read_all();
     EXPECT_NE(body.find("HTTP/1.1 200"), std::string::npos);
     EXPECT_NE(body.find("ok"), std::string::npos);
+  }
+
+  server.request_drain();
+  EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(Server, StatuszEndpointServesIntrospectionJson) {
+  ServerOptions options;
+  options.port = 0;
+  Server server(options);
+  const Expected<std::uint16_t> port = server.start();
+  ASSERT_TRUE(port.has_value());
+
+  // One real job so the latency histogram and job counters are populated.
+  {
+    Connection conn(*port);
+    ASSERT_TRUE(conn.ok());
+    conn.send_raw(job_line(kSigmaKernel, "sz", "\"seed\":11") + "\n");
+    ASSERT_NE(conn.read_line().find("\"ok\":true"), std::string::npos);
+  }
+  {
+    Connection scrape(*port);
+    ASSERT_TRUE(scrape.ok());
+    scrape.send_raw("GET /statusz HTTP/1.1\r\nHost: t\r\n\r\n");
+    const std::string body = scrape.read_all();
+    EXPECT_NE(body.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(body.find("application/json"), std::string::npos);
+    // Shape: every top-level section of the introspection document.
+    for (const char* key :
+         {"\"uptime_us\"", "\"draining\"", "\"queue\"", "\"inflight\"",
+          "\"jobs\"", "\"job_latency\"", "\"queue_wait\"", "\"cache\"",
+          "\"pool\"", "\"workers\"", "\"task_histogram\""})
+      EXPECT_NE(body.find(key), std::string::npos) << key << "\n" << body;
+    EXPECT_NE(body.find("\"capacity\":64"), std::string::npos) << body;
+    const std::string accepted = extract_field(body, "accepted");
+    ASSERT_FALSE(accepted.empty());
+    EXPECT_GE(std::stoull(accepted), 1u);
+  }
+  {
+    // The Prometheus view carries the matching histogram buckets and the
+    // queue-depth gauge.
+    Connection scrape(*port);
+    ASSERT_TRUE(scrape.ok());
+    scrape.send_raw("GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    const std::string metrics = scrape.read_all();
+    EXPECT_NE(metrics.find("# TYPE isex_server_job_latency_seconds "
+                           "histogram"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("isex_server_job_latency_seconds_bucket"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("isex_server_queue_wait_seconds_bucket"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("isex_server_queue_depth"), std::string::npos);
   }
 
   server.request_drain();

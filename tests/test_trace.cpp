@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <sstream>
 #include <string>
@@ -258,6 +259,125 @@ TEST(TracerTest, JsonlLinesAreEachValidJson) {
   EXPECT_EQ(n, 2u);
 }
 
+// --- trace context --------------------------------------------------------
+
+TEST(TracerContextTest, ContextScopeInstallsAndRestores) {
+  EXPECT_FALSE(current_context().active());
+  {
+    const ContextScope outer(TraceContext{7, 3});
+    EXPECT_EQ(current_context().trace_id, 7u);
+    EXPECT_EQ(current_context().span_id, 3u);
+    {
+      const ContextScope inner(TraceContext{7, 9});
+      EXPECT_EQ(current_context().span_id, 9u);
+    }
+    EXPECT_EQ(current_context().span_id, 3u);
+  }
+  EXPECT_FALSE(current_context().active());
+}
+
+TEST(TracerContextTest, ExchangeReturnsPreviousContext) {
+  const TraceContext before = exchange_current_context(TraceContext{5, 6});
+  EXPECT_FALSE(before.active());
+  const TraceContext installed = exchange_current_context(before);
+  EXPECT_EQ(installed.trace_id, 5u);
+  EXPECT_EQ(installed.span_id, 6u);
+  EXPECT_FALSE(current_context().active());
+}
+
+TEST(TracerContextTest, MintedIdsAreUniqueAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<std::uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t, &ids] {
+      for (int i = 0; i < kPerThread; ++i) ids[t].push_back(mint_span_id());
+    });
+  for (auto& t : threads) t.join();
+  std::vector<std::uint64_t> all;
+  for (const auto& chunk : ids) all.insert(all.end(), chunk.begin(),
+                                           chunk.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_EQ(std::count(all.begin(), all.end(), 0u), 0);  // ids start at 1
+}
+
+TEST(TracerContextTest, NestedSpansShareTraceIdAndParentCorrectly) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const std::uint64_t trace_id = mint_trace_id();
+  {
+    const ContextScope root(TraceContext{trace_id, 0});
+    const Span outer("outer", tracer);
+    { const Span inner("inner", tracer); }
+  }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& inner = events[0];  // destroyed (recorded) first
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.trace_id, trace_id);
+  EXPECT_EQ(inner.trace_id, trace_id);
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_NE(inner.span_id, 0u);
+  EXPECT_NE(inner.span_id, outer.span_id);
+  EXPECT_EQ(inner.parent_id, outer.span_id);  // inner nests under outer
+  EXPECT_EQ(outer.parent_id, 0u);             // outer is the trace root
+}
+
+TEST(TracerContextTest, SpanRestoresContextAfterDestruction) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const ContextScope root(TraceContext{11, 22});
+  {
+    const Span span("child", tracer);
+    EXPECT_EQ(current_context().trace_id, 11u);
+    EXPECT_NE(current_context().span_id, 22u);  // span installed its own id
+  }
+  EXPECT_EQ(current_context().span_id, 22u);
+}
+
+TEST(TracerContextTest, DisabledTracerLeavesContextUntouched) {
+  Tracer tracer;  // disabled
+  const ContextScope root(TraceContext{11, 22});
+  {
+    const Span span("child", tracer);
+    EXPECT_EQ(current_context().span_id, 22u);  // no id minted, no install
+  }
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+TEST(TracerContextTest, ChromeTraceExportsContextIdsAsArgs) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record_span("plain", 0, 5);  // no context: must not emit args
+  tracer.record_span("tagged", 0, 5, /*trace_id=*/3, /*span_id=*/4,
+                     /*parent_id=*/0);
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"args\":{\"trace_id\":3,\"span_id\":4,"
+                      "\"parent_span_id\":0}"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(count_occurrences(text, "\"args\""), 1u);  // only the tagged one
+}
+
+TEST(TracerContextTest, JsonlExportsContextIds) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record_span("tagged", 0, 5, 3, 4, 2);
+  std::ostringstream out;
+  tracer.write_jsonl(out);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"trace_id\":3"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"span_id\":4"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"parent_span_id\":2"), std::string::npos) << line;
+}
+
 TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
   EXPECT_EQ(json_escape("plain"), "plain");
   EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
@@ -331,6 +451,51 @@ TEST(MetricsTest, ConcurrentHistogramObservationsAreExact) {
   std::uint64_t binned = 0;
   for (const std::uint64_t c : hist.bin_counts()) binned += c;
   EXPECT_EQ(binned, hist.count());
+}
+
+TEST(MetricsTest, SnapshotUnderConcurrentMutationIsCoherent) {
+  // /metrics and /statusz render while workers are mid-job: the exposition
+  // must stay parseable and histogram invariants (buckets cumulative,
+  // +Inf == count) must hold in every snapshot, not just quiescent ones.
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("inflight_lat", {1.0, 10.0, 100.0});
+  Counter& counter = registry.counter("inflight_total");
+  std::atomic<bool> stop{false};
+  constexpr int kMutators = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kMutators; ++t)
+    threads.emplace_back([t, &stop, &hist, &counter] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        hist.observe(static_cast<double>((t + i) % 200));
+        counter.inc();
+      }
+    });
+  for (int snap = 0; snap < 50; ++snap) {
+    std::ostringstream out;
+    registry.write_prometheus(out);
+    const std::string text = out.str();
+    // Bucket lines must be cumulative and count/sum present in each render.
+    std::uint64_t previous = 0;
+    std::istringstream lines(text);
+    std::string line;
+    bool saw_bucket = false;
+    while (std::getline(lines, line)) {
+      if (line.rfind("inflight_lat_bucket", 0) != 0) continue;
+      const std::uint64_t value =
+          std::stoull(line.substr(line.rfind(' ') + 1));
+      EXPECT_GE(value, previous) << text;
+      previous = value;
+      saw_bucket = true;
+    }
+    EXPECT_TRUE(saw_bucket) << text;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  // Quiescent totals are exact: the final snapshot agrees with the bins.
+  std::uint64_t binned = 0;
+  for (const std::uint64_t c : hist.bin_counts()) binned += c;
+  EXPECT_EQ(binned, hist.count());
+  EXPECT_DOUBLE_EQ(counter.value(), static_cast<double>(hist.count()));
 }
 
 TEST(MetricsTest, HistogramBinsAreCumulativeInPrometheusOutput) {

@@ -92,32 +92,43 @@ def render_candidates(data):
 def render_runtime(data):
     lines = [f"Exploration-sweep runtime: `{data.get('sweep', '?')}` "
              f"(deterministic: {fmt(data.get('deterministic', '?'))}).\n"]
-    rows = [(fmt(r["jobs"]), fmt(r["cache"]), fmt(r["seconds"], 4),
-             fmt(r["speedup_vs_jobs1"]) + "x", fmt(r["cache_hits"]),
-             fmt(r["cache_misses"]), fmt(r["cache_hit_rate"], 4))
+    rows = [(fmt(r["jobs"]), fmt(r["cache"]), fmt(r["seconds_min"], 4),
+             fmt(r["seconds_median"], 4),
+             fmt(r["speedup_vs_jobs1"]) + "x",
+             fmt(parallel_efficiency(r), 3),
+             fmt(r["cache_hits"]), fmt(r["cache_misses"]),
+             fmt(r["cache_hit_rate"], 4))
             for r in data.get("runs", [])]
-    lines.append(table(["jobs", "cache", "seconds", "speedup vs jobs=1",
-                        "hits", "misses", "hit rate"], rows))
+    lines.append(table(["jobs", "cache", "min s", "median s",
+                        "speedup vs jobs=1", "efficiency", "hits", "misses",
+                        "hit rate"], rows))
     for scaling in runtime_scaling(data.get("runs", [])):
         lines.append(scaling)
     return "\n".join(lines)
+
+
+def parallel_efficiency(run):
+    """Speedup divided by worker count: 1.0 is perfect linear scaling."""
+    jobs = run.get("jobs", 0)
+    return run["speedup_vs_jobs1"] / jobs if jobs > 0 else 0.0
 
 
 def runtime_scaling(runs):
     """jobs=1 vs jobs=N headline, one line per cache setting present."""
     for cache in sorted({r.get("cache") for r in runs}, reverse=True):
         group = [r for r in runs if r.get("cache") == cache
-                 and r.get("seconds", 0) > 0]
+                 and r.get("seconds_min", 0) > 0]
         base = next((r for r in group if r.get("jobs") == 1), None)
         peak = max((r for r in group if r.get("jobs", 1) > 1),
                    key=lambda r: r["jobs"], default=None)
         if base is None or peak is None:
             continue
-        ratio = base["seconds"] / peak["seconds"]
+        ratio = base["seconds_min"] / peak["seconds_min"]
         yield (f"\nScaling (cache={fmt(cache)}): jobs=1 -> "
                f"jobs={peak['jobs']} is {fmt(ratio)}x "
-               f"({fmt(base['seconds'], 4)}s -> "
-               f"{fmt(peak['seconds'], 4)}s).")
+               f"(parallel efficiency {fmt(ratio / peak['jobs'], 3)}, "
+               f"{fmt(base['seconds_min'], 4)}s -> "
+               f"{fmt(peak['seconds_min'], 4)}s).")
 
 
 def render_google_benchmark(data):

@@ -73,6 +73,7 @@ struct CliOptions {
   std::string trace_out;
   std::string metrics_out;
   std::string convergence_out;
+  std::string pool_profile_out;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
@@ -91,7 +92,9 @@ struct CliOptions {
                "  --trace-out F        Chrome trace_event JSON "
                "(chrome://tracing / Perfetto)\n"
                "  --metrics-out F      Prometheus text metrics snapshot\n"
-               "  --convergence-out F  per-iteration ACO convergence CSV\n");
+               "  --convergence-out F  per-iteration ACO convergence CSV\n"
+               "  --pool-profile-out F worker occupancy + parallel-section "
+               "profile (JSON)\n");
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -132,6 +135,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opt.metrics_out = next_value();
     } else if (arg == "--convergence-out") {
       opt.convergence_out = next_value();
+    } else if (arg == "--pool-profile-out") {
+      opt.pool_profile_out = next_value();
     } else if (arg == "--set") {
       const std::string binding = next_value();
       const std::size_t eq = binding.find('=');
@@ -369,6 +374,18 @@ void write_observability(const CliOptions& opt) {
         .publish(trace::MetricsRegistry::global());
     trace::MetricsRegistry::global().write_prometheus(out);
   }
+  if (!opt.pool_profile_out.empty()) {
+    std::ofstream out(opt.pool_profile_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.pool_profile_out.c_str());
+      std::exit(1);
+    }
+    const runtime::PoolProfile profile =
+        runtime::collect_pool_profile(runtime::ThreadPool::default_pool());
+    profile.write_json(out);
+    profile.publish(trace::MetricsRegistry::global());
+  }
 }
 
 int main(int argc, char** argv) {
@@ -379,12 +396,15 @@ int main(int argc, char** argv) {
   // are seed-deterministic regardless of the job count.
   if (opt->jobs > 0) runtime::ThreadPool::set_default_jobs(opt->jobs);
   if (!opt->trace_out.empty()) trace::Tracer::global().set_enabled(true);
+  if (!opt->pool_profile_out.empty())
+    runtime::ThreadPool::default_pool().set_profiling(true);
 
   // A Ctrl-C mid-exploration must not lose the observability sinks the user
   // asked for: flush whatever the tracer/registry have accumulated so far,
   // then exit with the conventional 128+signo.  (The convergence CSV only
   // exists once an exploration finishes, so an interrupt cannot save it.)
-  if (!opt->trace_out.empty() || !opt->metrics_out.empty()) {
+  if (!opt->trace_out.empty() || !opt->metrics_out.empty() ||
+      !opt->pool_profile_out.empty()) {
     util::ShutdownRequest::instance().flush_and_exit_on_signal(
         [opt = *opt] { write_observability(opt); });
   }
@@ -416,6 +436,13 @@ int main(int argc, char** argv) {
 
   int rc = -1;
   {
+    // Root of this run's trace: the command span and everything beneath it
+    // (stage spans, pool tasks) share one freshly minted trace id.
+    const trace::ContextScope run_context(
+        trace::TraceContext{trace::Tracer::global().enabled()
+                                ? trace::mint_trace_id()
+                                : 0,
+                            /*span_id=*/0});
     const trace::Span command_span("isex:" + opt->command);
     if (opt->command == "explore") rc = cmd_explore(*opt, block);
     else if (opt->command == "schedule") rc = cmd_schedule(*opt, block);

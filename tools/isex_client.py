@@ -9,6 +9,7 @@ Usage:
     isex_client.py --port P [--host H] submit --kernel K.tac [options]
     isex_client.py --port P [--host H] metrics
     isex_client.py --port P [--host H] healthz
+    isex_client.py --port P [--host H] statusz
 
 Submit options: --id TOKEN --priority N --issue N --ports R/W --repeats N
 --seed N --max-ises N --area-budget A --baseline --count N (submit the same
@@ -118,6 +119,7 @@ def main() -> int:
 
     sub.add_parser("metrics", help="print the Prometheus snapshot")
     sub.add_parser("healthz", help="print the health probe body")
+    sub.add_parser("statusz", help="print the live-introspection JSON")
 
     args = parser.parse_args()
     try:

@@ -5,7 +5,12 @@ Checks three file kinds (each optional — pass what you have):
 
   --trace t.json        Chrome trace_event JSON: well-formed JSON, a
                         `traceEvents` list of events whose required keys and
-                        `ph` phases are sane, timestamps non-negative.
+                        `ph` phases are sane, timestamps non-negative.  Spans
+                        tagged with trace-context ids (args.trace_id /
+                        span_id / parent_span_id) are additionally checked
+                        for propagation: unique span ids, no orphan parents,
+                        children sharing their parent's trace id, and a root
+                        span per trace.
   --metrics m.prom      Prometheus text exposition: parseable lines, `# TYPE`
                         before first sample of a family, histogram bucket
                         counts cumulative and consistent with _count, and the
@@ -96,7 +101,68 @@ def validate_trace(path, errors):
     if "X" not in phases:
         fail(errors, f"{path}: no complete spans (ph=X) — stage/explorer "
                      "instrumentation missing")
-    print(f"{path}: OK ({len(events)} events, phases {sorted(phases)})")
+    contexts = validate_trace_contexts(path, events, errors)
+    print(f"{path}: OK ({len(events)} events, phases {sorted(phases)}, "
+          f"{contexts} context-tagged spans)")
+
+
+def validate_trace_contexts(path, events, errors):
+    """Checks trace-context propagation on spans carrying id args.
+
+    Spans recorded under an active TraceContext export
+    args.{trace_id,span_id,parent_span_id}.  For those: span ids must be
+    unique, every nonzero parent_span_id must name a recorded span, a child
+    must share its parent's trace id, and every trace must have at least one
+    root span (parent_span_id == 0).  Returns the number of tagged spans.
+    """
+    tagged = []
+    for i, e in enumerate(events):
+        args = e.get("args")
+        if e.get("ph") != "X" or not isinstance(args, dict) \
+                or "span_id" not in args:
+            continue
+        for key in ("trace_id", "span_id", "parent_span_id"):
+            v = args.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(errors, f"{path}: event {i} ({e.get('name')!r}) has "
+                             f"non-integer args.{key}: {v!r}")
+                return 0
+        if args["span_id"] == 0:
+            fail(errors, f"{path}: event {i} ({e.get('name')!r}) exports "
+                         "span_id 0 — ids are minted from 1")
+            return 0
+        tagged.append((i, e, args))
+    if not tagged:
+        return 0
+    by_span = {}
+    for i, e, args in tagged:
+        if args["span_id"] in by_span:
+            fail(errors, f"{path}: span_id {args['span_id']} recorded twice "
+                         f"(events {by_span[args['span_id']][0]} and {i})")
+            return 0
+        by_span[args["span_id"]] = (i, e, args)
+    roots_by_trace = {}
+    for i, e, args in tagged:
+        parent = args["parent_span_id"]
+        if parent == 0:
+            roots_by_trace.setdefault(args["trace_id"], []).append(i)
+            continue
+        if parent not in by_span:
+            fail(errors, f"{path}: event {i} ({e.get('name')!r}) is an "
+                         f"orphan — parent span {parent} was never recorded")
+            continue
+        parent_args = by_span[parent][2]
+        if parent_args["trace_id"] != args["trace_id"]:
+            fail(errors, f"{path}: event {i} ({e.get('name')!r}) has "
+                         f"trace_id {args['trace_id']} but its parent span "
+                         f"{parent} has trace_id {parent_args['trace_id']}")
+    for i, e, args in tagged:
+        if args["trace_id"] != 0 and args["trace_id"] not in roots_by_trace:
+            fail(errors, f"{path}: trace {args['trace_id']} has spans (e.g. "
+                         f"event {i}, {e.get('name')!r}) but no root span "
+                         "with parent_span_id 0")
+            break
+    return len(tagged)
 
 
 def parse_prometheus(path, errors):
