@@ -131,6 +131,9 @@ int main() {
   std::printf("perf_runtime: Fig 5.2.1-style sweep (7 benchmarks, O3, MI)\n");
   std::printf("hardware_concurrency: %u, repeats: %d, timing_repeats: %d\n\n",
               hardware, sweep_repeats(), timing_repeats());
+  if (hardware < 2)
+    std::printf("note: single-core host — jobs-sweep speedups are not "
+                "meaningful (scaling_valid=false)\n\n");
 
   std::vector<SweepRun> runs;
   for (const int jobs : {1, 2, 4, 8}) runs.push_back(run_sweep(jobs, true));
@@ -167,6 +170,11 @@ int main() {
   std::fprintf(json, "{\n");
   std::fprintf(json, "  \"sweep\": \"fig_5_2_1_style_7bench_O3_MI_6_3_2IS\",\n");
   std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hardware);
+  // On a single-core host the jobs sweep cannot show thread scaling — the
+  // flat curve is a host artifact, not a regression.  Stamp that so
+  // tools/bench_report.py annotates instead of alarming.
+  std::fprintf(json, "  \"scaling_valid\": %s,\n",
+               hardware >= 2 ? "true" : "false");
   std::fprintf(json, "  \"repeats\": %d,\n", sweep_repeats());
   std::fprintf(json, "  \"timing_repeats\": %d,\n", timing_repeats());
   std::fprintf(json, "  \"deterministic\": %s,\n",

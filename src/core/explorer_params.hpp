@@ -48,6 +48,28 @@ struct ExplorerParams {
   /// Hard cap on rounds (ISEs explored per basic block).
   int max_rounds = 64;
 
+  // --- multi-colony parallel search (docs/PERFORMANCE.md) ---
+  /// Number of ant colonies a round's ant budget is sharded across.  1 (the
+  /// default) is the paper's serial loop, byte-identical to every release
+  /// before the knob existed.  K >= 2 splits max_iterations across K
+  /// colonies, each owning a private PheromoneState and RNG stream derived
+  /// from the deterministic split fan-out; colonies walk concurrently on
+  /// the runtime pool and synchronize at merge barriers.  A *search*
+  /// parameter like the seed: results depend on (seed, colonies,
+  /// merge_interval) but never on the thread count.  Effective colony count
+  /// is min(colonies, max_iterations) so every colony walks at least once.
+  int colonies = 1;
+  /// Iterations each colony runs between merge barriers.  At a barrier the
+  /// colonies' pheromone states reduce — in ascending colony-index order —
+  /// into an evaporation-weighted mean plus a best-ant deposit, the merged
+  /// state is broadcast back, and convergence (P_END) is tested on it.
+  /// Inert when colonies == 1.
+  int merge_interval = 8;
+  /// Fraction of the merged (mean) trail evaporated at each barrier before
+  /// the best-ant deposit lands; the deposit quantum is rho1.  Inert when
+  /// colonies == 1.
+  double merge_evaporation = 0.1;
+
   /// When false, the merit function treats every operation as if it were on
   /// the critical path and skips the Max_AEC area-saving branch — this is
   /// exactly the single-issue (legality-only) behaviour of the prior art

@@ -1,6 +1,8 @@
 #include "core/mi_explorer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <limits>
 
 #include "core/ant_walk.hpp"
@@ -13,6 +15,7 @@
 #include "runtime/eval_cache.hpp"
 #include "runtime/hash.hpp"
 #include "runtime/job_graph.hpp"
+#include "runtime/pool_profile.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/priority.hpp"
@@ -83,6 +86,98 @@ dfg::NodeSet walk_critical_nodes(const dfg::Graph& graph,
   return critical;
 }
 
+/// Everything one round's ACO iterations read but never write: the round's
+/// graph and its derived analyses, the walker and merit engine, and the
+/// round index for trace points.  Shared by every colony of the round.
+struct RoundContext {
+  const dfg::Graph& graph;
+  const AntWalk& walker;
+  const MeritEngine& merit;
+  const std::vector<double>& sp;
+  const dfg::PathInfo& path;
+  const dfg::Reachability& reach;
+  const ExplorerParams& params;
+  int round = 0;
+};
+
+/// One colony's ACO chain: a private pheromone state plus the loop-carried
+/// variables of the iteration loop (previous pick order, incumbent best ant,
+/// running TET statistics).  step() is the exact body of the paper's serial
+/// iteration loop, factored out so the single-colony path (which runs one
+/// chain with the caller's Rng — byte-identical to every release before the
+/// colonies knob existed) and the multi-colony shards (one chain per colony
+/// on private split streams) execute the same per-iteration code.
+struct AcoChain {
+  AcoChain(const hw::GPlus& gplus, const ExplorerParams& params,
+           std::size_t num_nodes)
+      : pheromone(gplus, params), prev_order(num_nodes, -1) {}
+
+  PheromoneState pheromone;
+  std::vector<int> prev_order;
+  std::vector<int> best_chosen;
+  /// Best (lowest) TET any of this chain's ants achieved this round.
+  int tet_old = std::numeric_limits<int>::max();
+  int worst_tet = 0;
+  long long sum_tet = 0;
+  /// Iterations completed (== ants walked) this round.
+  int iterations = 0;
+  /// Per-colony trace points, drained into ExplorationResult::trace in
+  /// colony-index order at round end.
+  std::vector<IterationTrace> trace;
+
+  /// One ACO iteration: ant walk, trail update, Hardware-Grouping merit
+  /// update, incumbent update, optional trace point.  Returns
+  /// pheromone.converged() after the step.  `scratch` and `reordered` are
+  /// caller-owned so they survive across rounds (chains do not).
+  bool step(const RoundContext& ctx, Rng& rng, int colony,
+            WalkScratch& scratch, std::vector<bool>& reordered) {
+    const dfg::Graph& current = ctx.graph;
+    const WalkResult& walk = ctx.walker.run(pheromone, ctx.sp, rng, scratch);
+    const bool improved = walk.tet <= tet_old;
+    worst_tet = std::max(worst_tet, walk.tet);
+    sum_tet += walk.tet;
+
+    reordered.assign(current.num_nodes(), false);
+    for (dfg::NodeId v = 0; v < current.num_nodes(); ++v)
+      reordered[v] = prev_order[v] >= 0 && walk.order[v] < prev_order[v];
+
+    pheromone.update_trails(walk.chosen, reordered, improved);
+
+    const dfg::NodeSet critical = walk_critical_nodes(current, walk);
+    MeritInputs inputs;
+    inputs.chosen = walk.chosen;
+    inputs.critical = &critical;
+    inputs.path = &ctx.path;
+    inputs.tet = walk.tet;
+    ctx.merit.update(pheromone, inputs, ctx.reach);
+
+    if (improved) {
+      tet_old = walk.tet;
+      best_chosen = walk.chosen;
+    }
+    prev_order = walk.order;
+    ++iterations;
+    if (ctx.params.collect_trace) {
+      IterationTrace t;
+      t.round = ctx.round;
+      t.colony = colony;
+      t.iteration = iterations - 1;
+      t.tet = walk.tet;
+      t.best_tet = tet_old;
+      t.worst_tet = worst_tet;
+      t.mean_tet = static_cast<double>(sum_tet) / iterations;
+      t.converged_fraction = pheromone.converged_fraction();
+      t.entropy = pheromone.decision_entropy();
+      t.max_option_probability = pheromone.min_best_probability();
+      t.p_end = ctx.params.p_end;
+      t.ants = iterations;
+      t.cache_hit_rate = runtime::schedule_cache().stats().hit_rate();
+      trace.push_back(t);
+    }
+    return pheromone.converged();
+  }
+};
+
 }  // namespace
 
 double ExplorationResult::total_area() const {
@@ -110,11 +205,16 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
   if (block.empty()) return result;
 
   dfg::Graph current = block;
-  // One walk scratch per explore call: explore runs on one thread (fan-out
-  // jobs each call explore with their own Rng), so every ant walk of every
-  // round reuses these buffers and is allocation-free after warm-up.
-  WalkScratch scratch;
-  std::vector<bool> reordered;
+  // Effective colony count: min(colonies, max_iterations) so every colony
+  // walks at least once; 1 is the paper's serial loop.
+  const int k_eff =
+      std::max(1, std::min(params_.colonies, params_.max_iterations));
+  // One walk scratch (and reorder buffer) per colony per explore call:
+  // chains are rebuilt every round — their pheromone state is shaped by the
+  // round's G+ — but these buffers persist, so every ant walk of every round
+  // is allocation-free after warm-up.  Colony c touches only slot c.
+  std::vector<WalkScratch> scratches(static_cast<std::size_t>(k_eff));
+  std::vector<std::vector<bool>> reorders(static_cast<std::size_t>(k_eff));
   // Original node ids represented by each current node.
   std::vector<dfg::NodeSet> origin(block.num_nodes());
   for (dfg::NodeId v = 0; v < block.num_nodes(); ++v) {
@@ -149,63 +249,130 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
       for (double& s : sp) s = s / sp_max * params_.merit_scale;
     }
 
-    PheromoneState pheromone(gplus, params_);
     const AntWalk walker(gplus, machine_, params_, clock_);
     const MeritEngine merit(gplus, format_, params_, clock_);
+    const RoundContext ctx{current, walker, merit, sp,
+                           path,    reach,  params_, round};
 
-    std::vector<int> prev_order(current.num_nodes(), -1);
-    std::vector<int> best_chosen;
-    int tet_old = std::numeric_limits<int>::max();
-    int worst_tet = 0;
-    long long sum_tet = 0;
+    // Taken option per node after convergence.
+    std::vector<int> taken(current.num_nodes());
     int iterations = 0;
 
-    for (; iterations < params_.max_iterations; ++iterations) {
-      const WalkResult& walk = walker.run(pheromone, sp, rng, scratch);
-      const bool improved = walk.tet <= tet_old;
-      worst_tet = std::max(worst_tet, walk.tet);
-      sum_tet += walk.tet;
-
-      reordered.assign(current.num_nodes(), false);
+    if (k_eff == 1) {
+      // Serial chain with the caller's Rng — the paper's loop, byte-identical
+      // to the pre-colonies explorer (golden digests pin this).
+      AcoChain chain(gplus, params_, current.num_nodes());
+      while (chain.iterations < params_.max_iterations) {
+        if (chain.step(ctx, rng, /*colony=*/0, scratches[0], reorders[0]))
+          break;
+      }
+      iterations = chain.iterations;
+      if (params_.collect_trace)
+        result.trace.insert(result.trace.end(), chain.trace.begin(),
+                            chain.trace.end());
       for (dfg::NodeId v = 0; v < current.num_nodes(); ++v)
-        reordered[v] = prev_order[v] >= 0 && walk.order[v] < prev_order[v];
+        taken[v] = static_cast<int>(chain.pheromone.best_option(v));
+    } else {
+      // Multi-colony sharding (docs/PERFORMANCE.md): the round's ant budget
+      // splits across k_eff colonies, each walking a private chain on its
+      // own serially pre-split RNG stream.  Colonies run concurrently on the
+      // runtime pool and synchronize at a merge barrier every merge_interval
+      // iterations; convergence (P_END) is tested on the merged state.  All
+      // cross-colony reductions are index-ordered, so the outcome is a pure
+      // function of (seed, colonies, merge_interval) — a search parameter
+      // like the seed, bit-identical at any thread count.
+      using Clock = std::chrono::steady_clock;
+      runtime::ThreadPool& pool = runtime::ThreadPool::default_pool();
+      const bool profiled = pool.profiling();
+      const int budget = (params_.max_iterations + k_eff - 1) / k_eff;
+      const int interval = std::max(1, params_.merge_interval);
 
-      pheromone.update_trails(walk.chosen, reordered, improved);
+      std::vector<Rng> streams = rng.split_n(static_cast<std::size_t>(k_eff));
+      std::vector<AcoChain> chains;
+      chains.reserve(static_cast<std::size_t>(k_eff));
+      for (int c = 0; c < k_eff; ++c)
+        chains.emplace_back(gplus, params_, current.num_nodes());
 
-      const dfg::NodeSet critical = walk_critical_nodes(current, walk);
-      MeritInputs inputs;
-      inputs.chosen = walk.chosen;
-      inputs.critical = &critical;
-      inputs.path = &path;
-      inputs.tet = walk.tet;
-      merit.update(pheromone, inputs, reach);
+      PheromoneState merged(gplus, params_);
+      while (true) {
+        // Epoch: each colony advances up to merge_interval iterations
+        // (bounded by its budget share), breaking early once its own
+        // pheromone state converges.  Colony c touches only its own chain,
+        // stream, and scratch — nothing is shared until the barrier.
+        std::atomic<std::uint64_t> task_ns_sum{0};
+        std::atomic<std::uint64_t> task_ns_max{0};
+        const auto wall_start = Clock::now();
+        pool.parallel_for(
+            static_cast<std::size_t>(k_eff), [&](std::size_t c) {
+              const auto run_epoch = [&] {
+                AcoChain& chain = chains[c];
+                for (int s = 0; s < interval && chain.iterations < budget;
+                     ++s) {
+                  if (chain.step(ctx, streams[c], static_cast<int>(c),
+                                 scratches[c], reorders[c]))
+                    break;
+                }
+              };
+              if (profiled) {
+                const auto t0 = Clock::now();
+                run_epoch();
+                const auto ns = static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - t0)
+                        .count());
+                task_ns_sum.fetch_add(ns, std::memory_order_relaxed);
+                std::uint64_t seen =
+                    task_ns_max.load(std::memory_order_relaxed);
+                while (seen < ns &&
+                       !task_ns_max.compare_exchange_weak(
+                           seen, ns, std::memory_order_relaxed)) {
+                }
+              } else {
+                run_epoch();
+              }
+            });
+        const auto merge_start = Clock::now();
+        const auto wall_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(merge_start -
+                                                                 wall_start)
+                .count());
 
-      if (improved) {
-        tet_old = walk.tet;
-        best_chosen = walk.chosen;
+        // Barrier: index-ordered merge, broadcast, convergence test on the
+        // merged state.  The merge is the section's serial cost.
+        PheromoneMerger merger(static_cast<std::size_t>(k_eff), params_);
+        for (std::size_t c = 0; c < chains.size(); ++c)
+          merger.submit(c, chains[c].pheromone, chains[c].tet_old,
+                        chains[c].best_chosen);
+        merger.finalize_into(merged);
+        bool exhausted = true;
+        for (AcoChain& chain : chains) {
+          chain.pheromone = merged;
+          exhausted = exhausted && chain.iterations >= budget;
+        }
+        if (profiled) {
+          const auto merge_ns = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - merge_start)
+                  .count());
+          runtime::record_parallel_section(
+              "explore.colonies", merge_ns, wall_ns,
+              static_cast<std::uint64_t>(k_eff),
+              task_ns_sum.load(std::memory_order_relaxed),
+              task_ns_max.load(std::memory_order_relaxed));
+        }
+        if (merged.converged() || exhausted) break;
       }
-      prev_order = walk.order;
+
+      for (const AcoChain& chain : chains) iterations += chain.iterations;
       if (params_.collect_trace) {
-        IterationTrace t;
-        t.round = round;
-        t.iteration = iterations;
-        t.tet = walk.tet;
-        t.best_tet = tet_old;
-        t.worst_tet = worst_tet;
-        t.mean_tet = static_cast<double>(sum_tet) / (iterations + 1);
-        t.converged_fraction = pheromone.converged_fraction();
-        t.entropy = pheromone.decision_entropy();
-        t.max_option_probability = pheromone.min_best_probability();
-        t.p_end = params_.p_end;
-        t.ants = iterations + 1;
-        t.cache_hit_rate = runtime::schedule_cache().stats().hit_rate();
-        result.trace.push_back(t);
+        for (const AcoChain& chain : chains)
+          result.trace.insert(result.trace.end(), chain.trace.begin(),
+                              chain.trace.end());
       }
-      if (pheromone.converged()) {
-        ++iterations;
-        break;
-      }
+      for (dfg::NodeId v = 0; v < current.num_nodes(); ++v)
+        taken[v] = static_cast<int>(merged.best_option(v));
     }
+
     result.total_iterations += iterations;
     ++result.rounds;
     trace::MetricsRegistry::global()
@@ -213,11 +380,6 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
                    {5, 10, 25, 50, 100, 150, 200, 250})
         .observe(iterations);
     trace::Tracer::global().record_counter("aco.iterations", iterations);
-
-    // Taken option per node after convergence.
-    std::vector<int> taken(current.num_nodes());
-    for (dfg::NodeId v = 0; v < current.num_nodes(); ++v)
-      taken[v] = static_cast<int>(pheromone.best_option(v));
 
     std::vector<IseCandidate> candidates;
     {

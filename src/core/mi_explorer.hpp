@@ -81,6 +81,13 @@ class MultiIssueExplorer {
                      hw::ClockSpec clock = {});
 
   /// Explores one basic block.  Deterministic given `rng`'s state.
+  /// With ExplorerParams::colonies == 1 (default) this is the paper's serial
+  /// ACO loop.  With K >= 2 each round's ant budget is sharded across K
+  /// colonies walking concurrently on the runtime pool, synchronized by a
+  /// deterministic index-ordered pheromone merge every merge_interval
+  /// iterations (docs/PERFORMANCE.md).  Either way the result is a pure
+  /// function of (rng state, colonies, merge_interval) — never of the
+  /// thread count.
   ExplorationResult explore(const dfg::Graph& block, Rng& rng) const;
 
   /// Paper §5.1: repeat the exploration `repeats` times and keep the best

@@ -34,6 +34,12 @@ double PheromoneState::merit(dfg::NodeId v, std::size_t option) const {
   return merit_[v][option];
 }
 
+void PheromoneState::set_trail(dfg::NodeId v, std::size_t option,
+                               double value) {
+  ISEX_ASSERT(v < trail_.size() && option < trail_[v].size());
+  trail_[v][option] = std::clamp(value, 0.0, params_->trail_max);
+}
+
 void PheromoneState::set_merit(dfg::NodeId v, std::size_t option, double value) {
   ISEX_ASSERT(v < merit_.size() && option < merit_[v].size());
   merit_[v][option] = std::max(value, 0.0);
@@ -149,6 +155,57 @@ double PheromoneState::min_best_probability() const {
     min_p = std::min(min_p, selected_probability(v, best_option(v)));
   }
   return min_p;
+}
+
+PheromoneMerger::PheromoneMerger(std::size_t num_colonies,
+                                 const ExplorerParams& params)
+    : params_(&params), slots_(num_colonies) {
+  ISEX_ASSERT(num_colonies >= 1);
+}
+
+void PheromoneMerger::submit(std::size_t colony, const PheromoneState& state,
+                             int best_tet,
+                             std::span<const int> best_chosen) {
+  ISEX_ASSERT(colony < slots_.size());
+  ISEX_ASSERT(slots_[colony].state == nullptr);  // one contribution per slot
+  ISEX_ASSERT(best_chosen.size() == state.num_nodes());
+  slots_[colony] = Slot{&state, best_tet, best_chosen};
+}
+
+std::size_t PheromoneMerger::winner() const {
+  std::size_t best = 0;
+  for (std::size_t c = 0; c < slots_.size(); ++c) {
+    ISEX_ASSERT(slots_[c].state != nullptr);
+    if (slots_[c].best_tet < slots_[best].best_tet) best = c;
+  }
+  return best;
+}
+
+void PheromoneMerger::finalize_into(PheromoneState& out) const {
+  const ExplorerParams& p = *params_;
+  const std::size_t k = slots_.size();
+  const double inv_k = 1.0 / static_cast<double>(k);
+  const double keep = 1.0 - p.merge_evaporation;
+  const Slot& best = slots_[winner()];
+  for (dfg::NodeId v = 0; v < out.num_nodes(); ++v) {
+    const std::size_t options = out.num_options(v);
+    for (std::size_t o = 0; o < options; ++o) {
+      // Sums run in ascending colony-index order; with FP addition being
+      // order-sensitive this is what makes the merge a pure function of the
+      // indexed contributions rather than of completion order.
+      double trail_sum = 0.0;
+      double merit_sum = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        trail_sum += slots_[c].state->trail(v, o);
+        merit_sum += slots_[c].state->merit(v, o);
+      }
+      double trail = keep * trail_sum * inv_k;
+      if (best.best_chosen[v] == static_cast<int>(o)) trail += p.rho1;
+      out.set_trail(v, o, trail);
+      out.set_merit(v, o, merit_sum * inv_k);
+    }
+    out.normalize_merit(v);
+  }
 }
 
 double PheromoneState::converged_fraction() const {

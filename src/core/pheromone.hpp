@@ -27,6 +27,9 @@ class PheromoneState {
   double trail(dfg::NodeId v, std::size_t option) const;
   double merit(dfg::NodeId v, std::size_t option) const;
 
+  /// Overwrites a trail entry, clamped into [0, params.trail_max] like
+  /// update_trails does (used by the multi-colony merge reduction).
+  void set_trail(dfg::NodeId v, std::size_t option, double value);
   void set_merit(dfg::NodeId v, std::size_t option, double value);
   void scale_merit(dfg::NodeId v, std::size_t option, double factor);
 
@@ -78,6 +81,46 @@ class PheromoneState {
   const ExplorerParams* params_;
   std::vector<std::vector<double>> trail_;
   std::vector<std::vector<double>> merit_;
+};
+
+/// Deterministic reduction of K colonies' pheromone states at a merge
+/// barrier (multi-colony search, docs/PERFORMANCE.md).
+///
+/// Colonies submit in *any* completion order — the accumulator stores each
+/// contribution in its colony's slot and finalize_into() walks the slots in
+/// ascending colony-index order, so the merged state is a pure function of
+/// the indexed contributions and bit-identical at any thread count or
+/// arrival permutation (pinned by PheromoneMergerTest).
+///
+/// Merge semantics per (node, option):
+///   trail' = clamp((1 - merge_evaporation) * mean_c(trail_c), 0, trail_max)
+///            + rho1 deposited on the winning colony's best-ant option
+///            (winner = lowest best-TET, ties to the lowest colony index);
+///   merit' = mean_c(merit_c), renormalized per node to merit_scale.
+class PheromoneMerger {
+ public:
+  PheromoneMerger(std::size_t num_colonies, const ExplorerParams& params);
+
+  /// Registers colony `colony`'s contribution.  `state` and `best_chosen`
+  /// must stay alive until finalize_into(); `best_chosen[v]` is the option
+  /// the colony's best ant (TET `best_tet`) chose at node v.
+  void submit(std::size_t colony, const PheromoneState& state, int best_tet,
+              std::span<const int> best_chosen);
+
+  /// Colony index winning the best-ant deposit.  All slots must be filled.
+  std::size_t winner() const;
+
+  /// Index-ordered reduction into `out` (shape must match the sources).
+  void finalize_into(PheromoneState& out) const;
+
+ private:
+  struct Slot {
+    const PheromoneState* state = nullptr;
+    int best_tet = 0;
+    std::span<const int> best_chosen;
+  };
+  const ExplorerParams* params_;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace isex::core

@@ -56,6 +56,15 @@ ValidationReport validate(const FlowConfig& config) {
   if (!(p.p_end > 0.0) || p.p_end > 1.0)
     param_error("convergence threshold p_end " + std::to_string(p.p_end) +
                 " is outside (0, 1]");
+  if (p.colonies < 1)
+    param_error("colonies " + std::to_string(p.colonies) +
+                " is invalid (must be >= 1)");
+  if (p.merge_interval < 1)
+    param_error("merge_interval " + std::to_string(p.merge_interval) +
+                " is invalid (must be >= 1)");
+  if (!(p.merge_evaporation >= 0.0) || p.merge_evaporation > 1.0)
+    param_error("merge_evaporation " + std::to_string(p.merge_evaporation) +
+                " is outside [0, 1]");
   return report;
 }
 

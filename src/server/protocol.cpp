@@ -332,6 +332,13 @@ Expected<JobRequest> parse_job_request(const std::string& line) {
     } else if (key == "repeats") {
       if (!read_int(value, &request.repeats) || request.repeats < 1)
         return field_error(key, "an integer >= 1");
+    } else if (key == "colonies") {
+      if (!read_int(value, &request.colonies) || request.colonies < 1)
+        return field_error(key, "an integer >= 1");
+    } else if (key == "merge_interval") {
+      if (!read_int(value, &request.merge_interval) ||
+          request.merge_interval < 1)
+        return field_error(key, "an integer >= 1");
     } else if (key == "seed") {
       if (value.kind != JsonValue::Kind::kNumber || !value.is_integer ||
           value.negative)
@@ -366,6 +373,8 @@ flow::FlowConfig flow_config_for(const JobRequest& request) {
       request.issue, {request.read_ports, request.write_ports});
   config.repeats = request.repeats;
   config.seed = request.seed;
+  config.params.colonies = request.colonies;
+  config.params.merge_interval = request.merge_interval;
   config.constraints.max_ises = request.max_ises;
   if (request.has_area_budget)
     config.constraints.area_budget = request.area_budget;
@@ -378,7 +387,8 @@ runtime::Key128 job_signature(const dfg::Graph& graph,
                               const JobRequest& request) {
   // Everything run_design_flow reads must be mixed in; bump when the flow's
   // semantics change so stale persisted results cannot be replayed.
-  constexpr std::uint64_t kFlowSemanticsVersion = 1;
+  // v2: multi-colony search (colonies / merge_interval join the signature).
+  constexpr std::uint64_t kFlowSemanticsVersion = 2;
   const runtime::Key128 digest = runtime::graph_digest(graph);
   const flow::FlowConfig config = flow_config_for(request);
   const auto mix_request = [&](runtime::Hash64& h, std::uint64_t half,
@@ -388,6 +398,13 @@ runtime::Key128 job_signature(const dfg::Graph& graph,
     h.mix(runtime::fingerprint(config.machine, machine_seed));
     h.mix(static_cast<std::uint64_t>(request.repeats));
     h.mix(request.seed);
+    // merge_interval only matters with >= 2 colonies; normalizing it to 0
+    // for single-colony requests keeps every inert variant on one cache key
+    // while colonies=1 vs colonies=K always get distinct signatures.
+    h.mix(static_cast<std::uint64_t>(request.colonies));
+    h.mix(request.colonies > 1
+              ? static_cast<std::uint64_t>(request.merge_interval)
+              : 0);
     h.mix(static_cast<std::uint64_t>(request.max_ises));
     h.mix(request.has_area_budget ? 1 : 0);
     h.mix_double(request.has_area_budget ? request.area_budget : 0.0);

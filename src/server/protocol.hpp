@@ -38,6 +38,13 @@ struct JobRequest {
   int write_ports = 3;
   int repeats = 5;
   std::uint64_t seed = 1;
+  /// Ant colonies per exploration round (1 = the paper's serial loop).  A
+  /// search parameter like `seed`: results depend on it, never on the
+  /// server's thread count.
+  int colonies = 1;
+  /// Iterations between colony pheromone merges; inert when colonies == 1
+  /// (the signature normalizes it away so inert variants share a cache key).
+  int merge_interval = 8;
   /// ASFU area budget, µm² (absent = unlimited).
   double area_budget = 0.0;
   bool has_area_budget = false;

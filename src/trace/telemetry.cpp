@@ -30,7 +30,7 @@ std::size_t ExplorationTelemetry::size() const {
 }
 
 const char* ExplorationTelemetry::csv_header() {
-  return "round,iteration,tet,best_tet,worst_tet,mean_tet,"
+  return "round,colony,iteration,tet,best_tet,worst_tet,mean_tet,"
          "converged_fraction,entropy,max_option_probability,p_end,ants,"
          "cache_hit_rate";
 }
@@ -39,7 +39,8 @@ void ExplorationTelemetry::write_csv(std::ostream& out,
                                      std::span<const ConvergencePoint> points) {
   out << csv_header() << '\n';
   for (const ConvergencePoint& p : points) {
-    out << p.round << ',' << p.iteration << ',' << p.tet << ',' << p.best_tet
+    out << p.round << ',' << p.colony << ',' << p.iteration << ','
+        << p.tet << ',' << p.best_tet
         << ',' << p.worst_tet << ',' << p.mean_tet << ','
         << p.converged_fraction << ',' << p.entropy << ','
         << p.max_option_probability << ',' << p.p_end << ',' << p.ants << ','
@@ -50,7 +51,8 @@ void ExplorationTelemetry::write_csv(std::ostream& out,
 void ExplorationTelemetry::write_jsonl(
     std::ostream& out, std::span<const ConvergencePoint> points) {
   for (const ConvergencePoint& p : points) {
-    out << "{\"round\":" << p.round << ",\"iteration\":" << p.iteration
+    out << "{\"round\":" << p.round << ",\"colony\":" << p.colony
+        << ",\"iteration\":" << p.iteration
         << ",\"tet\":" << p.tet << ",\"best_tet\":" << p.best_tet
         << ",\"worst_tet\":" << p.worst_tet << ",\"mean_tet\":" << p.mean_tet
         << ",\"converged_fraction\":" << p.converged_fraction

@@ -22,6 +22,11 @@ namespace isex::trace {
 
 struct ConvergencePoint {
   int round = 0;
+  /// Colony that walked this iteration (0 in single-colony search; see
+  /// ExplorerParams::colonies).  Entropy / max_option_probability below are
+  /// the *colony's own* pheromone state — per-colony convergence telemetry —
+  /// while the round ends on the merged state.
+  int colony = 0;
   int iteration = 0;
   /// Total execution time of this iteration's ant schedule, cycles.
   int tet = 0;

@@ -172,6 +172,8 @@ TEST(Protocol, ParseFillsDefaults) {
   EXPECT_EQ(request->write_ports, 3);
   EXPECT_EQ(request->repeats, 5);
   EXPECT_EQ(request->seed, 1u);
+  EXPECT_EQ(request->colonies, 1);
+  EXPECT_EQ(request->merge_interval, 8);
   EXPECT_FALSE(request->has_area_budget);
   EXPECT_FALSE(request->baseline);
 }
@@ -181,7 +183,8 @@ TEST(Protocol, ParseReadsEveryField) {
       "{\"id\":\"j1\",\"kernel\":\"k\",\"priority\":3,\"issue\":4,"
       "\"read_ports\":8,\"write_ports\":4,\"repeats\":2,"
       "\"seed\":18446744073709551615,\"area_budget\":1500.5,"
-      "\"max_ises\":7,\"baseline\":true}");
+      "\"max_ises\":7,\"baseline\":true,"
+      "\"colonies\":4,\"merge_interval\":3}");
   ASSERT_TRUE(request.has_value());
   EXPECT_EQ(request->id, "j1");
   EXPECT_EQ(request->priority, 3);
@@ -195,6 +198,8 @@ TEST(Protocol, ParseReadsEveryField) {
   EXPECT_DOUBLE_EQ(request->area_budget, 1500.5);
   EXPECT_EQ(request->max_ises, 7);
   EXPECT_TRUE(request->baseline);
+  EXPECT_EQ(request->colonies, 4);
+  EXPECT_EQ(request->merge_interval, 3);
 }
 
 TEST(Protocol, ParseRejectsUnknownFieldAndBadJson) {
@@ -240,10 +245,25 @@ TEST(Protocol, JobSignatureSeparatesEveryResultAffectingParameter) {
   variant.baseline = true;
   EXPECT_NE(job_signature(block->graph, variant), key);
 
+  // Colonies reshape the search, so they separate signatures; the merge
+  // interval only matters once there is more than one colony.
+  variant = base;
+  variant.colonies = 4;
+  const runtime::Key128 four = job_signature(block->graph, variant);
+  EXPECT_NE(four, key);
+  variant.merge_interval = 3;
+  EXPECT_NE(job_signature(block->graph, variant), four);
+
   // The id and priority are delivery concerns, not evaluation parameters.
   variant = base;
   variant.id = "renamed";
   variant.priority = 9;
+  EXPECT_EQ(job_signature(block->graph, variant), key);
+
+  // With a single colony the merge interval is inert — no merges ever
+  // happen — so varying it must NOT fragment the cache.
+  variant = base;
+  variant.merge_interval = 99;
   EXPECT_EQ(job_signature(block->graph, variant), key);
 
   const auto other = isa::parse_tac_checked(kSigmaKernel);

@@ -572,10 +572,10 @@ TEST(TelemetryTest, CsvHasHeaderAndOneRowPerPoint) {
   EXPECT_EQ(line, ExplorationTelemetry::csv_header());
   EXPECT_EQ(static_cast<std::size_t>(
                 std::count(line.begin(), line.end(), ',')),
-            11u);  // 12 columns
+            12u);  // 13 columns
   std::size_t rows = 0;
   while (std::getline(lines, line)) {
-    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 11);
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 12);
     ++rows;
   }
   EXPECT_EQ(rows, telemetry.size());

@@ -92,6 +92,12 @@ def render_candidates(data):
 def render_runtime(data):
     lines = [f"Exploration-sweep runtime: `{data.get('sweep', '?')}` "
              f"(deterministic: {fmt(data.get('deterministic', '?'))}).\n"]
+    if data.get("scaling_valid") is False:
+        lines.append("**Note:** run on a single-core host "
+                     f"(hardware_concurrency="
+                     f"{data.get('hardware_concurrency', '?')}) — the flat "
+                     "jobs-sweep speedups are a host artifact, not a "
+                     "regression.\n")
     rows = [(fmt(r["jobs"]), fmt(r["cache"]), fmt(r["seconds_min"], 4),
              fmt(r["seconds_median"], 4),
              fmt(r["speedup_vs_jobs1"]) + "x",
@@ -131,6 +137,41 @@ def runtime_scaling(runs):
                f"{fmt(peak['seconds_min'], 4)}s).")
 
 
+def render_colony(data):
+    lines = ["Multi-colony ACO scaling: "
+             f"`{data.get('sweep', '?')}` "
+             f"(identity jobs=1 == jobs=8 per colony count: "
+             f"{fmt(data.get('identity_ok', '?'))}"
+             f"{', quick' if data.get('quick') else ''}).\n"]
+    rows = [(fmt(r["colonies"]), fmt(r["jobs"]), fmt(r["seconds_min"], 4),
+             fmt(r["seconds_median"], 4),
+             fmt(r["speedup_vs_serial"]) + "x", r.get("digest", "?"))
+            for r in data.get("runs", [])]
+    lines.append(table(["colonies", "jobs", "min s", "median s",
+                        "speedup vs serial", "digest"], rows))
+    lines.append(colony_scaling_line(data))
+    return "\n".join(lines)
+
+
+def colony_scaling_line(data):
+    """Headline: colonies=K/jobs=J vs the colonies=1/jobs=1 baseline."""
+    headline = data.get("headline_speedup")
+    floor = data.get("speedup_floor")
+    enforced = data.get("floor_enforced")
+    hw = data.get("hardware_concurrency", "?")
+    if headline is None:
+        return ""
+    line = (f"\nColony scaling: colonies=8/jobs=8 is {fmt(headline)}x vs the "
+            f"serial baseline (floor {fmt(floor)}x, "
+            f"{'enforced' if enforced else 'informational'} at "
+            f"hardware_concurrency={hw}); "
+            f"identity: {'OK' if data.get('identity_ok') else 'VIOLATED'}.")
+    if not enforced:
+        line += (" Speedup floor not enforced on this host — colony "
+                 "sharding needs >= 4 cores to show wall-clock wins.")
+    return line
+
+
 def render_google_benchmark(data):
     ctx = data.get("context", {})
     lines = [f"google-benchmark run ({ctx.get('date', 'unknown date')}, "
@@ -157,6 +198,8 @@ def render(data):
         return render_antwalk(data)
     if data.get("bench") == "candidate_eval_pipeline":
         return render_candidates(data)
+    if data.get("bench") == "colony_scaling":
+        return render_colony(data)
     if "sweep" in data and "runs" in data:
         return render_runtime(data)
     if "context" in data and "benchmarks" in data:

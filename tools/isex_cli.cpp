@@ -16,6 +16,10 @@
 //                      the same seed at any --jobs value
 //   --jobs N           exploration worker threads (default: ISEX_JOBS env
 //                      var, else hardware concurrency)
+//   --colonies K       ant colonies per exploration round (default 1 = the
+//                      paper's serial loop); a search parameter like --seed —
+//                      results depend on it, never on --jobs
+//   --merge-interval N iterations between colony pheromone merges (default 8)
 //   --max-latency N    pipestage cap on ISE latency in cycles (default off)
 //   --baseline         use the single-issue (legality-only) explorer
 //   --set name=value   bind a live-in (eval only; repeatable; 0x.. ok)
@@ -67,6 +71,8 @@ struct CliOptions {
   int repeats = 5;
   std::uint64_t seed = 1;
   int jobs = 0;  // 0 = ISEX_JOBS env var, else hardware concurrency
+  int colonies = 1;
+  int merge_interval = 8;
   int max_latency = 0;
   bool baseline = false;
   std::vector<std::pair<std::string, std::uint32_t>> bindings;
@@ -82,13 +88,18 @@ struct CliOptions {
                "usage: isex <explore|schedule|dot|eval|verilog|listing> <kernel.tac> "
                "[--issue N] [--ports R/W]\n"
                "            [--repeats N] [--seed S] [--jobs N] "
-               "[--max-latency N] [--baseline] [--set v=N]\n"
+               "[--colonies K] [--merge-interval N]\n"
+               "            [--max-latency N] [--baseline] [--set v=N]\n"
                "            [--trace-out F] [--metrics-out F] "
                "[--convergence-out F]\n"
                "\n"
                "  --seed S  RNG seed; same seed -> same result at any --jobs\n"
                "  --jobs N  exploration worker threads (default: ISEX_JOBS "
                "env var, else hardware concurrency)\n"
+               "  --colonies K         ant colonies per round (search "
+               "parameter like --seed; default 1 = the paper's serial loop)\n"
+               "  --merge-interval N   iterations between colony pheromone "
+               "merges (default 8; inert with --colonies 1)\n"
                "  --trace-out F        Chrome trace_event JSON "
                "(chrome://tracing / Perfetto)\n"
                "  --metrics-out F      Prometheus text metrics snapshot\n"
@@ -125,6 +136,12 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     } else if (arg == "--jobs") {
       opt.jobs = std::atoi(next_value());
       if (opt.jobs < 1) usage("--jobs must be >= 1");
+    } else if (arg == "--colonies") {
+      opt.colonies = std::atoi(next_value());
+      if (opt.colonies < 1) usage("--colonies must be >= 1");
+    } else if (arg == "--merge-interval") {
+      opt.merge_interval = std::atoi(next_value());
+      if (opt.merge_interval < 1) usage("--merge-interval must be >= 1");
     } else if (arg == "--max-latency") {
       opt.max_latency = std::atoi(next_value());
     } else if (arg == "--baseline") {
@@ -187,6 +204,8 @@ core::ExplorationResult explore(const CliOptions& opt,
   const hw::HwLibrary library = hw::HwLibrary::paper_default();
   core::ExplorerParams params;
   params.collect_trace = !opt.convergence_out.empty();
+  params.colonies = opt.colonies;
+  params.merge_interval = opt.merge_interval;
   Rng rng(opt.seed);
   core::ExplorationResult result;
   {

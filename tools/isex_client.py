@@ -12,8 +12,9 @@ Usage:
     isex_client.py --port P [--host H] statusz
 
 Submit options: --id TOKEN --priority N --issue N --ports R/W --repeats N
---seed N --max-ises N --area-budget A --baseline --count N (submit the same
-job N times on one connection — the warm-cache demo).
+--seed N --colonies K --merge-interval N --max-ises N --area-budget A
+--baseline --count N (submit the same job N times on one connection — the
+warm-cache demo).
 
 Exit status: 0 when every response has "ok": true (submit) or HTTP 200
 (metrics/healthz), 1 otherwise.  Responses are printed one JSON object per
@@ -46,7 +47,8 @@ def cmd_submit(args) -> int:
     request = {"kernel": kernel}
     if args.id:
         request["id"] = args.id
-    for field in ("priority", "issue", "repeats", "seed"):
+    for field in ("priority", "issue", "repeats", "seed", "colonies",
+                  "merge_interval"):
         value = getattr(args, field)
         if value is not None:
             request[field] = value
@@ -111,6 +113,9 @@ def main() -> int:
     submit.add_argument("--ports", default=None, help="R/W, e.g. 6/3")
     submit.add_argument("--repeats", type=int, default=None)
     submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--colonies", type=int, default=None)
+    submit.add_argument("--merge-interval", type=int, default=None,
+                        dest="merge_interval")
     submit.add_argument("--max-ises", type=int, default=None)
     submit.add_argument("--area-budget", type=float, default=None)
     submit.add_argument("--baseline", action="store_true")

@@ -16,8 +16,8 @@ Checks three file kinds (each optional — pass what you have):
                         counts cumulative and consistent with _count, and the
                         core isex_* families present.
   --convergence c.csv   Convergence curve CSV: exact header, numeric rows,
-                        per-(round) best_tet non-increasing, probabilities
-                        in [0, 1].
+                        per-(round, colony) best_tet non-increasing,
+                        probabilities in [0, 1].
 
 Exit code 0 iff every provided file validates.  CI runs this against a real
 `isex explore` invocation; see docs/OBSERVABILITY.md.
@@ -29,8 +29,9 @@ import json
 import sys
 
 EXPECTED_CSV_HEADER = (
-    "round,iteration,tet,best_tet,worst_tet,mean_tet,converged_fraction,"
-    "entropy,max_option_probability,p_end,ants,cache_hit_rate"
+    "round,colony,iteration,tet,best_tet,worst_tet,mean_tet,"
+    "converged_fraction,entropy,max_option_probability,p_end,ants,"
+    "cache_hit_rate"
 )
 
 # Metric families every exploration run must populate (tools/isex explore
@@ -261,7 +262,11 @@ def validate_convergence(path, errors):
     if not rows:
         fail(errors, f"{path}: no data rows — was collect_trace enabled?")
         return
-    best_by_round = {}
+    # best_tet is monotone per (round, colony): each colony's chain carries
+    # its own incumbent best ant, so curves from different colonies of the
+    # same round interleave freely in the file.
+    best_by_chain = {}
+    rounds = set()
     for n, row in enumerate(rows, 2):
         if len(row) != len(header):
             fail(errors, f"{path}:{n}: expected {len(header)} fields")
@@ -276,11 +281,15 @@ def validate_convergence(path, errors):
             if not 0.0 <= rec[prob] <= 1.0:
                 fail(errors, f"{path}:{n}: {prob}={rec[prob]} outside [0,1]")
                 return
-        if rec["best_tet"] > best_by_round.get(rec["round"], float("inf")):
-            fail(errors, f"{path}:{n}: best_tet increased within round")
+        chain = (rec["round"], rec["colony"])
+        if rec["best_tet"] > best_by_chain.get(chain, float("inf")):
+            fail(errors, f"{path}:{n}: best_tet increased within "
+                         "round/colony chain")
             return
-        best_by_round[rec["round"]] = rec["best_tet"]
-    print(f"{path}: OK ({len(rows)} points, {len(best_by_round)} rounds)")
+        best_by_chain[chain] = rec["best_tet"]
+        rounds.add(rec["round"])
+    print(f"{path}: OK ({len(rows)} points, {len(rounds)} rounds, "
+          f"{len(best_by_chain)} chains)")
 
 
 def main():
