@@ -5,6 +5,10 @@
 
 #include "sched/priority.hpp"
 
+namespace isex::runtime {
+class EvalCache;
+}
+
 namespace isex::core {
 
 struct ExplorerParams {
@@ -92,6 +96,13 @@ struct ExplorerParams {
   /// results are unchanged — the cache is a pure-function memo.  Exposed so
   /// bench/perf_runtime can A/B it.
   bool use_eval_cache = true;
+
+  /// Cache instance the memoization above goes through.  Null (the default)
+  /// uses the process-wide runtime::schedule_cache(); a portfolio flow points
+  /// every program's exploration at one scoped cache so cross-program
+  /// candidate dedup is observable (and its stats attributable) per batch.
+  /// The choice of instance never changes results — both are pure memos.
+  runtime::EvalCache* eval_cache = nullptr;
 };
 
 }  // namespace isex::core

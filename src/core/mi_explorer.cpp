@@ -26,13 +26,23 @@
 namespace isex::core {
 namespace {
 
-/// Schedule-length evaluation, memoized in the runtime's schedule cache
-/// when the params allow it.  The cache is a pure-function memo, so the
-/// returned makespan is identical either way.
+/// Cache instance the params select: an explicitly scoped one (portfolio
+/// flows) or the process-wide schedule cache.  Pure memos either way, so the
+/// choice never changes results.
+runtime::EvalCache& active_cache(const ExplorerParams& params) {
+  return params.eval_cache != nullptr ? *params.eval_cache
+                                      : runtime::schedule_cache();
+}
+
+/// Schedule-length evaluation, memoized in the params' cache when allowed.
+/// The cache is a pure-function memo, so the returned makespan is identical
+/// either way.
 int evaluate_cycles(const sched::ListScheduler& scheduler,
-                    const dfg::Graph& graph, bool use_cache) {
-  return use_cache ? runtime::cached_schedule_cycles(scheduler, graph)
-                   : scheduler.cycles(graph);
+                    const dfg::Graph& graph, const ExplorerParams& params) {
+  return params.use_eval_cache
+             ? runtime::cached_schedule_cycles(active_cache(params), scheduler,
+                                               graph)
+             : scheduler.cycles(graph);
 }
 
 /// Per-worker working state for one candidate evaluation: the collapsed
@@ -171,7 +181,7 @@ struct AcoChain {
       t.max_option_probability = pheromone.min_best_probability();
       t.p_end = ctx.params.p_end;
       t.ants = iterations;
-      t.cache_hit_rate = runtime::schedule_cache().stats().hit_rate();
+      t.cache_hit_rate = active_cache(ctx.params).stats().hit_rate();
       trace.push_back(t);
     }
     return pheromone.converged();
@@ -222,8 +232,7 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
     origin[v].insert(v);
   }
 
-  result.base_cycles =
-      evaluate_cycles(scheduler, current, params_.use_eval_cache);
+  result.base_cycles = evaluate_cycles(scheduler, current, params_);
   int current_cycles = result.base_cycles;
 
   for (int round = 0; round < params_.max_rounds; ++round) {
@@ -419,7 +428,7 @@ ExplorationResult MultiIssueExplorer::explore(const dfg::Graph& block,
             };
             cycles_after[c] =
                 params_.use_eval_cache
-                    ? runtime::schedule_cache().get_or_compute(
+                    ? active_cache(params_).get_or_compute(
                           runtime::candidate_key(base_digest, cand.members,
                                                  info, machine_,
                                                  scheduler.priority()),

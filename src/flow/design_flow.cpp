@@ -124,6 +124,7 @@ Expected<FlowResult> run_design_flow_checked(const ProfiledProgram& program,
     result.replacement = apply_selection(program, result.selection,
                                          config.machine, config.replacement);
   }
+  if (config.keep_explorations) result.explorations = std::move(explorations);
   return result;
 }
 

@@ -38,6 +38,10 @@ struct FlowConfig {
   /// --jobs / ISEX_JOBS override); N > 0 runs on a private N-thread pool.
   /// Results are identical at any value — see docs/RUNTIME.md.
   int jobs = 0;
+  /// Copy the per-hot-block exploration results into FlowResult.  Off by
+  /// default (they can be large); the portfolio bit-identity gates compare
+  /// them against run_portfolio_flow's per-program explorations.
+  bool keep_explorations = false;
 };
 
 struct FlowResult {
@@ -45,6 +49,9 @@ struct FlowResult {
   SelectionResult selection;
   /// Blocks exploration actually ran on.
   std::vector<std::size_t> hot_blocks;
+  /// Per-hot-block exploration results (parallel to hot_blocks); populated
+  /// only when FlowConfig::keep_explorations is set.
+  std::vector<core::ExplorationResult> explorations;
 
   std::uint64_t base_time() const { return replacement.base_time; }
   std::uint64_t final_time() const { return replacement.final_time; }

@@ -1,5 +1,6 @@
 #include "flow/validate.hpp"
 
+#include <cmath>
 #include <string>
 
 #include "dfg/validate.hpp"
@@ -65,6 +66,37 @@ ValidationReport validate(const FlowConfig& config) {
   if (!(p.merge_evaporation >= 0.0) || p.merge_evaporation > 1.0)
     param_error("merge_evaporation " + std::to_string(p.merge_evaporation) +
                 " is outside [0, 1]");
+  return report;
+}
+
+ValidationReport validate(const std::vector<PortfolioEntry>& entries) {
+  ValidationReport report;
+  if (entries.empty()) {
+    report.add(ErrorCode::kProgramEmpty, "portfolio manifest has no programs");
+    return report;
+  }
+  for (std::size_t p = 0; p < entries.size(); ++p) {
+    const PortfolioEntry& entry = entries[p];
+    const std::string who =
+        "program " + std::to_string(p) +
+        (entry.program.name.empty() ? "" : " ('" + entry.program.name + "')");
+    if (!std::isfinite(entry.weight) || !(entry.weight > 0.0))
+      report.add(ErrorCode::kFlowParamsInvalid,
+                 who + " weight " + std::to_string(entry.weight) +
+                     " is invalid (must be finite and > 0)");
+    const ValidationReport program_report = validate(entry.program);
+    for (const Error& e : program_report.issues())
+      report.add(e.code(), who + ": " + e.message(), e.loc(), e.severity());
+  }
+  return report;
+}
+
+ValidationReport validate(const PortfolioConfig& config) {
+  ValidationReport report = validate(config.base);
+  if (config.eval_cache == nullptr && config.cache_capacity < 1)
+    report.add(ErrorCode::kFlowParamsInvalid,
+               "portfolio cache_capacity must be >= 1 (or supply an external "
+               "eval_cache)");
   return report;
 }
 

@@ -16,7 +16,10 @@
 // defects as an Expected error instead of crashing mid-flow.
 #pragma once
 
+#include <vector>
+
 #include "flow/design_flow.hpp"
+#include "flow/portfolio.hpp"
 #include "flow/program.hpp"
 #include "util/error.hpp"
 
@@ -24,5 +27,13 @@ namespace isex::flow {
 
 ValidationReport validate(const ProfiledProgram& program);
 ValidationReport validate(const FlowConfig& config);
+
+/// Portfolio manifest: at least one entry; every program passes
+/// validate(ProfiledProgram) (issues re-reported with the program named);
+/// every weight is finite and > 0.
+ValidationReport validate(const std::vector<PortfolioEntry>& entries);
+/// Portfolio config: the shared base FlowConfig plus the portfolio-scoped
+/// cache budget.
+ValidationReport validate(const PortfolioConfig& config);
 
 }  // namespace isex::flow

@@ -112,10 +112,16 @@ EvalCache& schedule_cache() {
 
 int cached_schedule_cycles(const sched::ListScheduler& scheduler,
                            const dfg::Graph& graph) {
+  return cached_schedule_cycles(schedule_cache(), scheduler, graph);
+}
+
+int cached_schedule_cycles(EvalCache& cache,
+                           const sched::ListScheduler& scheduler,
+                           const dfg::Graph& graph) {
   const Key128 key =
       schedule_key(graph, scheduler.config(), scheduler.priority());
-  return schedule_cache().get_or_compute(
-      key, [&]() { return scheduler.cycles(graph); });
+  return cache.get_or_compute(key,
+                              [&]() { return scheduler.cycles(graph); });
 }
 
 }  // namespace isex::runtime

@@ -125,4 +125,11 @@ EvalCache& schedule_cache();
 int cached_schedule_cycles(const sched::ListScheduler& scheduler,
                            const dfg::Graph& graph);
 
+/// Same memoization through an explicit cache instance (e.g. a
+/// portfolio-scoped cache), for callers that need attributable stats or a
+/// lifetime narrower than the process.
+int cached_schedule_cycles(EvalCache& cache,
+                           const sched::ListScheduler& scheduler,
+                           const dfg::Graph& graph);
+
 }  // namespace isex::runtime

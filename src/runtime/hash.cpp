@@ -1,5 +1,6 @@
 #include "runtime/hash.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace isex::runtime {
@@ -91,6 +92,131 @@ Key128 candidate_key(const Key128& base_digest, const dfg::NodeSet& members,
   hi.mix(base_digest.hi);
   mix_candidate(hi);
   hi.mix(fingerprint(machine, 0xa54ff53a5f1d36f1ULL));
+  key.hi = hi.value();
+  return key;
+}
+
+namespace {
+
+/// One finished mix step: compress an accumulated tuple into a 64-bit label.
+std::uint64_t squash(Hash64 h) { return h.value(); }
+
+/// Iteratively refined structural labels for one seed stream.  The initial
+/// label is local shape only; each round folds in operand-ordered
+/// predecessor labels and the *sorted* successor labels (successor list
+/// order is an id artifact, operand order is semantics).  The fixpoint is
+/// reached within the graph's depth; 32 rounds covers any realistic block
+/// and keeps the cost linear.
+std::vector<std::uint64_t> refined_labels(const dfg::Graph& graph,
+                                          std::uint64_t seed) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::uint64_t> labels(n);
+  for (dfg::NodeId v = 0; v < n; ++v) {
+    const dfg::Node& node = graph.node(v);
+    Hash64 h(seed);
+    h.mix(static_cast<std::uint64_t>(node.opcode));
+    h.mix(node.is_ise ? 1 : 0);
+    if (node.is_ise) {
+      h.mix(static_cast<std::uint64_t>(node.ise.latency_cycles));
+      h.mix_double(node.ise.area);
+      h.mix(static_cast<std::uint64_t>(node.ise.num_inputs));
+      h.mix(static_cast<std::uint64_t>(node.ise.num_outputs));
+    }
+    const auto extern_ids = graph.extern_input_ids(v);
+    h.mix(extern_ids.size());
+    for (const int id : extern_ids) h.mix(static_cast<std::uint64_t>(id));
+    h.mix(graph.live_out(v) ? 1 : 0);
+    h.mix(graph.preds(v).size());
+    h.mix(graph.succs(v).size());
+    labels[v] = squash(h);
+  }
+
+  const std::size_t rounds = std::min<std::size_t>(n, 32);
+  std::vector<std::uint64_t> next(n);
+  std::vector<std::uint64_t> succ_scratch;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (dfg::NodeId v = 0; v < n; ++v) {
+      Hash64 h(seed ^ (0x9e3779b97f4a7c15ULL + round));
+      h.mix(labels[v]);
+      const auto preds = graph.preds(v);
+      h.mix(preds.size());
+      for (const dfg::NodeId p : preds) h.mix(labels[p]);
+      const auto succs = graph.succs(v);
+      succ_scratch.assign(succs.begin(), succs.end());
+      std::sort(succ_scratch.begin(), succ_scratch.end(),
+                [&](dfg::NodeId a, dfg::NodeId b) {
+                  return labels[a] < labels[b];
+                });
+      h.mix(succ_scratch.size());
+      for (const dfg::NodeId s : succ_scratch) h.mix(labels[s]);
+      next[v] = squash(h);
+    }
+    labels.swap(next);
+  }
+  return labels;
+}
+
+std::uint64_t digest_of_labels(const std::vector<std::uint64_t>& labels,
+                               std::uint64_t seed) {
+  std::vector<std::uint64_t> sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  Hash64 h(seed);
+  h.mix(sorted.size());
+  for (const std::uint64_t label : sorted) h.mix(label);
+  return h.value();
+}
+
+}  // namespace
+
+CanonicalLabeling canonical_labeling(const dfg::Graph& graph) {
+  CanonicalLabeling out;
+  // Own seed constants: the canonical family must never alias the exact
+  // digest domains above.
+  out.lo = refined_labels(graph, 0x71c72e134d03df39ULL);
+  out.hi = refined_labels(graph, 0xd6e8feb86659fd93ULL);
+  out.digest.lo = digest_of_labels(out.lo, 0x243f6a8885a308d3ULL);
+  out.digest.hi = digest_of_labels(out.hi, 0x13198a2e03707344ULL);
+  return out;
+}
+
+Key128 canonical_graph_digest(const dfg::Graph& graph) {
+  return canonical_labeling(graph).digest;
+}
+
+Key128 canonical_candidate_key(const CanonicalLabeling& labeling,
+                               const dfg::NodeSet& members,
+                               const dfg::IseInfo& info,
+                               const sched::MachineConfig& machine,
+                               sched::PriorityKind priority) {
+  const auto member_hash = [&](const std::vector<std::uint64_t>& labels,
+                               std::uint64_t seed) {
+    std::vector<std::uint64_t> picked;
+    members.for_each([&](dfg::NodeId v) { picked.push_back(labels[v]); });
+    std::sort(picked.begin(), picked.end());
+    Hash64 h(seed);
+    h.mix(picked.size());
+    for (const std::uint64_t label : picked) h.mix(label);
+    return h.value();
+  };
+  const auto mix_candidate = [&](Hash64& h) {
+    h.mix(static_cast<std::uint64_t>(info.latency_cycles));
+    h.mix_double(info.area);
+    h.mix(static_cast<std::uint64_t>(info.num_inputs));
+    h.mix(static_cast<std::uint64_t>(info.num_outputs));
+    h.mix(static_cast<std::uint64_t>(priority));
+  };
+  Key128 key;
+  Hash64 lo(0xa4093822299f31d0ULL);  // canonical-candidate domain
+  lo.mix(labeling.digest.lo);
+  lo.mix(member_hash(labeling.lo, 0x082efa98ec4e6c89ULL));
+  mix_candidate(lo);
+  lo.mix(fingerprint(machine, 0x452821e638d01377ULL));
+  key.lo = lo.value();
+  Hash64 hi(0xbe5466cf34e90c6cULL);
+  hi.mix(labeling.digest.hi);
+  hi.mix(member_hash(labeling.hi, 0xc0ac29b7c97c50ddULL));
+  mix_candidate(hi);
+  hi.mix(fingerprint(machine, 0x3f84d5b5b5470917ULL));
   key.hi = hi.value();
   return key;
 }

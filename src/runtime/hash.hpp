@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "dfg/graph.hpp"
 #include "sched/machine_config.hpp"
@@ -85,5 +86,48 @@ Key128 candidate_key(const Key128& base_digest, const dfg::NodeSet& members,
                      const dfg::IseInfo& info,
                      const sched::MachineConfig& machine,
                      sched::PriorityKind priority);
+
+// ---------------------------------------------------------------------------
+// Canonical (node-id-independent) fingerprints.
+//
+// fingerprint()/graph_digest()/candidate_key() above mix raw node ids, so two
+// structurally identical blocks whose statements were merely emitted in a
+// different order — the normal case for isomorphic candidates lifted from
+// different kernels — get unrelated keys.  The canonical family below labels
+// every node by iterative structural refinement (Weisfeiler–Leman style:
+// start from local shape — opcode, ISE payload, liveness, extern value ids,
+// degree — then repeatedly fold in operand-ordered predecessor labels and the
+// sorted multiset of successor labels) and digests the *sorted* final labels,
+// so the result is invariant under any renumbering that preserves structure
+// and operand order.
+//
+// These keys are for *detection* (isomorphism telemetry, portfolio dedup
+// accounting, regression tests) — never for sharing memoized makespans: the
+// list scheduler breaks priority ties by node id, so isomorphic-but-
+// renumbered graphs may legally schedule to different cycle counts.  Value-
+// carrying caches stay on the exact keys above.
+
+/// Per-node canonical labels plus the whole-graph canonical digest.  Compute
+/// once per graph, then derive per-candidate keys from the member labels.
+struct CanonicalLabeling {
+  Key128 digest;
+  /// Refined label per node, two independent streams (lo/hi key halves).
+  std::vector<std::uint64_t> lo;
+  std::vector<std::uint64_t> hi;
+};
+
+CanonicalLabeling canonical_labeling(const dfg::Graph& graph);
+
+/// Convenience: canonical_labeling(graph).digest.
+Key128 canonical_graph_digest(const dfg::Graph& graph);
+
+/// Canonical analogue of candidate_key(): identical for structurally
+/// isomorphic (candidate, base graph) pairs regardless of node numbering.
+/// `members` is interpreted against the labeling's graph.
+Key128 canonical_candidate_key(const CanonicalLabeling& labeling,
+                               const dfg::NodeSet& members,
+                               const dfg::IseInfo& info,
+                               const sched::MachineConfig& machine,
+                               sched::PriorityKind priority);
 
 }  // namespace isex::runtime

@@ -233,4 +233,29 @@ PersistStats PersistentEvalCache::stats() const {
   return stats_;
 }
 
+std::uint64_t PersistentEvalCache::schedule_entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return persisted_sched_.size();
+}
+
+std::uint64_t PersistentEvalCache::blob_entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blobs_.size();
+}
+
+std::uint64_t PersistentEvalCache::log_size_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (path_.empty()) return 0;
+  if (out_ != nullptr) std::fflush(out_);
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) return 0;
+  std::uint64_t size = 0;
+  if (std::fseek(in, 0, SEEK_END) == 0) {
+    const long pos = std::ftell(in);
+    if (pos > 0) size = static_cast<std::uint64_t>(pos);
+  }
+  std::fclose(in);
+  return size;
+}
+
 }  // namespace isex::runtime

@@ -103,6 +103,15 @@ class PersistentEvalCache {
   PersistStats stats() const;
   const std::string& path() const { return path_; }
 
+  /// Schedule-eval keys persisted so far (loaded + appended this process).
+  std::uint64_t schedule_entry_count() const;
+  /// Blob records currently indexed for lookup_blob().
+  std::uint64_t blob_entry_count() const;
+  /// Current size of the on-disk log in bytes: flushes buffered appends
+  /// first so the number matches what a restart would read.  0 in
+  /// memory-only mode or when the file does not exist yet.
+  std::uint64_t log_size_bytes() const;
+
  private:
   void append_record(std::uint8_t type, const Key128& key,
                      std::string_view payload);

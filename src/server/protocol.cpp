@@ -1,5 +1,7 @@
 #include "server/protocol.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -356,14 +358,57 @@ Expected<JobRequest> parse_job_request(const std::string& line) {
       if (value.kind != JsonValue::Kind::kBool)
         return field_error(key, "a boolean");
       request.baseline = value.boolean;
+    } else if (key == "programs") {
+      if (value.kind != JsonValue::Kind::kArray || value.array.empty())
+        return field_error(key, "a non-empty array of program objects");
+      for (const JsonValue& item : value.array) {
+        if (item.kind != JsonValue::Kind::kObject)
+          return field_error(key, "a non-empty array of program objects");
+        PortfolioProgramSpec spec;
+        bool have_program_kernel = false;
+        for (const auto& [pkey, pvalue] : item.object) {
+          if (pkey == "name") {
+            if (pvalue.kind != JsonValue::Kind::kString)
+              return field_error("programs[].name", "a string");
+            spec.name = pvalue.string;
+          } else if (pkey == "kernel") {
+            if (pvalue.kind != JsonValue::Kind::kString)
+              return field_error("programs[].kernel", "a string (TAC source)");
+            spec.kernel = pvalue.string;
+            have_program_kernel = true;
+          } else if (pkey == "weight") {
+            if (pvalue.kind != JsonValue::Kind::kNumber ||
+                !std::isfinite(pvalue.number) || !(pvalue.number > 0.0))
+              return field_error("programs[].weight",
+                                 "a finite number > 0");
+            spec.weight = pvalue.number;
+          } else {
+            return Error(ErrorCode::kServerProtocol,
+                         "unknown request field 'programs[]." + pkey + "'");
+          }
+        }
+        if (!have_program_kernel || spec.kernel.empty())
+          return Error(ErrorCode::kServerProtocol,
+                       "portfolio program " +
+                           std::to_string(request.programs.size()) +
+                           " is missing the 'kernel' field");
+        if (spec.name.empty())
+          spec.name = "p" + std::to_string(request.programs.size());
+        request.programs.push_back(std::move(spec));
+      }
     } else {
       return Error(ErrorCode::kServerProtocol,
                    "unknown request field '" + key + "'");
     }
   }
-  if (!have_kernel || request.kernel.empty())
+  if (request.is_portfolio()) {
+    if (have_kernel)
+      return Error(ErrorCode::kServerProtocol,
+                   "'kernel' and 'programs' are mutually exclusive");
+  } else if (!have_kernel || request.kernel.empty()) {
     return Error(ErrorCode::kServerProtocol,
                  "request is missing the 'kernel' field");
+  }
   return request;
 }
 
@@ -380,6 +425,12 @@ flow::FlowConfig flow_config_for(const JobRequest& request) {
     config.constraints.area_budget = request.area_budget;
   config.algorithm = request.baseline ? flow::Algorithm::kSingleIssue
                                       : flow::Algorithm::kMultiIssue;
+  return config;
+}
+
+flow::PortfolioConfig portfolio_config_for(const JobRequest& request) {
+  flow::PortfolioConfig config;
+  config.base = flow_config_for(request);
   return config;
 }
 
@@ -416,6 +467,46 @@ runtime::Key128 job_signature(const dfg::Graph& graph,
   key.lo = lo.value();
   runtime::Hash64 hi(0x8cb92ba72f3d8dd7ULL);
   mix_request(hi, digest.hi, 0x94d049bb133111ebULL);
+  key.hi = hi.value();
+  return key;
+}
+
+runtime::Key128 portfolio_signature(
+    const std::vector<const dfg::Graph*>& graphs, const JobRequest& request) {
+  // v1 of the portfolio signature scheme.  Each row contributes its
+  // program's job_signature (graph × shared parameters, budget included)
+  // paired with its weight; rows are mixed in sorted order so manifest row
+  // order — which never changes any per-program result — cannot fork the
+  // cache key.
+  constexpr std::uint64_t kPortfolioVersion = 1;
+  struct Row {
+    runtime::Key128 sig;
+    double weight;
+  };
+  std::vector<Row> rows;
+  rows.reserve(graphs.size());
+  for (std::size_t p = 0; p < graphs.size(); ++p)
+    rows.push_back(Row{job_signature(*graphs[p], request),
+                       request.programs[p].weight});
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.sig.lo != b.sig.lo) return a.sig.lo < b.sig.lo;
+    if (a.sig.hi != b.sig.hi) return a.sig.hi < b.sig.hi;
+    return a.weight < b.weight;
+  });
+  const auto mix_rows = [&](runtime::Hash64& h, bool low_half) {
+    h.mix(kPortfolioVersion);
+    h.mix(rows.size());
+    for (const Row& row : rows) {
+      h.mix(low_half ? row.sig.lo : row.sig.hi);
+      h.mix_double(row.weight);
+    }
+  };
+  runtime::Key128 key;
+  runtime::Hash64 lo(0xc2b2ae3d27d4eb4fULL);  // domain: portfolio signatures
+  mix_rows(lo, /*low_half=*/true);
+  key.lo = lo.value();
+  runtime::Hash64 hi(0x165667b19e3779f9ULL);
+  mix_rows(hi, /*low_half=*/false);
   key.hi = hi.value();
   return key;
 }
@@ -509,6 +600,123 @@ std::string render_result_fragment(const flow::FlowResult& result) {
     }
     out += trace::json_escape(members);
     out += "\"}";
+  }
+  out += ']';
+  return out;
+}
+
+std::uint64_t portfolio_result_digest(const flow::PortfolioResult& result) {
+  runtime::Hash64 h(0x27220a957fb9d1f1ULL);  // domain: portfolio digests
+  h.mix(result.programs.size());
+  for (const flow::PortfolioProgramResult& prog : result.programs) {
+    for (const char c : prog.name)
+      h.mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    h.mix_double(prog.weight);
+    h.mix(prog.base_time());
+    h.mix(prog.final_time());
+    h.mix(prog.hot_blocks.size());
+    for (const std::size_t b : prog.hot_blocks) h.mix(b);
+    h.mix(prog.selection.selected.size());
+    h.mix(static_cast<std::uint64_t>(prog.selection.num_types));
+    h.mix_double(prog.selection.total_area);
+  }
+  h.mix(result.selection.selected.size());
+  for (const flow::PortfolioSelectedIse& sel : result.selection.selected) {
+    h.mix(sel.program_index);
+    h.mix(sel.entry.block_index);
+    h.mix(sel.entry.position);
+    h.mix(static_cast<std::uint64_t>(sel.type_id));
+    h.mix(sel.hardware_shared ? 1 : 0);
+    h.mix(sel.entry.benefit);
+    h.mix_double(sel.weighted_benefit);
+    h.mix_double(sel.entry.ise.eval.area);
+  }
+  h.mix_double(result.selection.total_area);
+  h.mix(static_cast<std::uint64_t>(result.selection.num_types));
+  h.mix(result.total_jobs);
+  h.mix(result.deduped_jobs);
+  return h.value();
+}
+
+std::string render_portfolio_fragment(const flow::PortfolioResult& result) {
+  char buf[64];
+  std::string out;
+  const auto num = [&](const char* fmt, auto value) {
+    std::snprintf(buf, sizeof buf, fmt, value);
+    out += buf;
+  };
+  out += "\"portfolio\":true,\"num_programs\":";
+  num("%zu", result.programs.size());
+  out += ",\"total_weighted_benefit\":";
+  num("%.6f", result.total_weighted_benefit());
+  out += ",\"total_area\":";
+  num("%.3f", result.total_area());
+  out += ",\"num_types\":";
+  num("%d", result.num_ise_types());
+  out += ",\"num_ises\":";
+  num("%zu", result.selection.selected.size());
+  out += ",\"total_jobs\":";
+  num("%llu", static_cast<unsigned long long>(result.total_jobs));
+  out += ",\"deduped_jobs\":";
+  num("%llu", static_cast<unsigned long long>(result.deduped_jobs));
+  out += ",\"eval_hits\":";
+  num("%llu",
+      static_cast<unsigned long long>(result.eval_cache_stats.hits));
+  out += ",\"eval_misses\":";
+  num("%llu",
+      static_cast<unsigned long long>(result.eval_cache_stats.misses));
+  out += ",\"dedup_hit_rate\":";
+  num("%.6f", result.eval_cache_stats.hit_rate());
+  out += ",\"isomorphic_hot_blocks\":";
+  num("%llu",
+      static_cast<unsigned long long>(result.isomorphic_hot_blocks));
+  out += ",\"isomorphic_candidates\":";
+  num("%llu",
+      static_cast<unsigned long long>(result.isomorphic_candidates));
+  out += ",\"result_digest\":\"";
+  num("0x%016llx",
+      static_cast<unsigned long long>(portfolio_result_digest(result)));
+  out += "\",\"programs\":[";
+  bool first = true;
+  for (const flow::PortfolioProgramResult& prog : result.programs) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + trace::json_escape(prog.name) + "\",\"weight\":";
+    num("%.6f", prog.weight);
+    out += ",\"base_time\":";
+    num("%llu", static_cast<unsigned long long>(prog.base_time()));
+    out += ",\"final_time\":";
+    num("%llu", static_cast<unsigned long long>(prog.final_time()));
+    out += ",\"reduction\":";
+    num("%.6f", prog.reduction());
+    out += ",\"num_ises\":";
+    num("%zu", prog.selection.selected.size());
+    out += ",\"cycles_saved\":";
+    num("%llu", static_cast<unsigned long long>(prog.cycles_saved()));
+    out += ",\"weighted_benefit\":";
+    num("%.6f", prog.weighted_benefit());
+    out += '}';
+  }
+  out += "],\"ises\":[";
+  first = true;
+  for (const flow::PortfolioSelectedIse& sel : result.selection.selected) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"program\":";
+    num("%zu", sel.program_index);
+    out += ",\"block\":";
+    num("%zu", sel.entry.block_index);
+    out += ",\"type\":";
+    num("%d", sel.type_id);
+    out += ",\"shared\":";
+    out += sel.hardware_shared ? "true" : "false";
+    out += ",\"area\":";
+    num("%.3f", sel.entry.ise.eval.area);
+    out += ",\"gain\":";
+    num("%d", sel.entry.ise.gain_cycles);
+    out += ",\"weighted_benefit\":";
+    num("%.6f", sel.weighted_benefit);
+    out += '}';
   }
   out += ']';
   return out;

@@ -16,12 +16,24 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "flow/design_flow.hpp"
+#include "flow/portfolio.hpp"
 #include "runtime/hash.hpp"
 #include "util/error.hpp"
 
 namespace isex::server {
+
+/// One manifest row of a portfolio request (docs/PORTFOLIO.md).
+struct PortfolioProgramSpec {
+  /// Program label echoed in the per-program results (defaults to "p<i>").
+  std::string name;
+  /// TAC source of the program (required).
+  std::string kernel;
+  /// Execution-frequency weight (finite, > 0).
+  double weight = 1.0;
+};
 
 /// One exploration job, as submitted on the wire.  Field defaults mirror
 /// isex_cli's flag defaults, so a request carrying only `kernel` explores
@@ -52,6 +64,13 @@ struct JobRequest {
   int max_ises = 32;
   /// Use the single-issue (legality-only) baseline explorer.
   bool baseline = false;
+  /// Portfolio manifest.  Non-empty selects the portfolio job type — all N
+  /// programs explored as one batch under one shared area budget — and is
+  /// mutually exclusive with `kernel`.  Every other field keeps its single-
+  /// kernel meaning and applies portfolio-wide.
+  std::vector<PortfolioProgramSpec> programs;
+
+  bool is_portfolio() const { return !programs.empty(); }
 };
 
 /// Parses one request line.  Unknown fields are rejected (a typo'd field
@@ -61,6 +80,9 @@ Expected<JobRequest> parse_job_request(const std::string& line);
 /// FlowConfig the request describes (machine, repeats, seed, constraints).
 flow::FlowConfig flow_config_for(const JobRequest& request);
 
+/// PortfolioConfig for a portfolio request (base = flow_config_for).
+flow::PortfolioConfig portfolio_config_for(const JobRequest& request);
+
 /// Canonical signature of the evaluation a request asks for: the kernel
 /// graph's structural digest combined with every parameter that can change
 /// the result (machine, repeats, seed, constraints, algorithm).  Two
@@ -69,6 +91,16 @@ flow::FlowConfig flow_config_for(const JobRequest& request);
 /// candidate_key by its own seed constants.
 runtime::Key128 job_signature(const dfg::Graph& graph,
                               const JobRequest& request);
+
+/// Canonical signature of a portfolio request: the multiset of per-program
+/// (job signature, weight) pairs — each pair a job_signature over that
+/// program's graph with the shared parameters (machine, repeats, seed,
+/// colonies, constraints, algorithm) — mixed in sorted order, so two
+/// manifests listing the same weighted programs share one cache key
+/// regardless of row order.  `graphs` is parallel to request.programs.
+/// Domain-separated from job_signature by its own seed constants.
+runtime::Key128 portfolio_signature(
+    const std::vector<const dfg::Graph*>& graphs, const JobRequest& request);
 
 /// Order-independent digest over every observable field of a FlowResult
 /// (times, per-block outcomes, selected ISEs).  The response carries it so
@@ -80,6 +112,15 @@ std::uint64_t flow_result_digest(const flow::FlowResult& result);
 /// (no `id` / `cache_hit` — the server adds those per delivery, so the
 /// fragment is what the result cache stores and replays verbatim).
 std::string render_result_fragment(const flow::FlowResult& result);
+
+/// Digest over every observable field of a PortfolioResult (per-program
+/// times and selection slices, the shared selection, dedup telemetry).
+std::uint64_t portfolio_result_digest(const flow::PortfolioResult& result);
+
+/// Response-body fragment for a completed portfolio job (same contract as
+/// render_result_fragment: no `id` / `cache_hit`; this is what the blob
+/// cache stores and replays verbatim on resubmission).
+std::string render_portfolio_fragment(const flow::PortfolioResult& result);
 
 /// Per-delivery timing breakdown (microseconds) the server attaches to
 /// every job response: where this submission's latency went.  Cache hits

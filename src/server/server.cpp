@@ -427,7 +427,15 @@ std::string Server::render_statusz() const {
          ",\"appends\":" + std::to_string(persist.appends) +
          ",\"append_failures\":" + std::to_string(persist.append_failures) +
          ",\"blob_hits\":" + std::to_string(persist.blob_hits) +
-         ",\"blob_misses\":" + std::to_string(persist.blob_misses) + "},";
+         ",\"blob_misses\":" + std::to_string(persist.blob_misses) +
+         ",\"schedule_entries\":" +
+         std::to_string(cache_ != nullptr ? cache_->schedule_entry_count()
+                                          : 0) +
+         ",\"blob_entries\":" +
+         std::to_string(cache_ != nullptr ? cache_->blob_entry_count() : 0) +
+         ",\"log_size_bytes\":" +
+         std::to_string(cache_ != nullptr ? cache_->log_size_bytes() : 0) +
+         "},";
 
   // The shared exploration pool's occupancy + section profile, embedded as
   // the same object write_json produces for the PoolProfile artifact.
@@ -454,6 +462,8 @@ std::string Server::process_line(const std::string& line) {
         request.id, Error(ErrorCode::kServerShuttingDown,
                           "server is draining; resubmit elsewhere"));
   }
+
+  if (request.is_portfolio()) return process_portfolio(request, received_us);
 
   // Parse + validate the kernel on the connection thread: rejections are
   // cheap and must not occupy an exploration worker.
@@ -544,6 +554,138 @@ std::string Server::process_line(const std::string& line) {
     }
     if (trace_id != 0) {
       tracer.record_span("job:" + program.name, root_ts_us,
+                         tracer.now_us() - root_ts_us, trace_id, root_span,
+                         /*parent_id=*/0);
+    }
+  };
+
+  switch (queue_.push(std::move(job))) {
+    case JobQueue::PushResult::kAccepted: break;
+    case JobQueue::PushResult::kFull:
+      unregister_inflight(inflight_key);
+      jobs_rejected_full_->inc();
+      return render_error_response(
+          request.id,
+          Error(ErrorCode::kServerQueueFull,
+                "admission queue is full (" +
+                    std::to_string(queue_.capacity()) + " pending)"));
+    case JobQueue::PushResult::kClosed:
+      unregister_inflight(inflight_key);
+      jobs_rejected_draining_->inc();
+      return render_error_response(
+          request.id, Error(ErrorCode::kServerShuttingDown,
+                            "server is draining; resubmit elsewhere"));
+  }
+  jobs_accepted_->inc();
+
+  Expected<std::string> outcome = future.get();
+  unregister_inflight(inflight_key);
+  timings.queue_wait_us = worker_times->first;
+  timings.explore_us = worker_times->second;
+  timings.total_us = uptime_us() - received_us;
+  job_latency_->observe(static_cast<double>(timings.total_us) * 1e-6);
+  if (!outcome) {
+    jobs_failed_->inc();
+    return render_error_response(request.id, outcome.error());
+  }
+  jobs_completed_->inc();
+  return render_response(request.id, /*cache_hit=*/false, timings, *outcome);
+}
+
+std::string Server::process_portfolio(const JobRequest& request,
+                                      std::uint64_t received_us) {
+  // Parse + validate every manifest kernel on the connection thread, like
+  // the single-kernel path: rejections never occupy an exploration worker.
+  JobTimings timings;
+  std::vector<flow::PortfolioEntry> entries;
+  entries.reserve(request.programs.size());
+  for (const PortfolioProgramSpec& spec : request.programs) {
+    Expected<isa::ParsedBlock> block = isa::parse_tac_checked(spec.kernel);
+    if (!block) {
+      jobs_invalid_->inc();
+      return render_error_response(request.id, block.error());
+    }
+    const ValidationReport report = dfg::validate(block->graph);
+    if (!report.ok()) {
+      jobs_invalid_->inc();
+      return render_error_response(request.id, report.first_error());
+    }
+    flow::PortfolioEntry entry;
+    entry.program.name = spec.name;
+    entry.program.blocks.push_back(
+        flow::ProfiledBlock{"kernel", std::move(block->graph), 1});
+    entry.weight = spec.weight;
+    entries.push_back(std::move(entry));
+  }
+  std::vector<const dfg::Graph*> graphs;
+  graphs.reserve(entries.size());
+  for (const flow::PortfolioEntry& entry : entries)
+    graphs.push_back(&entry.program.blocks.front().graph);
+  timings.validate_us = uptime_us() - received_us;
+
+  const std::uint64_t cache_start_us = uptime_us();
+  const runtime::Key128 signature = portfolio_signature(graphs, request);
+  std::optional<std::string> cached = cache_->lookup_blob(signature);
+  timings.cache_us = uptime_us() - cache_start_us;
+  if (cached) {
+    result_hits_->inc();
+    timings.total_us = uptime_us() - received_us;
+    job_latency_->observe(static_cast<double>(timings.total_us) * 1e-6);
+    return render_response(request.id, /*cache_hit=*/true, timings, *cached);
+  }
+  result_misses_->inc();
+
+  flow::PortfolioConfig config = portfolio_config_for(request);
+  // Evaluations memoize through the warm-started process cache — and via
+  // its persist sink, the disk log — so a portfolio's schedule evaluations
+  // survive restarts exactly like single-kernel jobs'.
+  config.eval_cache = &runtime::schedule_cache();
+
+  trace::Tracer& tracer = trace::Tracer::global();
+  const bool traced = tracer.enabled();
+  const std::uint64_t trace_id = traced ? trace::mint_trace_id() : 0;
+  const std::uint64_t root_span = traced ? trace::mint_span_id() : 0;
+  const std::uint64_t root_ts_us = traced ? tracer.now_us() : 0;
+
+  const std::uint64_t inflight_key =
+      register_inflight(request.id, request.priority);
+  const std::uint64_t enqueued_us = uptime_us();
+
+  auto promise = std::make_shared<std::promise<Expected<std::string>>>();
+  std::future<Expected<std::string>> future = promise->get_future();
+  runtime::PersistentEvalCache* cache = cache_.get();
+  auto worker_times = std::make_shared<std::pair<std::uint64_t, std::uint64_t>>();
+  QueuedJob job;
+  job.priority = request.priority;
+  job.run = [this, promise, cache, signature, entries = std::move(entries),
+             config, inflight_key, trace_id, root_span, root_ts_us,
+             enqueued_us, worker_times]() mutable {
+    const std::uint64_t popped_us = uptime_us();
+    worker_times->first = popped_us - enqueued_us;  // queue wait
+    queue_wait_->observe(static_cast<double>(worker_times->first) * 1e-6);
+    mark_inflight_exploring(inflight_key);
+    trace::Tracer& tracer = trace::Tracer::global();
+    if (trace_id != 0) {
+      tracer.record_span("job.queue_wait", root_ts_us,
+                         tracer.now_us() - root_ts_us, trace_id,
+                         trace::mint_span_id(), root_span);
+    }
+    {
+      const trace::ContextScope scope(
+          trace::TraceContext{trace_id, root_span});
+      Expected<flow::PortfolioResult> result = flow::run_portfolio_flow_checked(
+          entries, hw::HwLibrary::paper_default(), config);
+      worker_times->second = uptime_us() - popped_us;  // explore
+      if (!result) {
+        promise->set_value(result.error());
+      } else {
+        std::string fragment = render_portfolio_fragment(*result);
+        cache->put_blob(signature, fragment);
+        promise->set_value(std::move(fragment));
+      }
+    }
+    if (trace_id != 0) {
+      tracer.record_span("job:portfolio", root_ts_us,
                          tracer.now_us() - root_ts_us, trace_id, root_span,
                          /*parent_id=*/0);
     }

@@ -115,6 +115,14 @@ class Server {
   void handle_connection(int fd);
   void handle_http(int fd, const std::string& buffered);
 
+  /// Portfolio-job path of process_line: validates every manifest kernel on
+  /// the connection thread, answers repeats from the blob cache keyed on
+  /// portfolio_signature, and on a miss runs run_portfolio_flow_checked on
+  /// a worker with evaluations routed through the warm-started process
+  /// cache (so they persist like single-kernel jobs').
+  std::string process_portfolio(const JobRequest& request,
+                                std::uint64_t received_us);
+
   /// Microseconds since construction (the clock /statusz ages and the
   /// per-job timings are measured on; monotonic, tracer-independent).
   std::uint64_t uptime_us() const;

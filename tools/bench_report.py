@@ -172,6 +172,55 @@ def colony_scaling_line(data):
     return line
 
 
+def render_portfolio(data):
+    lines = ["Batched portfolio exploration vs back-to-back independent "
+             f"flows: `{data.get('sweep', '?')}` "
+             f"(per-program bit-identity: {fmt(data.get('identity_ok', '?'))}"
+             f"{', quick' if data.get('quick') else ''}).\n"]
+    rows = [(p["name"], fmt(p["weight"]), fmt(p["base_time"]),
+             fmt(p["final_time"]), fmt(p["num_ises"]),
+             fmt(p["weighted_benefit"], 1), p.get("digest", "?"))
+            for p in data.get("programs", [])]
+    lines.append(table(["program", "weight", "base", "final", "ISEs",
+                        "weighted benefit", "digest"], rows))
+    lines.append(portfolio_dedup_line(data))
+    lines.append(portfolio_scaling_line(data))
+    return "\n".join(lines)
+
+
+def portfolio_dedup_line(data):
+    rate = data.get("dedup_hit_rate")
+    if rate is None:
+        return ""
+    return (f"\nCross-program dedup: eval-cache hit rate {fmt(rate, 4)} "
+            f"(floor {fmt(data.get('dedup_floor', 0.0))}, "
+            f"{'OK' if data.get('dedup_ok') else 'BELOW FLOOR'}); "
+            f"{fmt(data.get('deduped_jobs', 0))} of "
+            f"{fmt(data.get('total_jobs', 0))} jobs deduped; "
+            f"isomorphic-but-renumbered: "
+            f"{fmt(data.get('isomorphic_hot_blocks', 0))} hot blocks, "
+            f"{fmt(data.get('isomorphic_candidates', 0))} candidates.")
+
+
+def portfolio_scaling_line(data):
+    headline = data.get("headline_speedup")
+    if headline is None:
+        return ""
+    valid = data.get("scaling_valid")
+    line = (f"\nBatch scaling: one portfolio run is {fmt(headline)}x vs "
+            f"back-to-back flows (floor "
+            f"{fmt(data.get('speedup_floor', 0.0))}x, "
+            f"{'enforced' if valid else 'informational'} at "
+            f"hardware_concurrency={data.get('hardware_concurrency', '?')}); "
+            f"{fmt(data.get('selected_ises', 0))} ISEs in "
+            f"{fmt(data.get('selected_types', 0))} shared types, "
+            f"total area {fmt(data.get('total_area', 0.0))}.")
+    if not valid:
+        line += (" Speedup floor not enforced on this host — the flat batch "
+                 "needs >= 4 cores to show wall-clock wins.")
+    return line
+
+
 def render_google_benchmark(data):
     ctx = data.get("context", {})
     lines = [f"google-benchmark run ({ctx.get('date', 'unknown date')}, "
@@ -200,6 +249,8 @@ def render(data):
         return render_candidates(data)
     if data.get("bench") == "colony_scaling":
         return render_colony(data)
+    if data.get("bench") == "portfolio":
+        return render_portfolio(data)
     if "sweep" in data and "runs" in data:
         return render_runtime(data)
     if "context" in data and "benchmarks" in data:

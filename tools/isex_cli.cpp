@@ -7,6 +7,10 @@
 //   isex verilog  kernel.tac [options]   emit Verilog ASFU modules for the
 //                                        explored ISEs
 //   isex listing  kernel.tac [options]   VLIW listing before/after ISEs
+//   isex portfolio --manifest FILE       batched multi-program exploration:
+//                                        one ISE set for all programs under
+//                                        a shared area budget
+//                                        (docs/PORTFOLIO.md)
 //
 // Common options:
 //   --issue N          issue width (default 2)
@@ -23,6 +27,12 @@
 //   --max-latency N    pipestage cap on ISE latency in cycles (default off)
 //   --baseline         use the single-issue (legality-only) explorer
 //   --set name=value   bind a live-in (eval only; repeatable; 0x.. ok)
+//
+// Portfolio options:
+//   --manifest FILE    manifest: one `path [weight] [name]` per line,
+//                      `#` comments; paths resolve relative to the manifest
+//   --area-budget A    shared ASFU area budget, µm² (default unlimited)
+//   --max-ises N       shared distinct ISE type budget (default 32)
 //
 // Observability (docs/OBSERVABILITY.md):
 //   --trace-out F        write a Chrome trace_event JSON (open in Perfetto /
@@ -47,6 +57,7 @@
 #include "hwlib/hw_library.hpp"
 #include "isa/tac_parser.hpp"
 #include "flow/listing.hpp"
+#include "flow/portfolio.hpp"
 #include "rtl/verilog.hpp"
 #include "runtime/runtime_stats.hpp"
 #include "runtime/thread_pool.hpp"
@@ -75,6 +86,9 @@ struct CliOptions {
   int merge_interval = 8;
   int max_latency = 0;
   bool baseline = false;
+  std::string manifest;
+  double area_budget = -1.0;  // < 0 = unlimited
+  int max_ises = 32;
   std::vector<std::pair<std::string, std::uint32_t>> bindings;
   std::string trace_out;
   std::string metrics_out;
@@ -87,6 +101,8 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: isex <explore|schedule|dot|eval|verilog|listing> <kernel.tac> "
                "[--issue N] [--ports R/W]\n"
+               "       isex portfolio --manifest FILE [--area-budget A] "
+               "[--max-ises N] [common options]\n"
                "            [--repeats N] [--seed S] [--jobs N] "
                "[--colonies K] [--merge-interval N]\n"
                "            [--max-latency N] [--baseline] [--set v=N]\n"
@@ -113,8 +129,13 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
   if (argc < 3) return std::nullopt;
   CliOptions opt;
   opt.command = argv[1];
-  opt.input_path = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  int first_option = 3;
+  if (argv[2][0] == '-' && argv[2][1] == '-') {
+    first_option = 2;  // e.g. `isex portfolio --manifest FILE`
+  } else {
+    opt.input_path = argv[2];
+  }
+  for (int i = first_option; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&]() -> const char* {
       if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
@@ -146,6 +167,14 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opt.max_latency = std::atoi(next_value());
     } else if (arg == "--baseline") {
       opt.baseline = true;
+    } else if (arg == "--manifest") {
+      opt.manifest = next_value();
+    } else if (arg == "--area-budget") {
+      opt.area_budget = std::strtod(next_value(), nullptr);
+      if (opt.area_budget < 0.0) usage("--area-budget must be >= 0");
+    } else if (arg == "--max-ises") {
+      opt.max_ises = std::atoi(next_value());
+      if (opt.max_ises < 0) usage("--max-ises must be >= 0");
     } else if (arg == "--trace-out") {
       opt.trace_out = next_value();
     } else if (arg == "--metrics-out") {
@@ -344,6 +373,191 @@ int cmd_listing(const CliOptions& opt, const isa::ParsedBlock& block) {
   return 0;
 }
 
+/// One parsed manifest row: `path [weight] [name]`.
+struct ManifestRow {
+  std::string path;
+  double weight = 1.0;
+  std::string name;
+};
+
+/// Parses the portfolio manifest: one program per line, `#` comments and
+/// blank lines skipped.  Relative paths resolve against the manifest's own
+/// directory, so a manifest checked in next to its kernels stays portable.
+Expected<std::vector<ManifestRow>> parse_manifest(const std::string& path,
+                                                  const std::string& text) {
+  std::string dir;
+  const std::size_t slash = path.rfind('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash + 1);
+
+  std::vector<ManifestRow> rows;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    ManifestRow row;
+    if (!(fields >> row.path)) continue;  // blank / comment-only line
+    std::string weight_token;
+    if (fields >> weight_token) {
+      char* end = nullptr;
+      row.weight = std::strtod(weight_token.c_str(), &end);
+      if (end == weight_token.c_str() || *end != '\0' || !(row.weight > 0.0))
+        return Error(ErrorCode::kFlowParamsInvalid,
+                     path + ":" + std::to_string(lineno) + ": weight '" +
+                         weight_token + "' must be a number > 0");
+      fields >> row.name;
+    }
+    if (row.name.empty()) {
+      // Default name: the path's basename without extension.
+      std::string base = row.path;
+      const std::size_t s = base.rfind('/');
+      if (s != std::string::npos) base.erase(0, s + 1);
+      const std::size_t dot = base.rfind('.');
+      if (dot != std::string::npos && dot > 0) base.erase(dot);
+      row.name = base;
+    }
+    if (row.path[0] != '/') row.path = dir + row.path;
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty())
+    return Error(ErrorCode::kProgramEmpty,
+                 "manifest '" + path + "' lists no programs");
+  return rows;
+}
+
+int cmd_portfolio(const CliOptions& opt) {
+  const std::string manifest_path =
+      !opt.manifest.empty() ? opt.manifest : opt.input_path;
+  if (manifest_path.empty())
+    usage("portfolio needs --manifest FILE (or a manifest path argument)");
+  Expected<std::string> manifest_text = read_file(manifest_path);
+  if (!manifest_text) {
+    std::fprintf(stderr, "isex: %s: %s\n", manifest_path.c_str(),
+                 manifest_text.error().to_string().c_str());
+    return 1;
+  }
+  Expected<std::vector<ManifestRow>> rows =
+      parse_manifest(manifest_path, *manifest_text);
+  if (!rows) {
+    std::fprintf(stderr, "isex: %s\n", rows.error().to_string().c_str());
+    return 1;
+  }
+
+  std::vector<flow::PortfolioEntry> entries;
+  entries.reserve(rows->size());
+  for (const ManifestRow& row : *rows) {
+    Expected<std::string> source = read_file(row.path);
+    if (!source) {
+      std::fprintf(stderr, "isex: %s: %s\n", row.path.c_str(),
+                   source.error().to_string().c_str());
+      return 1;
+    }
+    Expected<isa::ParsedBlock> parsed = isa::parse_tac_checked(*source);
+    if (!parsed) {
+      std::fprintf(stderr, "isex: %s: %s\n", row.path.c_str(),
+                   parsed.error().to_string().c_str());
+      return 1;
+    }
+    if (!report_issues(row.path.c_str(), dfg::validate(parsed->graph)))
+      return 1;
+    flow::PortfolioEntry entry;
+    entry.program.name = row.name;
+    entry.program.blocks.push_back(
+        flow::ProfiledBlock{"kernel", std::move(parsed->graph), 1});
+    entry.weight = row.weight;
+    entries.push_back(std::move(entry));
+  }
+
+  flow::PortfolioConfig config;
+  config.base.machine =
+      sched::MachineConfig::make(opt.issue, {opt.read_ports, opt.write_ports});
+  config.base.params.colonies = opt.colonies;
+  config.base.params.merge_interval = opt.merge_interval;
+  config.base.repeats = opt.repeats;
+  config.base.seed = opt.seed;
+  config.base.constraints.max_ises = opt.max_ises;
+  if (opt.area_budget >= 0.0)
+    config.base.constraints.area_budget = opt.area_budget;
+  config.base.algorithm = opt.baseline ? flow::Algorithm::kSingleIssue
+                                       : flow::Algorithm::kMultiIssue;
+  if (!report_issues("machine config", sched::validate(config.base.machine)))
+    return 1;
+
+  Expected<flow::PortfolioResult> result = flow::run_portfolio_flow_checked(
+      entries, hw::HwLibrary::paper_default(), config);
+  if (!result) {
+    std::fprintf(stderr, "isex: %s\n", result.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "%zu programs; %d-issue %d/%d ports; shared budget: %s um^2, %d types\n",
+      entries.size(), opt.issue, opt.read_ports, opt.write_ports,
+      opt.area_budget >= 0.0 ? TablePrinter::fmt(opt.area_budget, 1).c_str()
+                             : "unlimited",
+      opt.max_ises);
+  std::printf("batch: %llu jobs, %llu deduped\n",
+              static_cast<unsigned long long>(result->total_jobs),
+              static_cast<unsigned long long>(result->deduped_jobs));
+  // Hit/miss *counts* are timing-dependent (two workers can race to evaluate
+  // the same key and both miss); stdout stays byte-identical at any --jobs,
+  // so the cache telemetry goes to stderr like the other diagnostics.
+  std::fprintf(
+      stderr, "eval dedup hit-rate %.1f%% (%llu hits / %llu misses)\n",
+      100.0 * result->eval_cache_stats.hit_rate(),
+      static_cast<unsigned long long>(result->eval_cache_stats.hits),
+      static_cast<unsigned long long>(result->eval_cache_stats.misses));
+  if (result->isomorphic_hot_blocks > 0 || result->isomorphic_candidates > 0)
+    std::printf(
+        "isomorphic-but-renumbered: %llu hot blocks, %llu candidates "
+        "(detected, not value-shared)\n",
+        static_cast<unsigned long long>(result->isomorphic_hot_blocks),
+        static_cast<unsigned long long>(result->isomorphic_candidates));
+
+  TablePrinter programs;
+  programs.set_header({"program", "weight", "base", "final", "reduction",
+                       "ISEs", "weighted benefit"});
+  for (const flow::PortfolioProgramResult& prog : result->programs) {
+    programs.add_row({prog.name, TablePrinter::fmt(prog.weight, 2),
+                      std::to_string(prog.base_time()),
+                      std::to_string(prog.final_time()),
+                      TablePrinter::fmt(100.0 * prog.reduction(), 2) + "%",
+                      std::to_string(prog.selection.selected.size()),
+                      TablePrinter::fmt(prog.weighted_benefit(), 1)});
+  }
+  std::ostringstream out;
+  programs.print(out);
+  std::fputs(out.str().c_str(), stdout);
+
+  std::printf("selected %zu ISE(s), %d type(s), %s um^2 total\n",
+              result->selection.selected.size(), result->num_ise_types(),
+              TablePrinter::fmt(result->total_area(), 1).c_str());
+  if (!result->selection.selected.empty()) {
+    TablePrinter table;
+    table.set_header({"#", "program", "type", "shared", "area (um^2)", "gain",
+                      "weighted benefit"});
+    for (std::size_t i = 0; i < result->selection.selected.size(); ++i) {
+      const flow::PortfolioSelectedIse& sel = result->selection.selected[i];
+      table.add_row({std::to_string(i + 1),
+                     result->programs[sel.program_index].name,
+                     std::to_string(sel.type_id),
+                     sel.hardware_shared ? "yes" : "no",
+                     TablePrinter::fmt(sel.entry.ise.eval.area, 1),
+                     std::to_string(sel.entry.ise.gain_cycles),
+                     TablePrinter::fmt(sel.weighted_benefit, 1)});
+    }
+    std::ostringstream ises;
+    table.print(ises);
+    std::fputs(ises.str().c_str(), stdout);
+  } else {
+    std::printf("(no profitable ISE selected)\n");
+  }
+  return 0;
+}
+
 int cmd_eval(const CliOptions& opt, const isa::ParsedBlock& block) {
   exec::Evaluator evaluator;
   for (const auto& [name, value] : opt.bindings) evaluator.set(name, value);
@@ -427,6 +641,24 @@ int main(int argc, char** argv) {
     util::ShutdownRequest::instance().flush_and_exit_on_signal(
         [opt = *opt] { write_observability(opt); });
   }
+
+  // The portfolio command reads a manifest of kernels, not one TAC file, so
+  // it owns its whole input path.
+  if (opt->command == "portfolio") {
+    int rc;
+    {
+      const trace::ContextScope run_context(
+          trace::TraceContext{trace::Tracer::global().enabled()
+                                  ? trace::mint_trace_id()
+                                  : 0,
+                              /*span_id=*/0});
+      const trace::Span command_span("isex:portfolio");
+      rc = cmd_portfolio(*opt);
+    }
+    write_observability(*opt);
+    return rc;
+  }
+  if (opt->input_path.empty()) usage("missing <kernel.tac> argument");
 
   // Input boundary: read → parse (strict) → validate, with structured
   // diagnostics at every step.  A kernel that fails here never reaches the

@@ -7,6 +7,7 @@ Stdlib only, so CI and operators can use it anywhere Python 3 runs.
 
 Usage:
     isex_client.py --port P [--host H] submit --kernel K.tac [options]
+    isex_client.py --port P [--host H] portfolio --manifest M.txt [options]
     isex_client.py --port P [--host H] metrics
     isex_client.py --port P [--host H] healthz
     isex_client.py --port P [--host H] statusz
@@ -15,6 +16,12 @@ Submit options: --id TOKEN --priority N --issue N --ports R/W --repeats N
 --seed N --colonies K --merge-interval N --max-ises N --area-budget A
 --baseline --count N (submit the same job N times on one connection — the
 warm-cache demo).
+
+Portfolio manifests use the isex_cli format (docs/PORTFOLIO.md): one
+`kernel.tac [weight] [name]` row per line, `#` comments, paths relative to
+the manifest file.  The portfolio subcommand accepts the same options as
+submit except --priority (portfolio jobs carry the manifest instead of a
+single kernel).
 
 Exit status: 0 when every response has "ok": true (submit) or HTTP 200
 (metrics/healthz), 1 otherwise.  Responses are printed one JSON object per
@@ -27,6 +34,7 @@ import argparse
 import json
 import socket
 import sys
+from pathlib import Path
 
 
 def read_line(sock_file):
@@ -36,19 +44,11 @@ def read_line(sock_file):
     return line.decode("utf-8").rstrip("\n")
 
 
-def cmd_submit(args) -> int:
-    try:
-        with open(args.kernel, "r", encoding="utf-8") as f:
-            kernel = f.read()
-    except OSError as e:
-        print(f"isex_client: cannot read {args.kernel}: {e}", file=sys.stderr)
-        return 1
-
-    request = {"kernel": kernel}
+def apply_common_options(args, request) -> bool:
+    """Folds the shared flow options into `request`; False on a bad flag."""
     if args.id:
         request["id"] = args.id
-    for field in ("priority", "issue", "repeats", "seed", "colonies",
-                  "merge_interval"):
+    for field in ("issue", "repeats", "seed", "colonies", "merge_interval"):
         value = getattr(args, field)
         if value is not None:
             request[field] = value
@@ -58,7 +58,7 @@ def cmd_submit(args) -> int:
         except ValueError:
             print("isex_client: --ports expects R/W, e.g. 6/3",
                   file=sys.stderr)
-            return 1
+            return False
         request["read_ports"] = read_ports
         request["write_ports"] = write_ports
     if args.max_ises is not None:
@@ -67,7 +67,10 @@ def cmd_submit(args) -> int:
         request["area_budget"] = args.area_budget
     if args.baseline:
         request["baseline"] = True
+    return True
 
+
+def send_requests(args, request) -> int:
     line = json.dumps(request)
     ok = True
     with socket.create_connection((args.host, args.port),
@@ -82,6 +85,66 @@ def cmd_submit(args) -> int:
             except json.JSONDecodeError:
                 ok = False
     return 0 if ok else 1
+
+
+def cmd_submit(args) -> int:
+    try:
+        with open(args.kernel, "r", encoding="utf-8") as f:
+            kernel = f.read()
+    except OSError as e:
+        print(f"isex_client: cannot read {args.kernel}: {e}", file=sys.stderr)
+        return 1
+
+    request = {"kernel": kernel}
+    if args.priority is not None:
+        request["priority"] = args.priority
+    if not apply_common_options(args, request):
+        return 1
+    return send_requests(args, request)
+
+
+def parse_manifest(path: Path):
+    """isex_cli manifest rows: `kernel.tac [weight] [name]`, # comments."""
+    programs = []
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(),
+                                 start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) > 3:
+            raise ValueError(f"{path}:{lineno}: expected "
+                             "'kernel.tac [weight] [name]'")
+        kernel_path = Path(fields[0])
+        if not kernel_path.is_absolute():
+            kernel_path = path.parent / kernel_path
+        program = {"kernel": kernel_path.read_text(encoding="utf-8")}
+        if len(fields) >= 2:
+            try:
+                weight = float(fields[1])
+            except ValueError as err:
+                raise ValueError(f"{path}:{lineno}: bad weight "
+                                 f"'{fields[1]}'") from err
+            if not weight > 0.0:
+                raise ValueError(f"{path}:{lineno}: weight must be > 0")
+            program["weight"] = weight
+        program["name"] = fields[2] if len(fields) == 3 else kernel_path.stem
+        programs.append(program)
+    if not programs:
+        raise ValueError(f"{path}: manifest has no programs")
+    return programs
+
+
+def cmd_portfolio(args) -> int:
+    try:
+        programs = parse_manifest(Path(args.manifest))
+    except (OSError, ValueError) as e:
+        print(f"isex_client: {e}", file=sys.stderr)
+        return 1
+    request = {"programs": programs}
+    if not apply_common_options(args, request):
+        return 1
+    return send_requests(args, request)
 
 
 def cmd_http(args, path: str) -> int:
@@ -105,22 +168,31 @@ def main() -> int:
     parser.add_argument("--timeout", type=float, default=300.0)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_flow_options(p):
+        p.add_argument("--id", default="")
+        p.add_argument("--issue", type=int, default=None)
+        p.add_argument("--ports", default=None, help="R/W, e.g. 6/3")
+        p.add_argument("--repeats", type=int, default=None)
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--colonies", type=int, default=None)
+        p.add_argument("--merge-interval", type=int, default=None,
+                       dest="merge_interval")
+        p.add_argument("--max-ises", type=int, default=None)
+        p.add_argument("--area-budget", type=float, default=None)
+        p.add_argument("--baseline", action="store_true")
+        p.add_argument("--count", type=int, default=1,
+                       help="submit the same job N times (cache demo)")
+
     submit = sub.add_parser("submit", help="submit an exploration job")
     submit.add_argument("--kernel", required=True, help="TAC kernel file")
-    submit.add_argument("--id", default="")
     submit.add_argument("--priority", type=int, default=None)
-    submit.add_argument("--issue", type=int, default=None)
-    submit.add_argument("--ports", default=None, help="R/W, e.g. 6/3")
-    submit.add_argument("--repeats", type=int, default=None)
-    submit.add_argument("--seed", type=int, default=None)
-    submit.add_argument("--colonies", type=int, default=None)
-    submit.add_argument("--merge-interval", type=int, default=None,
-                        dest="merge_interval")
-    submit.add_argument("--max-ises", type=int, default=None)
-    submit.add_argument("--area-budget", type=float, default=None)
-    submit.add_argument("--baseline", action="store_true")
-    submit.add_argument("--count", type=int, default=1,
-                        help="submit the same job N times (cache demo)")
+    add_flow_options(submit)
+
+    portfolio = sub.add_parser(
+        "portfolio", help="submit a weighted multi-program portfolio job")
+    portfolio.add_argument("--manifest", required=True,
+                           help="manifest file: kernel.tac [weight] [name]")
+    add_flow_options(portfolio)
 
     sub.add_parser("metrics", help="print the Prometheus snapshot")
     sub.add_parser("healthz", help="print the health probe body")
@@ -130,6 +202,8 @@ def main() -> int:
     try:
         if args.command == "submit":
             return cmd_submit(args)
+        if args.command == "portfolio":
+            return cmd_portfolio(args)
         return cmd_http(args, f"/{args.command}")
     except (OSError, ConnectionError) as e:
         print(f"isex_client: {e}", file=sys.stderr)
