@@ -1,0 +1,9 @@
+// libFuzzer target: cache-config spec parser (see fuzz_targets.hpp).
+//
+//   ./fuzz/fuzz_cache_config fuzz/corpus/cachecfg -max_total_time=30
+#include "fuzz_targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return isex::fuzz::run_cache_config_input(data, size);
+}

@@ -5,6 +5,7 @@
 
 #include "dfg/validate.hpp"
 #include "isa/tac_parser.hpp"
+#include "mem/cache_model.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/machine_config.hpp"
 #include "util/assert.hpp"
@@ -109,6 +110,54 @@ int run_roundtrip_input(const std::uint8_t* data, std::size_t size) {
                         "schedule violates a dependence");
     }
   }
+  return 0;
+}
+
+int run_cache_config_input(const std::uint8_t* data, std::size_t size) {
+  // Specs are one short line; a longer prefix still exercises the parser.
+  constexpr std::size_t kMaxSpecBytes = 4096;
+  if (size > kMaxSpecBytes) size = kMaxSpecBytes;
+  const std::string_view spec{reinterpret_cast<const char*>(data), size};
+
+  const Expected<mem::CacheConfig> parsed = mem::parse_cache_config(spec);
+  if (!parsed.has_value()) {
+    const Error& e = parsed.error();
+    const auto code = static_cast<int>(e.code());
+    ISEX_ASSERT_MSG(code >= 701 && code <= 704,
+                    "cache-config rejection outside the E07xx block");
+    ISEX_ASSERT_MSG(!e.message().empty(), "rejection without a message");
+    return 0;
+  }
+
+  // Accepted configs must validate cleanly (warnings allowed) ...
+  const ValidationReport report = mem::validate(*parsed);
+  if (!report.ok())
+    contract_violation("parser-accepted cache config failed validate",
+                       &report);
+
+  // ... round-trip through the canonical label with an identical
+  // fingerprint ...
+  const Expected<mem::CacheConfig> again =
+      mem::parse_cache_config(parsed->label());
+  ISEX_ASSERT_MSG(again.has_value(), "canonical label failed to re-parse");
+  ISEX_ASSERT_MSG(*again == *parsed, "label round-trip changed the config");
+  ISEX_ASSERT_MSG(mem::fingerprint(*again, 1) == mem::fingerprint(*parsed, 1),
+                  "label round-trip changed the fingerprint");
+
+  // ... and drive a simulation without UB.  A handful of accesses spanning
+  // both levels' set ranges; latencies must be one of the three configured
+  // levels.
+  mem::CacheModel model(*parsed);
+  for (const std::uint64_t address :
+       {std::uint64_t{0}, std::uint64_t{0x1f}, std::uint64_t{4096},
+        std::uint64_t{1} << 20, std::uint64_t{0}}) {
+    const int latency = model.access(address, 4);
+    ISEX_ASSERT_MSG(latency == parsed->l1.hit_latency ||
+                        latency == parsed->l2.hit_latency ||
+                        latency == parsed->mem_latency,
+                    "access latency matches no configured level");
+  }
+  ISEX_ASSERT_MSG(model.stats().accesses >= 5, "simulation lost accesses");
   return 0;
 }
 

@@ -29,4 +29,10 @@ int run_tac_parser_input(const std::uint8_t* data, std::size_t size);
 /// Parse → validate → schedule round-trip; returns 0 (libFuzzer ABI).
 int run_roundtrip_input(const std::uint8_t* data, std::size_t size);
 
+/// Cache-config spec parser (mem::parse_cache_config): accepted configs
+/// must validate, round-trip through label(), fingerprint stably, and drive
+/// a CacheModel without UB; rejections must carry an E07xx code and a
+/// message.  Returns 0 (libFuzzer ABI).
+int run_cache_config_input(const std::uint8_t* data, std::size_t size);
+
 }  // namespace isex::fuzz

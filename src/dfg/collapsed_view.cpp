@@ -100,9 +100,9 @@ void CollapsedView::build_adjacency(const Graph& base, const NodeSet& members) {
 
 CollapsedView::NodeView CollapsedView::node(NodeId v) const {
   ISEX_ASSERT(v < num_nodes_);
-  if (v == super_) return NodeView{isa::Opcode::kNop, true, info_};
+  if (v == super_) return NodeView{isa::Opcode::kNop, true, 0, info_};
   const Node& n = base_->node(view_to_old_[v]);
-  return NodeView{n.opcode, n.is_ise, n.ise};
+  return NodeView{n.opcode, n.is_ise, n.mem_latency, n.ise};
 }
 
 std::span<const NodeId> CollapsedView::preds(NodeId v) const {

@@ -34,6 +34,9 @@ class CollapsedView {
   struct NodeView {
     isa::Opcode opcode;
     bool is_ise;
+    /// Memory-model latency annotation (dfg::Node::mem_latency); 0 for the
+    /// supernode — ISE members are never memory operations.
+    int mem_latency;
     const IseInfo& ise;
   };
 

@@ -168,6 +168,7 @@ Graph Graph::collapse(const NodeSet& members, IseInfo info,
       const Node& n = nodes_[v];
       const NodeId nv = n.is_ise ? reduced.add_ise_node(n.ise, n.label)
                                  : reduced.add_node(n.opcode, n.label);
+      reduced.node(nv).mem_latency = n.mem_latency;
       remap[v] = nv;
     }
   }

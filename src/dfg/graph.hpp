@@ -42,6 +42,10 @@ struct Node {
   /// True for a collapsed ISE supernode; `ise` is then meaningful and
   /// `opcode` is ignored by scheduling/exploration.
   bool is_ise = false;
+  /// Effective load/store latency in cycles stamped by the memory-hierarchy
+  /// model (mem::annotate_graph); 0 means unannotated — the scheduler then
+  /// charges the legacy one-cycle latency.  Preserved across collapse().
+  int mem_latency = 0;
   IseInfo ise;
 };
 

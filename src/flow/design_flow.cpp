@@ -6,10 +6,32 @@
 #include "flow/validate.hpp"
 #include "runtime/job_graph.hpp"
 #include "runtime/runtime_stats.hpp"
+#include "trace/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace isex::flow {
+
+mem::CacheStats annotate_program(ProfiledProgram& program,
+                                 const mem::CacheConfig& config) {
+  mem::CacheStats stats;
+  for (ProfiledBlock& block : program.blocks)
+    stats.merge(mem::annotate_graph(block.graph, config));
+  trace::MetricsRegistry& registry = trace::MetricsRegistry::global();
+  registry.counter("isex_cache_accesses_total")
+      .inc(static_cast<double>(stats.accesses));
+  registry.counter("isex_cache_hits_total", {{"level", "l1"}})
+      .inc(static_cast<double>(stats.l1_hits));
+  registry.counter("isex_cache_hits_total", {{"level", "l2"}})
+      .inc(static_cast<double>(stats.l2_hits));
+  registry.counter("isex_cache_mem_accesses_total")
+      .inc(static_cast<double>(stats.mem_accesses));
+  registry.counter("isex_cache_annotated_nodes_total")
+      .inc(static_cast<double>(stats.annotated_nodes));
+  registry.gauge("isex_cache_last_l1_hit_rate").set(stats.l1_hit_rate());
+  return stats;
+}
+
 namespace {
 
 /// Explores every (hot block × repeat) pair as one flat batch of pool jobs,
@@ -72,11 +94,27 @@ Expected<FlowResult> run_design_flow_checked(const ProfiledProgram& program,
   // the flow's wall-clock breakdown is first-class output, not printf.
   FlowResult result;
 
+  // 0. Memory-hierarchy annotation.  Runs before profiling so every stage
+  // downstream — hot-block costs, exploration merit, selection, replacement
+  // — prices the same modeled load/store latencies.  The input program is
+  // never mutated; with no cache model `annotated` stays empty and the
+  // legacy latencies (and digests) are untouched.
+  ProfiledProgram annotated;
+  const ProfiledProgram* active = &program;
+  if (config.cache) {
+    const runtime::StageTimer timer("cache_model");
+    annotated = program;
+    result.cache_stats = annotate_program(annotated, *config.cache);
+    result.cache_modeled = true;
+    active = &annotated;
+  }
+  const ProfiledProgram& prog = *active;
+
   // 1. Profiling + hot-block selection.
   {
     const runtime::StageTimer timer("profiling");
     const std::vector<BlockCost> costs =
-        profile_blocks(program, config.machine);
+        profile_blocks(prog, config.machine);
     result.hot_blocks =
         select_hot_blocks(costs, config.hot_coverage, config.max_hot_blocks);
   }
@@ -100,12 +138,12 @@ Expected<FlowResult> run_design_flow_checked(const ProfiledProgram& program,
     if (config.algorithm == Algorithm::kMultiIssue) {
       const core::MultiIssueExplorer explorer(config.machine, format, library,
                                               config.params);
-      explorations = explore_hot_blocks(explorer, program, result.hot_blocks,
+      explorations = explore_hot_blocks(explorer, prog, result.hot_blocks,
                                         config.repeats, rng, pool);
     } else {
       const baseline::SingleIssueExplorer explorer(format, library,
                                                    config.params);
-      explorations = explore_hot_blocks(explorer, program, result.hot_blocks,
+      explorations = explore_hot_blocks(explorer, prog, result.hot_blocks,
                                         config.repeats, rng, pool);
     }
   }
@@ -114,14 +152,14 @@ Expected<FlowResult> run_design_flow_checked(const ProfiledProgram& program,
   {
     const runtime::StageTimer timer("selection");
     const std::vector<IseCatalogEntry> catalog =
-        build_catalog(program, result.hot_blocks, explorations);
+        build_catalog(prog, result.hot_blocks, explorations);
     result.selection = select_ises(catalog, config.constraints);
   }
 
   // 4. Replacement and final scheduling.
   {
     const runtime::StageTimer timer("replacement");
-    result.replacement = apply_selection(program, result.selection,
+    result.replacement = apply_selection(prog, result.selection,
                                          config.machine, config.replacement);
   }
   if (config.keep_explorations) result.explorations = std::move(explorations);

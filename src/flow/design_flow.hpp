@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "baseline/si_explorer.hpp"
 #include "core/mi_explorer.hpp"
@@ -13,6 +14,8 @@
 #include "flow/replacement.hpp"
 #include "flow/selection.hpp"
 #include "hwlib/hw_library.hpp"
+#include "mem/cache_model.hpp"
+#include "mem/mem_stream.hpp"
 #include "sched/machine_config.hpp"
 
 namespace isex::flow {
@@ -42,6 +45,12 @@ struct FlowConfig {
   /// default (they can be large); the portfolio bit-identity gates compare
   /// them against run_portfolio_flow's per-program explorations.
   bool keep_explorations = false;
+  /// Memory-hierarchy cost model (docs/MEMORY.md).  When set, every block
+  /// is annotated with simulated L1/L2 load/store latencies before
+  /// profiling, so all downstream stages — exploration merit, selection,
+  /// replacement — price memory behavior.  Unset (the null model) keeps the
+  /// legacy one-cycle latencies and all historic digests.
+  std::optional<mem::CacheConfig> cache;
 };
 
 struct FlowResult {
@@ -52,6 +61,10 @@ struct FlowResult {
   /// Per-hot-block exploration results (parallel to hot_blocks); populated
   /// only when FlowConfig::keep_explorations is set.
   std::vector<core::ExplorationResult> explorations;
+  /// True when FlowConfig::cache drove the run; `cache_stats` then holds the
+  /// aggregate hit/miss counters of the per-block annotation simulations.
+  bool cache_modeled = false;
+  mem::CacheStats cache_stats;
 
   std::uint64_t base_time() const { return replacement.base_time; }
   std::uint64_t final_time() const { return replacement.final_time; }
@@ -59,6 +72,13 @@ struct FlowResult {
   double total_area() const { return selection.total_area; }
   int num_ise_types() const { return selection.num_types; }
 };
+
+/// Stamps the cache model's load/store latencies onto every block of
+/// `program` (mem::annotate_graph per block) and records the aggregate
+/// counters into the `isex_cache_*` metrics.  Each block is a fresh
+/// simulation, so the result is independent of block order and job count.
+mem::CacheStats annotate_program(ProfiledProgram& program,
+                                 const mem::CacheConfig& config);
 
 /// Runs the complete flow on `program`.  Deterministic in config.seed.
 /// Validates the program and config first (flow::validate) and throws

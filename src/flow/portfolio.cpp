@@ -157,15 +157,33 @@ Expected<PortfolioResult> run_portfolio_flow_checked(
   PortfolioResult result;
   result.programs.resize(entries.size());
 
+  // 0. Memory-hierarchy annotation (docs/MEMORY.md).  Must run before the
+  // block digests below are taken: annotated latencies are scheduler input,
+  // so they are part of the dedup identity — and because each block's
+  // annotation is a pure function of (graph, cache config), the
+  // portfolio ≡ independent-flows identity is preserved.
+  std::vector<PortfolioEntry> annotated;
+  const std::vector<PortfolioEntry>* active = &entries;
+  if (config.base.cache) {
+    const runtime::StageTimer timer("portfolio.cache_model");
+    annotated = entries;
+    for (PortfolioEntry& entry : annotated)
+      result.cache_stats.merge(
+          annotate_program(entry.program, *config.base.cache));
+    result.cache_modeled = true;
+    active = &annotated;
+  }
+  const std::vector<PortfolioEntry>& ents = *active;
+
   // 1. Profiling + hot-block selection, per program (cheap, serial).
   {
     const runtime::StageTimer timer("portfolio.profiling");
-    for (std::size_t p = 0; p < entries.size(); ++p) {
+    for (std::size_t p = 0; p < ents.size(); ++p) {
       PortfolioProgramResult& prog = result.programs[p];
-      prog.name = entries[p].program.name;
-      prog.weight = entries[p].weight;
+      prog.name = ents[p].program.name;
+      prog.weight = ents[p].weight;
       const std::vector<BlockCost> costs =
-          profile_blocks(entries[p].program, config.base.machine);
+          profile_blocks(ents[p].program, config.base.machine);
       prog.hot_blocks = select_hot_blocks(costs, config.base.hot_coverage,
                                           config.base.max_hot_blocks);
     }
@@ -182,11 +200,11 @@ Expected<PortfolioResult> run_portfolio_flow_checked(
   // result.  The dedup decision is made serially here, before the fan-out.
   const auto per_block = static_cast<std::size_t>(config.base.repeats);
   std::vector<UniqueJob> unique_jobs;
-  std::vector<std::vector<std::size_t>> job_of(entries.size());
-  std::vector<std::vector<runtime::Key128>> block_digests(entries.size());
+  std::vector<std::vector<std::size_t>> job_of(ents.size());
+  std::vector<std::vector<runtime::Key128>> block_digests(ents.size());
   {
     std::map<std::pair<std::size_t, KeyPair>, std::size_t> first_job;
-    for (std::size_t p = 0; p < entries.size(); ++p) {
+    for (std::size_t p = 0; p < ents.size(); ++p) {
       const PortfolioProgramResult& prog = result.programs[p];
       Rng rng(config.base.seed);
       std::vector<Rng> streams =
@@ -194,7 +212,7 @@ Expected<PortfolioResult> run_portfolio_flow_checked(
       block_digests[p].reserve(prog.hot_blocks.size());
       for (const std::size_t bi : prog.hot_blocks)
         block_digests[p].push_back(
-            runtime::graph_digest(entries[p].program.blocks[bi].graph));
+            runtime::graph_digest(ents[p].program.blocks[bi].graph));
       job_of[p].resize(streams.size());
       for (std::size_t j = 0; j < streams.size(); ++j) {
         const std::size_t hot_pos = j / per_block;
@@ -204,7 +222,7 @@ Expected<PortfolioResult> run_portfolio_flow_checked(
             first_job.try_emplace(key, unique_jobs.size());
         if (inserted) {
           unique_jobs.push_back(UniqueJob{
-              &entries[p].program.blocks[prog.hot_blocks[hot_pos]].graph,
+              &ents[p].program.blocks[prog.hot_blocks[hot_pos]].graph,
               streams[j]});
         } else {
           ++result.deduped_jobs;
@@ -258,7 +276,7 @@ Expected<PortfolioResult> run_portfolio_flow_checked(
 
   // Reduce best-of-repeats per (program, hot block), in repeat order —
   // identical to run_design_flow's reduction.
-  for (std::size_t p = 0; p < entries.size(); ++p) {
+  for (std::size_t p = 0; p < ents.size(); ++p) {
     PortfolioProgramResult& prog = result.programs[p];
     prog.explorations.reserve(prog.hot_blocks.size());
     for (std::size_t b = 0; b < prog.hot_blocks.size(); ++b) {
@@ -275,10 +293,10 @@ Expected<PortfolioResult> run_portfolio_flow_checked(
   std::vector<PortfolioCatalogEntry> catalog;
   {
     const runtime::StageTimer timer("portfolio.selection");
-    for (std::size_t p = 0; p < entries.size(); ++p) {
+    for (std::size_t p = 0; p < ents.size(); ++p) {
       const PortfolioProgramResult& prog = result.programs[p];
       for (IseCatalogEntry& entry : build_catalog(
-               entries[p].program, prog.hot_blocks, prog.explorations)) {
+               ents[p].program, prog.hot_blocks, prog.explorations)) {
         PortfolioCatalogEntry merged;
         merged.program_index = p;
         merged.weight = prog.weight;
@@ -298,10 +316,10 @@ Expected<PortfolioResult> run_portfolio_flow_checked(
   {
     std::map<KeyPair, std::set<KeyPair>> canon_to_exact;
     std::map<KeyPair, std::size_t> canon_count;
-    for (std::size_t p = 0; p < entries.size(); ++p) {
+    for (std::size_t p = 0; p < ents.size(); ++p) {
       for (std::size_t b = 0; b < result.programs[p].hot_blocks.size(); ++b) {
         const dfg::Graph& graph =
-            entries[p]
+            ents[p]
                 .program.blocks[result.programs[p].hot_blocks[b]]
                 .graph;
         const KeyPair canon = key_pair(runtime::canonical_graph_digest(graph));
@@ -331,7 +349,7 @@ Expected<PortfolioResult> run_portfolio_flow_checked(
   {
     const runtime::StageTimer timer("portfolio.replacement");
     std::set<int> charged_types;
-    for (std::size_t p = 0; p < entries.size(); ++p) {
+    for (std::size_t p = 0; p < ents.size(); ++p) {
       PortfolioProgramResult& prog = result.programs[p];
       std::set<int> used_types;
       for (const PortfolioSelectedIse& sel : result.selection.selected) {
@@ -347,7 +365,7 @@ Expected<PortfolioResult> run_portfolio_flow_checked(
       }
       prog.selection.num_types = static_cast<int>(used_types.size());
       prog.replacement =
-          apply_selection(entries[p].program, prog.selection,
+          apply_selection(ents[p].program, prog.selection,
                           config.base.machine, config.base.replacement);
     }
   }

@@ -124,6 +124,11 @@ struct PortfolioResult {
   /// Explored candidates whose pattern is canonically isomorphic to another
   /// program's candidate pattern.
   std::uint64_t isomorphic_candidates = 0;
+  /// Memory-hierarchy model telemetry (FlowConfig::cache on base): true when
+  /// the batch ran with annotated load/store latencies, plus the aggregate
+  /// simulation counters across every program.
+  bool cache_modeled = false;
+  mem::CacheStats cache_stats;
 
   double total_area() const { return selection.total_area; }
   int num_ise_types() const { return selection.num_types; }

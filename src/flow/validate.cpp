@@ -66,6 +66,7 @@ ValidationReport validate(const FlowConfig& config) {
   if (!(p.merge_evaporation >= 0.0) || p.merge_evaporation > 1.0)
     param_error("merge_evaporation " + std::to_string(p.merge_evaporation) +
                 " is outside [0, 1]");
+  if (config.cache) report.merge(mem::validate(*config.cache));
   return report;
 }
 

@@ -17,8 +17,13 @@ GPlus::GPlus(const dfg::Graph& graph, const HwLibrary& library) : graph_(&graph)
     } else if (isa::ise_eligible(n.opcode) && library.has_hardware(n.opcode)) {
       tables_.push_back(library.make_io_table(n.opcode));
     } else {
+      // Memory ops annotated by the cache model charge their modeled latency
+      // here too, so merit's software baseline and the critical path agree
+      // with what the scheduler will charge.
+      const double sw_cycles =
+          n.mem_latency > 0 ? static_cast<double>(n.mem_latency) : 1.0;
       tables_.emplace_back(
-          std::vector<ImplOption>{{ImplKind::kSoftware, "SW-1", 1.0, 0.0}});
+          std::vector<ImplOption>{{ImplKind::kSoftware, "SW-1", sw_cycles, 0.0}});
     }
   }
 }

@@ -1,0 +1,265 @@
+#include "mem/cache_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "runtime/hash.hpp"
+#include "util/assert.hpp"
+
+namespace isex::mem {
+
+namespace {
+
+constexpr std::uint64_t kEmptyTag = std::numeric_limits<std::uint64_t>::max();
+
+bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+int log2_floor(int x) {
+  ISEX_ASSERT(x > 0);
+  return std::bit_width(static_cast<unsigned>(x)) - 1;
+}
+
+std::string size_label(int bytes) {
+  if (bytes >= 1024 && bytes % 1024 == 0)
+    return std::to_string(bytes / 1024) + "k";
+  return std::to_string(bytes);
+}
+
+/// Parses a non-negative integer with an optional k/K suffix.  Returns -1 on
+/// any defect (empty, junk, overflow) — the caller owns the diagnostic.
+long long parse_size_value(std::string_view text) {
+  if (text.empty()) return -1;
+  long long multiplier = 1;
+  if (text.back() == 'k' || text.back() == 'K') {
+    multiplier = 1024;
+    text.remove_suffix(1);
+    if (text.empty()) return -1;
+  }
+  long long value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+    if (value > (1LL << 40)) return -1;  // far beyond any sane geometry
+  }
+  return value * multiplier;
+}
+
+void check_level(const CacheLevelConfig& level, const char* name,
+                 ValidationReport& report) {
+  const std::string prefix = std::string(name) + " ";
+  if (level.ways < 1)
+    report.add(ErrorCode::kCacheGeometry,
+               prefix + "associativity " + std::to_string(level.ways) +
+                   " is invalid (ways must be >= 1)");
+  if (!is_pow2(level.line_bytes) || level.line_bytes < 4)
+    report.add(ErrorCode::kCacheGeometry,
+               prefix + "line size " + std::to_string(level.line_bytes) +
+                   " is invalid (must be a power of two >= 4)");
+  if (level.ways >= 1 && is_pow2(level.line_bytes) && level.line_bytes >= 4) {
+    const long long line_x_ways =
+        static_cast<long long>(level.line_bytes) * level.ways;
+    if (level.size_bytes < line_x_ways ||
+        level.size_bytes % line_x_ways != 0 || !is_pow2(level.num_sets()))
+      report.add(ErrorCode::kCacheGeometry,
+                 prefix + "capacity " + std::to_string(level.size_bytes) +
+                     " does not decompose into a power-of-two number of " +
+                     std::to_string(level.ways) + "-way sets of " +
+                     std::to_string(level.line_bytes) + "-byte lines");
+  }
+  if (level.hit_latency < 1)
+    report.add(ErrorCode::kCacheLatency,
+               prefix + "hit latency " + std::to_string(level.hit_latency) +
+                   " is invalid (must be >= 1 cycle)");
+}
+
+}  // namespace
+
+std::string CacheConfig::label() const {
+  return "l1_size=" + size_label(l1.size_bytes) +
+         ",l1_ways=" + std::to_string(l1.ways) +
+         ",l1_line=" + std::to_string(l1.line_bytes) +
+         ",l1_hit=" + std::to_string(l1.hit_latency) +
+         ",l2_size=" + size_label(l2.size_bytes) +
+         ",l2_ways=" + std::to_string(l2.ways) +
+         ",l2_line=" + std::to_string(l2.line_bytes) +
+         ",l2_hit=" + std::to_string(l2.hit_latency) +
+         ",mem=" + std::to_string(mem_latency) +
+         ",iters=" + std::to_string(iterations);
+}
+
+Expected<CacheConfig> parse_cache_config(std::string_view spec) {
+  CacheConfig config;
+  const auto syntax = [&](const std::string& what) {
+    return Error(ErrorCode::kCacheConfigSyntax,
+                 "cache config: " + what + " (spec: key=value[,key=value...];"
+                 " keys: l1_size l1_ways l1_line l1_hit l2_size l2_ways"
+                 " l2_line l2_hit mem iters)");
+  };
+  std::vector<std::string_view> seen;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view field = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (field.empty()) return syntax("empty field");
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos)
+      return syntax("field '" + std::string(field) + "' has no '='");
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value_text = field.substr(eq + 1);
+    if (std::find(seen.begin(), seen.end(), key) != seen.end())
+      return syntax("duplicate key '" + std::string(key) + "'");
+    seen.push_back(key);
+    const long long value = parse_size_value(value_text);
+    if (value < 0)
+      return syntax("value '" + std::string(value_text) + "' for '" +
+                    std::string(key) + "' is not a non-negative integer");
+    const int v = static_cast<int>(std::min<long long>(
+        value, std::numeric_limits<int>::max()));
+    if (key == "l1_size") config.l1.size_bytes = v;
+    else if (key == "l1_ways") config.l1.ways = v;
+    else if (key == "l1_line") config.l1.line_bytes = v;
+    else if (key == "l1_hit") config.l1.hit_latency = v;
+    else if (key == "l2_size") config.l2.size_bytes = v;
+    else if (key == "l2_ways") config.l2.ways = v;
+    else if (key == "l2_line") config.l2.line_bytes = v;
+    else if (key == "l2_hit") config.l2.hit_latency = v;
+    else if (key == "mem") config.mem_latency = v;
+    else if (key == "iters") config.iterations = v;
+    else return syntax("unknown key '" + std::string(key) + "'");
+  }
+  ValidationReport report = validate(config);
+  if (!report.ok()) return report.first_error();
+  return config;
+}
+
+ValidationReport validate(const CacheConfig& config) {
+  ValidationReport report;
+  check_level(config.l1, "L1", report);
+  check_level(config.l2, "L2", report);
+  if (config.mem_latency < 1)
+    report.add(ErrorCode::kCacheLatency,
+               "memory latency " + std::to_string(config.mem_latency) +
+                   " is invalid (must be >= 1 cycle)");
+  if (config.iterations < 1 || config.iterations > 1024)
+    report.add(ErrorCode::kCacheConfigSyntax,
+               "iterations " + std::to_string(config.iterations) +
+                   " is outside the supported range [1, 1024]");
+  if (config.l2.line_bytes < config.l1.line_bytes)
+    report.add(ErrorCode::kCacheHierarchy,
+               "L2 line size " + std::to_string(config.l2.line_bytes) +
+                   " is smaller than L1's " +
+                   std::to_string(config.l1.line_bytes) +
+                   " (inclusive fill needs l2_line >= l1_line)");
+  if (config.l2.size_bytes < config.l1.size_bytes)
+    report.add(ErrorCode::kCacheHierarchy,
+               "L2 capacity " + std::to_string(config.l2.size_bytes) +
+                   " is below L1's " + std::to_string(config.l1.size_bytes),
+               {}, Severity::kWarning);
+  if (config.l1.hit_latency > config.l2.hit_latency ||
+      config.l2.hit_latency > config.mem_latency)
+    report.add(ErrorCode::kCacheLatency,
+               "latency ordering l1_hit <= l2_hit <= mem violated (" +
+                   std::to_string(config.l1.hit_latency) + "/" +
+                   std::to_string(config.l2.hit_latency) + "/" +
+                   std::to_string(config.mem_latency) + ")",
+               {}, Severity::kWarning);
+  return report;
+}
+
+std::uint64_t fingerprint(const CacheConfig& config, std::uint64_t seed) {
+  runtime::Hash64 h(seed);
+  const auto mix_level = [&h](const CacheLevelConfig& level) {
+    h.mix(static_cast<std::uint64_t>(level.size_bytes));
+    h.mix(static_cast<std::uint64_t>(level.ways));
+    h.mix(static_cast<std::uint64_t>(level.line_bytes));
+    h.mix(static_cast<std::uint64_t>(level.hit_latency));
+  };
+  mix_level(config.l1);
+  mix_level(config.l2);
+  h.mix(static_cast<std::uint64_t>(config.mem_latency));
+  h.mix(static_cast<std::uint64_t>(config.iterations));
+  return h.value();
+}
+
+void CacheModel::Level::init(const CacheLevelConfig& level) {
+  sets = level.num_sets();
+  ways = level.ways;
+  line_shift = log2_floor(level.line_bytes);
+  tags.assign(static_cast<std::size_t>(sets) * ways, kEmptyTag);
+  stamps.assign(static_cast<std::size_t>(sets) * ways, 0);
+  clock = 0;
+}
+
+bool CacheModel::Level::lookup_fill(std::uint64_t address) {
+  const std::uint64_t line = address >> line_shift;
+  const std::size_t set = static_cast<std::size_t>(
+      line & static_cast<std::uint64_t>(sets - 1));
+  const std::size_t base = set * static_cast<std::size_t>(ways);
+  ++clock;
+  // Hit: refresh the way's LRU stamp.
+  for (int w = 0; w < ways; ++w) {
+    if (tags[base + w] == line) {
+      stamps[base + w] = clock;
+      return true;
+    }
+  }
+  // Miss: fill the least-recently-used way (empty ways have stamp 0 and are
+  // naturally the oldest).
+  std::size_t victim = base;
+  for (int w = 1; w < ways; ++w)
+    if (stamps[base + w] < stamps[victim]) victim = base + w;
+  tags[victim] = line;
+  stamps[victim] = clock;
+  return false;
+}
+
+void CacheModel::Level::clear() {
+  std::fill(tags.begin(), tags.end(), kEmptyTag);
+  std::fill(stamps.begin(), stamps.end(), 0);
+  clock = 0;
+}
+
+CacheModel::CacheModel(const CacheConfig& config) : config_(config) {
+  ISEX_ASSERT_MSG(validate(config).ok(),
+                  "CacheModel requires a validated CacheConfig");
+  l1_.init(config_.l1);
+  l2_.init(config_.l2);
+}
+
+int CacheModel::access_line(std::uint64_t address) {
+  ++stats_.accesses;
+  if (l1_.lookup_fill(address)) {
+    ++stats_.l1_hits;
+    return config_.l1.hit_latency;
+  }
+  if (l2_.lookup_fill(address)) {
+    ++stats_.l2_hits;
+    return config_.l2.hit_latency;
+  }
+  ++stats_.mem_accesses;
+  return config_.mem_latency;
+}
+
+int CacheModel::access(std::uint64_t address, int width) {
+  ISEX_ASSERT(width >= 1);
+  const int line_bytes = config_.l1.line_bytes;
+  const std::uint64_t first = address / static_cast<std::uint64_t>(line_bytes);
+  const std::uint64_t last =
+      (address + static_cast<std::uint64_t>(width) - 1) /
+      static_cast<std::uint64_t>(line_bytes);
+  int worst = 0;
+  for (std::uint64_t line = first; line <= last; ++line)
+    worst = std::max(
+        worst, access_line(line * static_cast<std::uint64_t>(line_bytes)));
+  return worst;
+}
+
+void CacheModel::flush() {
+  l1_.clear();
+  l2_.clear();
+}
+
+}  // namespace isex::mem

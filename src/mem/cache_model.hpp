@@ -1,0 +1,150 @@
+// Memory-hierarchy cost model: a set-associative L1/L2 cache simulator.
+//
+// The list scheduler charges issue slots, register ports, and FU latency,
+// but without this module every load/store costs one fixed cycle — so merit
+// rewards the wrong ISE candidates on memory-bound kernels (dijkstra, jpeg).
+// CacheModel simulates a two-level set-associative hierarchy with true-LRU
+// replacement and inclusive fills; mem_stream.hpp derives a deterministic
+// per-block access stream from DFG load/store nodes and stamps the resulting
+// average latencies onto the nodes, where the scheduler, merit, and the
+// GPlus software-cycle tables all pick them up (docs/MEMORY.md).
+//
+// A CacheConfig is external input (CLI `--cache-config`, server jobs), so it
+// follows the MachineConfig discipline: a strict parser returning
+// Expected<CacheConfig> (E0701) and a validator collecting every geometry /
+// latency defect (E0702-E0704) before anything is simulated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace isex::mem {
+
+/// Geometry and hit latency of one cache level.
+struct CacheLevelConfig {
+  /// Total capacity in bytes; must be line_bytes * ways * 2^k sets.
+  int size_bytes = 0;
+  /// Associativity (ways per set); >= 1.
+  int ways = 0;
+  /// Line (block) size in bytes; power of two, >= 4.
+  int line_bytes = 0;
+  /// Latency in processor cycles when the access hits at this level.
+  int hit_latency = 1;
+
+  int num_sets() const {
+    const int line_x_ways = line_bytes * ways;
+    return line_x_ways > 0 ? size_bytes / line_x_ways : 0;
+  }
+
+  friend bool operator==(const CacheLevelConfig&,
+                         const CacheLevelConfig&) = default;
+};
+
+/// Two-level hierarchy parameters plus the main-memory penalty.  Defaults
+/// mirror a small embedded core: 4 KiB / 2-way / 32 B L1 with a one-cycle
+/// hit (so an all-hits stream reproduces the legacy fixed latency), 64 KiB /
+/// 8-way / 64 B L2.
+struct CacheConfig {
+  CacheLevelConfig l1{4096, 2, 32, 1};
+  CacheLevelConfig l2{65536, 8, 64, 8};
+  /// Cycles for an access that misses both levels.
+  int mem_latency = 40;
+  /// Block repetitions simulated when deriving per-node latencies; the
+  /// first iteration carries the compulsory misses, later ones the reuse.
+  int iterations = 8;
+
+  /// Canonical spec string that parse_cache_config round-trips.
+  std::string label() const;
+
+  friend bool operator==(const CacheConfig&, const CacheConfig&) = default;
+};
+
+/// Parses a comma-separated `key=value` spec, e.g.
+/// "l1_size=4k,l1_ways=2,l1_line=32,l2_size=64k,mem=40".  Keys: l1_size,
+/// l1_ways, l1_line, l1_hit, l2_size, l2_ways, l2_line, l2_hit, mem, iters.
+/// Sizes accept a k/K suffix (x1024).  Unset keys keep the defaults above.
+/// Rejects unknown keys, empty values, duplicates, and non-numeric values
+/// with E0701; the geometry itself is checked by validate() below, which is
+/// also applied before returning.
+Expected<CacheConfig> parse_cache_config(std::string_view spec);
+
+/// Geometry and latency sanity.  Errors: non-power-of-two or < 4 line size,
+/// zero/negative ways, capacity not an integral power-of-two number of sets
+/// (E0702); hit/miss latencies < 1 (E0703); L2 line smaller than L1's
+/// (E0704).  Warnings: latency ordering l1 <= l2 <= mem violated (E0703),
+/// L2 capacity below L1's (E0704).
+ValidationReport validate(const CacheConfig& config);
+
+/// Stable structural fingerprint (used by server job signatures, so two
+/// spellings of the same geometry share one cache key).
+std::uint64_t fingerprint(const CacheConfig& config, std::uint64_t seed);
+
+/// Aggregate counters from one simulated access stream.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t mem_accesses = 0;
+  /// Load/store nodes that received a latency annotation.
+  std::uint64_t annotated_nodes = 0;
+
+  void merge(const CacheStats& other) {
+    accesses += other.accesses;
+    l1_hits += other.l1_hits;
+    l2_hits += other.l2_hits;
+    mem_accesses += other.mem_accesses;
+    annotated_nodes += other.annotated_nodes;
+  }
+  double l1_hit_rate() const {
+    return accesses > 0 ? static_cast<double>(l1_hits) / accesses : 0.0;
+  }
+};
+
+/// Functional two-level cache: true LRU within each set, write-allocate
+/// stores, inclusive fill on miss.  Deterministic — state depends only on
+/// the access sequence, never on addresses of host objects or time.
+class CacheModel {
+ public:
+  /// `config` must have passed validate().
+  explicit CacheModel(const CacheConfig& config);
+
+  /// Simulates one access of `width` bytes at `address` and returns its
+  /// latency in cycles (l1_hit / l2_hit / mem_latency for the outermost
+  /// level that hit).  An access straddling a line boundary touches every
+  /// line and costs the slowest one.
+  int access(std::uint64_t address, int width);
+
+  /// Drops all cached lines but keeps the accumulated stats.
+  void flush();
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  /// One level's set array: way-major tag store with per-way LRU stamps.
+  struct Level {
+    int sets = 0;
+    int ways = 0;
+    int line_shift = 0;
+    std::vector<std::uint64_t> tags;    // sets * ways, kEmptyTag when free
+    std::vector<std::uint32_t> stamps;  // LRU clock per way
+    std::uint32_t clock = 0;
+
+    void init(const CacheLevelConfig& level);
+    bool lookup_fill(std::uint64_t address);  // true on hit; fills on miss
+    void clear();
+  };
+
+  int access_line(std::uint64_t address);
+
+  CacheConfig config_;
+  Level l1_;
+  Level l2_;
+  CacheStats stats_;
+};
+
+}  // namespace isex::mem

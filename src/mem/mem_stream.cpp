@@ -1,0 +1,169 @@
+#include "mem/mem_stream.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "isa/opcode.hpp"
+#include "runtime/hash.hpp"
+#include "util/assert.hpp"
+
+namespace isex::mem {
+
+namespace {
+
+/// Regions are spaced far apart so distinct address expressions never share
+/// lines, with a per-region set-index offset (65 lines of 64 B) so they do
+/// not all collide into set 0 of a small L1.
+constexpr std::uint64_t kRegionSpan = 1u << 20;
+constexpr std::uint64_t kRegionSkew = 65 * 64;
+
+int access_width(isa::Opcode op) {
+  switch (op) {
+    case isa::Opcode::kLw:
+    case isa::Opcode::kSw:
+      return 4;
+    case isa::Opcode::kLh:
+    case isa::Opcode::kLhu:
+    case isa::Opcode::kSh:
+      return 2;
+    default:
+      return 1;  // kLb / kLbu / kSb
+  }
+}
+
+}  // namespace
+
+std::vector<MemOp> derive_mem_stream(const dfg::Graph& graph,
+                                     const CacheConfig& config) {
+  std::vector<dfg::NodeId> mem_nodes;
+  for (dfg::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const dfg::Node& n = graph.node(v);
+    if (!n.is_ise && isa::is_memory(n.opcode)) mem_nodes.push_back(v);
+  }
+  if (mem_nodes.empty()) return {};
+
+  const runtime::CanonicalLabeling labeling =
+      runtime::canonical_labeling(graph);
+  const std::vector<dfg::NodeId> topo = graph.topological_order();
+
+  // Dataflow depth (unit latencies) orders the replay the way the block
+  // would naturally issue; `loaded[v]` marks values derived from a load, the
+  // pointer-chase signal.
+  std::vector<int> depth(graph.num_nodes(), 0);
+  std::vector<char> loaded(graph.num_nodes(), 0);
+  for (const dfg::NodeId v : topo) {
+    const dfg::Node& n = graph.node(v);
+    if (!n.is_ise && isa::is_load(n.opcode)) loaded[v] = 1;
+    for (const dfg::NodeId p : graph.preds(v)) {
+      depth[v] = std::max(depth[v], depth[p] + 1);
+      if (loaded[p]) loaded[v] = 1;
+    }
+  }
+
+  // Extern value ids some load dereferences.  The graph stores in-block
+  // predecessors and extern operands as two separate lists, so a store with
+  // one of each has lost which operand was the bracketed address; a load's
+  // address is its only register operand, so loads are never ambiguous.  A
+  // store whose extern id matches a load address is resolved to that extern
+  // — the load/store-through-one-pointer idiom — and its pred is the value.
+  std::vector<int> load_addr_externs;
+  for (const dfg::NodeId v : mem_nodes) {
+    const dfg::Node& n = graph.node(v);
+    if (isa::is_load(n.opcode) && graph.preds(v).empty() &&
+        !graph.extern_input_ids(v).empty())
+      load_addr_externs.push_back(graph.extern_input_ids(v).front());
+  }
+
+  std::vector<MemOp> ops;
+  ops.reserve(mem_nodes.size());
+  for (const dfg::NodeId v : mem_nodes) {
+    const dfg::Node& n = graph.node(v);
+    MemOp op;
+    op.node = v;
+    op.width = access_width(n.opcode);
+    op.is_store = isa::is_store(n.opcode);
+    // The address operand is the first operand by TAC convention: the first
+    // in-block predecessor, or (address live-in) the first extern value id.
+    // Region identity hashes its *canonical* label so renumbered twins
+    // derive identical regions.
+    runtime::Hash64 region(0x6d656d5f72656779ULL);  // "mem_regy" domain
+    const auto preds = graph.preds(v);
+    const auto extern_ids = graph.extern_input_ids(v);
+    const bool store_extern_addr =
+        op.is_store && preds.size() == 1 && extern_ids.size() == 1 &&
+        std::find(load_addr_externs.begin(), load_addr_externs.end(),
+                  extern_ids.front()) != load_addr_externs.end();
+    if (!preds.empty() && !store_extern_addr) {
+      region.mix(1);
+      region.mix(labeling.lo[preds.front()]);
+      op.gather = loaded[preds.front()] != 0;
+    } else if (!extern_ids.empty()) {
+      region.mix(2);
+      region.mix(static_cast<std::uint64_t>(extern_ids.front()));
+    } else {
+      region.mix(3);  // constant address (no operands at all)
+    }
+    op.region_key = region.value();
+    op.stride = op.gather
+                    ? static_cast<std::uint32_t>(config.l1.line_bytes)
+                    : static_cast<std::uint32_t>(op.width);
+    ops.push_back(op);
+  }
+
+  // Canonical replay order: dataflow depth, then canonical label, then the
+  // region key.  Node id is the final total-order tiebreak; ties reaching it
+  // are automorphic ops whose annotations are interchangeable by
+  // construction, so renumbering still yields the same latency multiset.
+  std::sort(ops.begin(), ops.end(), [&](const MemOp& a, const MemOp& b) {
+    if (depth[a.node] != depth[b.node]) return depth[a.node] < depth[b.node];
+    if (labeling.lo[a.node] != labeling.lo[b.node])
+      return labeling.lo[a.node] < labeling.lo[b.node];
+    if (a.region_key != b.region_key) return a.region_key < b.region_key;
+    return a.node < b.node;
+  });
+
+  // Assign region bases by rank of the sorted distinct region keys — an
+  // id-free, order-free mapping.
+  std::vector<std::uint64_t> regions;
+  regions.reserve(ops.size());
+  for (const MemOp& op : ops) regions.push_back(op.region_key);
+  std::sort(regions.begin(), regions.end());
+  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+  for (MemOp& op : ops) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        std::lower_bound(regions.begin(), regions.end(), op.region_key) -
+        regions.begin());
+    op.base = rank * kRegionSpan + rank * kRegionSkew;
+  }
+  return ops;
+}
+
+CacheStats annotate_graph(dfg::Graph& graph, const CacheConfig& config) {
+  ISEX_ASSERT_MSG(validate(config).ok(),
+                  "annotate_graph requires a validated CacheConfig");
+  const std::vector<MemOp> ops = derive_mem_stream(graph, config);
+  if (ops.empty()) return {};
+
+  CacheModel model(config);
+  std::vector<std::int64_t> total(graph.num_nodes(), 0);
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    for (const MemOp& op : ops) {
+      const std::uint64_t address =
+          op.base + static_cast<std::uint64_t>(iter) * op.stride;
+      total[op.node] += model.access(address, op.width);
+    }
+  }
+  for (const MemOp& op : ops) {
+    // Round-to-nearest average over the simulated iterations, never below
+    // the one-cycle issue latency.
+    const std::int64_t avg =
+        (total[op.node] + config.iterations / 2) / config.iterations;
+    graph.node(op.node).mem_latency =
+        static_cast<int>(std::max<std::int64_t>(1, avg));
+  }
+  CacheStats stats = model.stats();
+  stats.annotated_nodes = ops.size();
+  return stats;
+}
+
+}  // namespace isex::mem

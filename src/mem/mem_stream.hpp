@@ -1,0 +1,59 @@
+// Deterministic per-block memory access streams derived from DFG
+// load/store nodes.
+//
+// A basic block gives no concrete addresses, so the stream is synthesized
+// from structure: memory operations are grouped into *regions* by the
+// canonical identity of their address operand (same address expression ==
+// same region, so a load and a store through one pointer exhibit temporal
+// locality), each op gets an address class — `sequential` (address advances
+// by the access width per simulated block iteration, the affine
+// array-walk pattern) or `gather` (the address depends on loaded data, so
+// every iteration lands on a fresh line) — and the resulting stream is
+// replayed through a CacheModel for CacheConfig::iterations rounds.  The
+// per-op average latency is stamped onto the node (`dfg::Node::mem_latency`)
+// where sched::node_latency, the GPlus software-cycle table, and merit all
+// read it.
+//
+// Everything is keyed on canonical structural labels
+// (runtime::canonical_labeling), never on raw node ids, so a renumbered but
+// isomorphic block derives the same stream and the same annotations —
+// required for the portfolio dedup paths to stay coherent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "mem/cache_model.hpp"
+
+namespace isex::mem {
+
+/// One memory operation of the derived stream, in canonical replay order.
+struct MemOp {
+  dfg::NodeId node = dfg::kInvalidNode;
+  /// First-iteration byte address (region base).
+  std::uint64_t base = 0;
+  /// Address advance per simulated block iteration.
+  std::uint32_t stride = 0;
+  /// Access width in bytes (1/2/4 from the opcode).
+  int width = 0;
+  bool is_store = false;
+  /// True when the address depends on loaded data (pointer chase).
+  bool gather = false;
+  /// Region identity (canonical hash of the address expression).
+  std::uint64_t region_key = 0;
+};
+
+/// Derives the block's access stream.  Deterministic and stable across node
+/// renumbering; empty when the block has no memory operations.
+std::vector<MemOp> derive_mem_stream(const dfg::Graph& graph,
+                                     const CacheConfig& config);
+
+/// Replays the derived stream through a fresh CacheModel and stamps the
+/// per-node average latency (>= 1 cycle) onto graph nodes.  The model is
+/// private to the call, so annotation is a pure function of (graph, config)
+/// — block order and thread count cannot change the result.  Returns the
+/// simulation counters for telemetry.
+CacheStats annotate_graph(dfg::Graph& graph, const CacheConfig& config);
+
+}  // namespace isex::mem

@@ -24,6 +24,13 @@ std::uint64_t fingerprint(const dfg::Graph& graph, std::uint64_t seed) {
       h.mix(static_cast<std::uint64_t>(node.ise.num_inputs));
       h.mix(static_cast<std::uint64_t>(node.ise.num_outputs));
     }
+    // Mixed only when annotated (tagged so a latency of 0 cannot alias):
+    // unannotated graphs keep their historic digests while the scheduler
+    // input — which mem_latency is — still keys the evaluation caches.
+    if (node.mem_latency > 0) {
+      h.mix(0x6d656d6c61746379ULL);  // "memlatcy" tag
+      h.mix(static_cast<std::uint64_t>(node.mem_latency));
+    }
     const auto preds = graph.preds(v);
     h.mix(preds.size());
     for (const dfg::NodeId p : preds) h.mix(p);
@@ -121,6 +128,10 @@ std::vector<std::uint64_t> refined_labels(const dfg::Graph& graph,
       h.mix_double(node.ise.area);
       h.mix(static_cast<std::uint64_t>(node.ise.num_inputs));
       h.mix(static_cast<std::uint64_t>(node.ise.num_outputs));
+    }
+    if (node.mem_latency > 0) {
+      h.mix(0x6d656d6c61746379ULL);  // same conditional rule as fingerprint()
+      h.mix(static_cast<std::uint64_t>(node.mem_latency));
     }
     const auto extern_ids = graph.extern_input_ids(v);
     h.mix(extern_ids.size());

@@ -22,15 +22,20 @@ struct Schedule {
 };
 
 /// Per-node latency in cycles used by the scheduler: 1 for regular PISA
-/// operations (paper §5.1), the committed ASFU latency for ISE supernodes.
-/// Templated over the graph type so dfg::Graph and dfg::CollapsedView (the
-/// copy-free candidate overlay) share one definition.
+/// operations (paper §5.1), the committed ASFU latency for ISE supernodes,
+/// and — when the memory-hierarchy model annotated the block
+/// (mem::annotate_graph) — the modeled load/store latency.  An unannotated
+/// node (mem_latency == 0) keeps the legacy fixed cost, so the null cache
+/// model reproduces historic schedules bit-for-bit.  Templated over the
+/// graph type so dfg::Graph and dfg::CollapsedView (the copy-free candidate
+/// overlay) share one definition.
 template <typename G>
 int node_latency(const G& graph, dfg::NodeId v) {
   // const auto& also binds CollapsedView's by-value NodeView (lifetime
   // extension) without copying Graph's string-carrying Node.
   const auto& n = graph.node(v);
-  return n.is_ise ? n.ise.latency_cycles : 1;
+  if (n.is_ise) return n.ise.latency_cycles;
+  return n.mem_latency > 0 ? n.mem_latency : 1;
 }
 
 /// Register read/write ports a node consumes in its issue cycle.

@@ -358,6 +358,17 @@ Expected<JobRequest> parse_job_request(const std::string& line) {
       if (value.kind != JsonValue::Kind::kBool)
         return field_error(key, "a boolean");
       request.baseline = value.boolean;
+    } else if (key == "cache_config") {
+      if (value.kind != JsonValue::Kind::kString)
+        return field_error(key, "a string (cache-config spec)");
+      // Parse + validate here so a bad geometry is rejected at admission
+      // with its own E07xx code instead of failing mid-flow.
+      Expected<mem::CacheConfig> parsed_cache =
+          mem::parse_cache_config(value.string);
+      if (!parsed_cache) return parsed_cache.error();
+      request.cache_config = value.string;
+      request.cache = *parsed_cache;
+      request.has_cache = true;
     } else if (key == "programs") {
       if (value.kind != JsonValue::Kind::kArray || value.array.empty())
         return field_error(key, "a non-empty array of program objects");
@@ -425,6 +436,7 @@ flow::FlowConfig flow_config_for(const JobRequest& request) {
     config.constraints.area_budget = request.area_budget;
   config.algorithm = request.baseline ? flow::Algorithm::kSingleIssue
                                       : flow::Algorithm::kMultiIssue;
+  if (request.has_cache) config.cache = request.cache;
   return config;
 }
 
@@ -439,6 +451,11 @@ runtime::Key128 job_signature(const dfg::Graph& graph,
   // Everything run_design_flow reads must be mixed in; bump when the flow's
   // semantics change so stale persisted results cannot be replayed.
   // v2: multi-colony search (colonies / merge_interval join the signature).
+  // v3: memory-hierarchy model — the cache config is mixed in *only when
+  // present* (tagged, at the end of the mix), so every cache-less request
+  // keeps its v2 key byte-for-byte and the persisted cache stays warm
+  // across the upgrade; the version constant therefore stays 2
+  // (docs/SERVER.md, "Signature compatibility").
   constexpr std::uint64_t kFlowSemanticsVersion = 2;
   const runtime::Key128 digest = runtime::graph_digest(graph);
   const flow::FlowConfig config = flow_config_for(request);
@@ -460,6 +477,10 @@ runtime::Key128 job_signature(const dfg::Graph& graph,
     h.mix(request.has_area_budget ? 1 : 0);
     h.mix_double(request.has_area_budget ? request.area_budget : 0.0);
     h.mix(request.baseline ? 1 : 0);
+    if (request.has_cache) {
+      h.mix(0x6361636865636667ULL);  // "cachecfg" tag; cannot alias a v2 mix
+      h.mix(mem::fingerprint(request.cache, machine_seed));
+    }
   };
   runtime::Key128 key;
   runtime::Hash64 lo(0xd1b54a32d192ed03ULL);  // domain: job signatures
@@ -543,6 +564,14 @@ std::uint64_t flow_result_digest(const flow::FlowResult& result) {
     h.mix(static_cast<std::uint64_t>(block.final_cycles));
     h.mix(static_cast<std::uint64_t>(block.ise_uses));
   }
+  // Mixed only for cache-modeled runs so cache-less digests stay stable.
+  if (result.cache_modeled) {
+    h.mix(0x6361636865636667ULL);
+    h.mix(result.cache_stats.accesses);
+    h.mix(result.cache_stats.l1_hits);
+    h.mix(result.cache_stats.l2_hits);
+    h.mix(result.cache_stats.mem_accesses);
+  }
   return h.value();
 }
 
@@ -602,6 +631,22 @@ std::string render_result_fragment(const flow::FlowResult& result) {
     out += "\"}";
   }
   out += ']';
+  // Per-flow hit/miss telemetry; rendered only for cache-modeled runs so
+  // cache-less fragments stay byte-identical across the upgrade.
+  if (result.cache_modeled) {
+    out += ",\"cache\":{\"accesses\":";
+    num("%llu", static_cast<unsigned long long>(result.cache_stats.accesses));
+    out += ",\"l1_hits\":";
+    num("%llu", static_cast<unsigned long long>(result.cache_stats.l1_hits));
+    out += ",\"l2_hits\":";
+    num("%llu", static_cast<unsigned long long>(result.cache_stats.l2_hits));
+    out += ",\"mem_accesses\":";
+    num("%llu",
+        static_cast<unsigned long long>(result.cache_stats.mem_accesses));
+    out += ",\"l1_hit_rate\":";
+    num("%.6f", result.cache_stats.l1_hit_rate());
+    out += '}';
+  }
   return out;
 }
 
@@ -635,6 +680,13 @@ std::uint64_t portfolio_result_digest(const flow::PortfolioResult& result) {
   h.mix(static_cast<std::uint64_t>(result.selection.num_types));
   h.mix(result.total_jobs);
   h.mix(result.deduped_jobs);
+  if (result.cache_modeled) {
+    h.mix(0x6361636865636667ULL);
+    h.mix(result.cache_stats.accesses);
+    h.mix(result.cache_stats.l1_hits);
+    h.mix(result.cache_stats.l2_hits);
+    h.mix(result.cache_stats.mem_accesses);
+  }
   return h.value();
 }
 
@@ -719,6 +771,20 @@ std::string render_portfolio_fragment(const flow::PortfolioResult& result) {
     out += '}';
   }
   out += ']';
+  if (result.cache_modeled) {
+    out += ",\"cache\":{\"accesses\":";
+    num("%llu", static_cast<unsigned long long>(result.cache_stats.accesses));
+    out += ",\"l1_hits\":";
+    num("%llu", static_cast<unsigned long long>(result.cache_stats.l1_hits));
+    out += ",\"l2_hits\":";
+    num("%llu", static_cast<unsigned long long>(result.cache_stats.l2_hits));
+    out += ",\"mem_accesses\":";
+    num("%llu",
+        static_cast<unsigned long long>(result.cache_stats.mem_accesses));
+    out += ",\"l1_hit_rate\":";
+    num("%.6f", result.cache_stats.l1_hit_rate());
+    out += '}';
+  }
   return out;
 }
 

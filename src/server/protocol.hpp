@@ -20,6 +20,7 @@
 
 #include "flow/design_flow.hpp"
 #include "flow/portfolio.hpp"
+#include "mem/cache_model.hpp"
 #include "runtime/hash.hpp"
 #include "util/error.hpp"
 
@@ -64,6 +65,13 @@ struct JobRequest {
   int max_ises = 32;
   /// Use the single-issue (legality-only) baseline explorer.
   bool baseline = false;
+  /// Memory-hierarchy cost model (docs/MEMORY.md).  `cache_config` carries
+  /// the raw spec string for echoing; `cache` is the parsed, validated
+  /// geometry.  Absent (has_cache == false) keeps the legacy fixed
+  /// latencies and the request's v2 job signature byte-for-byte.
+  std::string cache_config;
+  mem::CacheConfig cache;
+  bool has_cache = false;
   /// Portfolio manifest.  Non-empty selects the portfolio job type — all N
   /// programs explored as one batch under one shared area budget — and is
   /// mutually exclusive with `kernel`.  Every other field keeps its single-

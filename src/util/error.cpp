@@ -44,6 +44,10 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kPersistVersionMismatch: return "persist-version-mismatch";
     case ErrorCode::kPersistCorruptRecord: return "persist-corrupt-record";
     case ErrorCode::kPersistIo: return "persist-io";
+    case ErrorCode::kCacheConfigSyntax: return "cache-config-syntax";
+    case ErrorCode::kCacheGeometry: return "cache-geometry";
+    case ErrorCode::kCacheLatency: return "cache-latency";
+    case ErrorCode::kCacheHierarchy: return "cache-hierarchy";
   }
   return "unknown";
 }

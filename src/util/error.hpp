@@ -8,7 +8,7 @@
 //
 //   * ErrorCode   — stable numeric codes, grouped by subsystem (1xx parse,
 //                   2xx DFG, 3xx program/flow, 4xx machine config, 5xx I/O,
-//                   6xx server/persistence);
+//                   6xx server/persistence, 7xx cache-model config);
 //   * Error       — code + severity + source location + human message;
 //   * Expected<T> — value-or-Error return for fallible API boundaries
 //                   (parse_tac_checked, run_design_flow_checked, ...);
@@ -82,6 +82,12 @@ enum class ErrorCode : std::uint16_t {
   kPersistVersionMismatch = 604,  ///< warning: cache file from another format
   kPersistCorruptRecord = 605,    ///< warning: log record skipped on load
   kPersistIo = 606,               ///< cache file unreadable / append failed
+
+  // 7xx — cache-model config (mem::parse_cache_config / mem::validate).
+  kCacheConfigSyntax = 701,  ///< malformed key=value spec / unknown key
+  kCacheGeometry = 702,      ///< bad size/ways/line geometry (pow2 rules)
+  kCacheLatency = 703,       ///< hit/miss latency out of range or inverted
+  kCacheHierarchy = 704,     ///< L2 geometry incompatible with L1
 };
 
 /// Short stable identifier, e.g. "parse-immediate-range".

@@ -44,6 +44,13 @@ TEST_P(FuzzReplay, RoundtripHarnessSurvives) {
   EXPECT_EQ(fuzz::run_roundtrip_input(bytes.data(), bytes.size()), 0);
 }
 
+// Every corpus file (TAC kernels included — they are simply rejected specs)
+// must also survive the cache-config harness.
+TEST_P(FuzzReplay, CacheConfigHarnessSurvives) {
+  const std::vector<std::uint8_t> bytes = read_bytes(GetParam());
+  EXPECT_EQ(fuzz::run_cache_config_input(bytes.data(), bytes.size()), 0);
+}
+
 std::string test_name(const ::testing::TestParamInfo<fs::path>& info) {
   std::string name = info.param.filename().string();
   for (char& c : name)
@@ -66,6 +73,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(FuzzReplay, EmptyBuffer) {
   EXPECT_EQ(fuzz::run_tac_parser_input(nullptr, 0), 0);
   EXPECT_EQ(fuzz::run_roundtrip_input(nullptr, 0), 0);
+  EXPECT_EQ(fuzz::run_cache_config_input(nullptr, 0), 0);
 }
 
 }  // namespace

@@ -98,13 +98,22 @@ def render_runtime(data):
                      f"{data.get('hardware_concurrency', '?')}) — the flat "
                      "jobs-sweep speedups are a host artifact, not a "
                      "regression.\n")
+    # Runs missing seconds_min (truncated write, schema drift) degrade to a
+    # visible note instead of a KeyError that would silently drop the whole
+    # file from the report.
+    complete = [r for r in data.get("runs", []) if "seconds_min" in r]
+    dropped = len(data.get("runs", [])) - len(complete)
+    if dropped:
+        lines.append(f"**Note:** {dropped} run(s) missing `seconds_min` "
+                     "omitted from the table below (truncated bench write "
+                     "or schema drift — investigate the producing step).\n")
     rows = [(fmt(r["jobs"]), fmt(r["cache"]), fmt(r["seconds_min"], 4),
              fmt(r["seconds_median"], 4),
              fmt(r["speedup_vs_jobs1"]) + "x",
              fmt(parallel_efficiency(r), 3),
              fmt(r["cache_hits"]), fmt(r["cache_misses"]),
              fmt(r["cache_hit_rate"], 4))
-            for r in data.get("runs", [])]
+            for r in complete]
     lines.append(table(["jobs", "cache", "min s", "median s",
                         "speedup vs jobs=1", "efficiency", "hits", "misses",
                         "hit rate"], rows))
@@ -121,6 +130,10 @@ def parallel_efficiency(run):
 
 def runtime_scaling(runs):
     """jobs=1 vs jobs=N headline, one line per cache setting present."""
+    missing = sum(1 for r in runs if not r.get("seconds_min", 0) > 0)
+    if missing:
+        yield (f"\n_Note: {missing} run(s) without a positive `seconds_min` "
+               "excluded from the scaling headline._")
     for cache in sorted({r.get("cache") for r in runs}, reverse=True):
         group = [r for r in runs if r.get("cache") == cache
                  and r.get("seconds_min", 0) > 0]
@@ -221,6 +234,52 @@ def portfolio_scaling_line(data):
     return line
 
 
+def render_cachemodel(data):
+    lines = ["Memory-hierarchy cost model gates: "
+             f"`{data.get('sweep', '?')}` with cache "
+             f"`{data.get('cache_config', '?')}`"
+             f"{', quick' if data.get('quick') else ''}.\n",
+             f"Identity: {fmt(data.get('identity_ok', '?'))} "
+             f"(null-model residue-free: {fmt(data.get('null_identity', '?'))}"
+             f", jobs-invariant: {fmt(data.get('jobs_identity', '?'))} at "
+             f"jobs={data.get('jobs', '?')}); ISE sets changed on "
+             f"{fmt(data.get('changed_programs', 0))} program(s) "
+             f"({'OK' if data.get('effect_ok') else 'NO EFFECT'}); overhead "
+             f"{fmt(data.get('overhead', 0.0))}x vs null model (ceiling "
+             f"{fmt(data.get('overhead_ceiling', 0.0))}x, "
+             f"{'OK' if data.get('overhead_ok') else 'EXCEEDED'}); L1 hit "
+             f"rate {fmt(data.get('l1_hit_rate', 0.0), 4)} over "
+             f"{fmt(data.get('accesses', 0))} accesses, "
+             f"{fmt(data.get('annotated_nodes', 0))} nodes annotated.\n"]
+    rows = [(p["name"], p.get("null_digest", "?"),
+             p.get("cache_digest", "?"), fmt(p.get("changed", "?")))
+            for p in data.get("programs", [])]
+    lines.append(table(["program", "null digest", "cache digest",
+                        "ISE set changed"], rows))
+    return "\n".join(lines)
+
+
+def render_cachesweep(data):
+    lines = ["Cache-geometry sweep (`isex sweep`): "
+             f"kernel `{data.get('kernel', '?')}`, machine "
+             f"`{data.get('machine', '?')}`, seed {data.get('seed', '?')}, "
+             f"{data.get('repeats', '?')} repeats per point.\n"]
+    rows = []
+    for r in data.get("rows", []):
+        base = r.get("base_cycles", 0)
+        final = r.get("final_cycles", 0)
+        reduction = (base - final) / base if base else 0.0
+        rows.append((fmt(r.get("l1_size", "?")), fmt(r.get("l1_ways", "?")),
+                     fmt(r.get("l1_line", "?")),
+                     fmt(r.get("l1_hit_rate", 0.0), 4),
+                     fmt(base), fmt(final), fmt(reduction, 3),
+                     fmt(r.get("ises", "?"))))
+    lines.append(table(["L1 size", "ways", "line", "L1 hit rate",
+                        "base cycles", "final cycles", "reduction",
+                        "ISEs"], rows))
+    return "\n".join(lines)
+
+
 def render_google_benchmark(data):
     ctx = data.get("context", {})
     lines = [f"google-benchmark run ({ctx.get('date', 'unknown date')}, "
@@ -251,11 +310,74 @@ def render(data):
         return render_colony(data)
     if data.get("bench") == "portfolio":
         return render_portfolio(data)
+    if data.get("bench") == "cachemodel":
+        return render_cachemodel(data)
+    if data.get("bench") == "cache_sweep":
+        return render_cachesweep(data)
     if "sweep" in data and "runs" in data:
         return render_runtime(data)
     if "context" in data and "benchmarks" in data:
         return render_google_benchmark(data)
     return render_generic(data)
+
+
+# Keys whose `false` value marks a broken bit-identity / determinism gate.
+# The scan is recursive so per-benchmark "identical": false entries trip it
+# too, not just the top-level stamps.
+IDENTITY_KEYS = frozenset(
+    {"identity_ok", "identity", "identical", "deterministic",
+     "null_identity", "jobs_identity"})
+
+
+def identity_failures(data, prefix=""):
+    """Yield dotted paths of every false identity stamp in the JSON tree."""
+    if isinstance(data, dict):
+        for key, value in data.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key in IDENTITY_KEYS and value is False:
+                yield path
+            else:
+                yield from identity_failures(value, path)
+    elif isinstance(data, list):
+        for i, value in enumerate(data):
+            yield from identity_failures(value, f"{prefix}[{i}]")
+
+
+def self_test():
+    """Unit checks run by the CI observability step (--self-test)."""
+    # A runtime file with a truncated run must degrade with a note, not
+    # drop the run silently or KeyError the whole section.
+    out = render_runtime({
+        "sweep": "t", "runs": [
+            {"jobs": 1, "cache": True, "seconds_min": 1.0,
+             "seconds_median": 1.0, "speedup_vs_jobs1": 1.0,
+             "cache_hits": 1, "cache_misses": 1, "cache_hit_rate": 0.5},
+            {"jobs": 8, "cache": True},  # truncated: no seconds_min
+        ]})
+    assert "missing `seconds_min`" in out, "no degradation note emitted"
+    assert "without a positive `seconds_min`" in out, \
+        "scaling headline drops runs silently"
+    # The identity scan must see both top-level stamps and nested
+    # per-benchmark flags, and ignore true ones.
+    found = list(identity_failures(
+        {"identity_ok": False,
+         "benchmarks": [{"identical": True}, {"identical": False}],
+         "nested": {"jobs_identity": False}}))
+    assert found == ["identity_ok", "benchmarks[1].identical",
+                     "nested.jobs_identity"], found
+    assert not list(identity_failures({"identity_ok": True})), \
+        "true stamps flagged"
+    # The new renderers must handle their producers' shapes.
+    assert "cost model gates" in render_cachemodel(
+        {"identity_ok": True, "programs": [
+            {"name": "p", "null_digest": "0", "cache_digest": "1",
+             "changed": True}]})
+    assert "Cache-geometry sweep" in render_cachesweep(
+        {"rows": [{"l1_size": 4096, "l1_ways": 2, "l1_line": 32,
+                   "l1_hit_rate": 0.9, "base_cycles": 100,
+                   "final_cycles": 80, "ises": 3}]})
+    print("bench_report self-test OK")
+    return 0
 
 
 def main():
@@ -264,7 +386,15 @@ def main():
                         help="directory holding BENCH_*.json (default: cwd)")
     parser.add_argument("--out", default="-",
                         help="output markdown path (default: stdout)")
+    parser.add_argument("--check-identity", action="store_true",
+                        help="exit 3 if any BENCH_*.json stamps an identity "
+                             "key false (CI gate)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit checks and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     bench_dir = Path(args.dir)
     if not bench_dir.is_dir():
@@ -274,6 +404,7 @@ def main():
     sections = ["# Benchmark report\n"]
     if not files:
         sections.append(f"_No BENCH_*.json files found in `{bench_dir}`._\n")
+    broken_identity = []  # (file name, dotted key path)
     for path in files:
         sections.append(f"## {path.name}\n")
         try:
@@ -284,6 +415,8 @@ def main():
         if not isinstance(data, dict):
             sections.append("_top level is not a JSON object_\n")
             continue
+        broken_identity.extend(
+            (path.name, key) for key in identity_failures(data))
         try:
             sections.append(render(data))
         except (KeyError, TypeError, ValueError) as err:
@@ -293,6 +426,13 @@ def main():
             sections.append(f"_malformed ({type(err).__name__}: {err}); "
                             "top-level scalars only:_\n\n")
             sections.append(render_generic(data))
+
+    if broken_identity:
+        sections.append("## Identity gates\n")
+        sections.append("**BROKEN** — determinism/bit-identity stamps are "
+                        "false:\n\n" +
+                        "\n".join(f"- `{name}`: `{key}`"
+                                  for name, key in broken_identity) + "\n")
 
     report = "\n".join(sections)
     if args.out == "-":
@@ -305,6 +445,10 @@ def main():
                   file=sys.stderr)
             return 2
         print(f"wrote {args.out} ({len(files)} bench file(s))")
+    if args.check_identity and broken_identity:
+        for name, key in broken_identity:
+            print(f"identity violation: {name}: {key}", file=sys.stderr)
+        return 3
     return 0
 
 

@@ -11,6 +11,10 @@
 //                                        one ISE set for all programs under
 //                                        a shared area budget
 //                                        (docs/PORTFOLIO.md)
+//   isex sweep    kernel.tac [options]   cache-geometry sweep: explore the
+//                                        kernel under an L1 size x ways x
+//                                        line-size grid and report how the
+//                                        ISE outcome shifts (docs/MEMORY.md)
 //
 // Common options:
 //   --issue N          issue width (default 2)
@@ -27,6 +31,15 @@
 //   --max-latency N    pipestage cap on ISE latency in cycles (default off)
 //   --baseline         use the single-issue (legality-only) explorer
 //   --set name=value   bind a live-in (eval only; repeatable; 0x.. ok)
+//   --cache-config S   memory-hierarchy cost model (docs/MEMORY.md): derive
+//                      each load/store latency from a two-level cache
+//                      simulation instead of the fixed 1-cycle charge, e.g.
+//                      l1_size=4k,l1_ways=2,l1_line=32,l2_size=64k,mem=40
+//
+// Sweep options:
+//   --sweep-out F      cache-geometry sweep JSON (default
+//                      BENCH_cachesweep.json; render with
+//                      tools/bench_report.py)
 //
 // Portfolio options:
 //   --manifest FILE    manifest: one `path [weight] [name]` per line,
@@ -58,6 +71,8 @@
 #include "isa/tac_parser.hpp"
 #include "flow/listing.hpp"
 #include "flow/portfolio.hpp"
+#include "mem/cache_model.hpp"
+#include "mem/mem_stream.hpp"
 #include "rtl/verilog.hpp"
 #include "runtime/runtime_stats.hpp"
 #include "runtime/thread_pool.hpp"
@@ -90,6 +105,9 @@ struct CliOptions {
   double area_budget = -1.0;  // < 0 = unlimited
   int max_ises = 32;
   std::vector<std::pair<std::string, std::uint32_t>> bindings;
+  std::string cache_spec;
+  std::optional<mem::CacheConfig> cache;
+  std::string sweep_out = "BENCH_cachesweep.json";
   std::string trace_out;
   std::string metrics_out;
   std::string convergence_out;
@@ -103,6 +121,8 @@ struct CliOptions {
                "[--issue N] [--ports R/W]\n"
                "       isex portfolio --manifest FILE [--area-budget A] "
                "[--max-ises N] [common options]\n"
+               "       isex sweep <kernel.tac> [--cache-config S] "
+               "[--sweep-out F] [common options]\n"
                "            [--repeats N] [--seed S] [--jobs N] "
                "[--colonies K] [--merge-interval N]\n"
                "            [--max-latency N] [--baseline] [--set v=N]\n"
@@ -116,6 +136,12 @@ struct CliOptions {
                "parameter like --seed; default 1 = the paper's serial loop)\n"
                "  --merge-interval N   iterations between colony pheromone "
                "merges (default 8; inert with --colonies 1)\n"
+               "  --cache-config S     two-level cache cost model for "
+               "load/store latencies (docs/MEMORY.md), e.g.\n"
+               "                       l1_size=4k,l1_ways=2,l1_line=32,"
+               "l2_size=64k,l2_ways=8,l2_line=64,mem=40\n"
+               "  --sweep-out F        sweep command: geometry-sweep JSON "
+               "(default BENCH_cachesweep.json)\n"
                "  --trace-out F        Chrome trace_event JSON "
                "(chrome://tracing / Perfetto)\n"
                "  --metrics-out F      Prometheus text metrics snapshot\n"
@@ -175,6 +201,14 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     } else if (arg == "--max-ises") {
       opt.max_ises = std::atoi(next_value());
       if (opt.max_ises < 0) usage("--max-ises must be >= 0");
+    } else if (arg == "--cache-config") {
+      opt.cache_spec = next_value();
+      Expected<mem::CacheConfig> parsed = mem::parse_cache_config(opt.cache_spec);
+      if (!parsed)
+        usage(("--cache-config: " + parsed.error().to_string()).c_str());
+      opt.cache = *parsed;
+    } else if (arg == "--sweep-out") {
+      opt.sweep_out = next_value();
     } else if (arg == "--trace-out") {
       opt.trace_out = next_value();
     } else if (arg == "--metrics-out") {
@@ -296,6 +330,23 @@ int cmd_explore(const CliOptions& opt, const isa::ParsedBlock& block) {
   return 0;
 }
 
+/// Cache-model telemetry goes to stderr like the dedup diagnostics: the
+/// simulation counters are deterministic, but stdout is reserved for each
+/// command's own output contract.
+void print_cache_stats(const mem::CacheConfig& config,
+                       const mem::CacheStats& stats) {
+  std::fprintf(stderr,
+               "cache model %s: %llu accesses, %llu L1 hits (%.1f%%), "
+               "%llu L2 hits, %llu memory; %llu nodes annotated\n",
+               config.label().c_str(),
+               static_cast<unsigned long long>(stats.accesses),
+               static_cast<unsigned long long>(stats.l1_hits),
+               100.0 * stats.l1_hit_rate(),
+               static_cast<unsigned long long>(stats.l2_hits),
+               static_cast<unsigned long long>(stats.mem_accesses),
+               static_cast<unsigned long long>(stats.annotated_nodes));
+}
+
 int cmd_schedule(const CliOptions& opt, const isa::ParsedBlock& block) {
   const auto machine =
       sched::MachineConfig::make(opt.issue, {opt.read_ports, opt.write_ports});
@@ -370,6 +421,104 @@ int cmd_listing(const CliOptions& opt, const isa::ParsedBlock& block) {
   flow::write_listing(std::cout, block.graph, machine);
   std::cout << "--- with " << result.ises.size() << " ISE(s)\n";
   flow::write_listing(std::cout, rewritten, machine);
+  return 0;
+}
+
+/// Cache-geometry sweep (docs/MEMORY.md): re-explores the kernel under an
+/// L1 capacity x associativity x line-size grid, holding the L2 and the
+/// latency spine from --cache-config (or the defaults).  Each point is a
+/// full annotate-then-explore run with the same seed, so rows differ only
+/// through the memory model — the sweep shows where the ISE selection is
+/// geometry-sensitive.  Results land in a BENCH_*.json for bench_report.py.
+int cmd_sweep(const CliOptions& opt, const isa::ParsedBlock& block) {
+  const mem::CacheConfig base = opt.cache ? *opt.cache : mem::CacheConfig{};
+  const std::uint64_t size_axis[] = {1024, 4096, 16384};
+  const int ways_axis[] = {1, 2, 4};
+  const int line_axis[] = {16, 32, 64};
+
+  struct Row {
+    mem::CacheConfig config;
+    mem::CacheStats stats;
+    int base_cycles = 0;
+    int final_cycles = 0;
+    std::size_t num_ises = 0;
+  };
+  std::vector<Row> rows;
+  for (const std::uint64_t size : size_axis) {
+    for (const int ways : ways_axis) {
+      for (const int line : line_axis) {
+        mem::CacheConfig config = base;
+        config.l1.size_bytes = size;
+        config.l1.ways = ways;
+        config.l1.line_bytes = line;
+        if (!mem::validate(config).ok()) continue;  // degenerate grid point
+        dfg::Graph graph = block.graph;
+        const mem::CacheStats stats = mem::annotate_graph(graph, config);
+        const core::ExplorationResult result = explore(opt, graph);
+        rows.push_back(Row{config, stats, result.base_cycles,
+                           result.final_cycles, result.ises.size()});
+      }
+    }
+  }
+
+  const auto machine =
+      sched::MachineConfig::make(opt.issue, {opt.read_ports, opt.write_ports});
+  std::printf("cache-geometry sweep: %zu points; %s; seed %llu\n", rows.size(),
+              machine.label().c_str(),
+              static_cast<unsigned long long>(opt.seed));
+  TablePrinter table;
+  table.set_header({"l1 size", "ways", "line", "l1 hit", "base", "final",
+                    "reduction", "ISEs"});
+  for (const Row& row : rows) {
+    table.add_row(
+        {std::to_string(row.config.l1.size_bytes),
+         std::to_string(row.config.l1.ways),
+         std::to_string(row.config.l1.line_bytes),
+         TablePrinter::fmt(100.0 * row.stats.l1_hit_rate(), 1) + "%",
+         std::to_string(row.base_cycles), std::to_string(row.final_cycles),
+         TablePrinter::fmt(row.base_cycles > 0
+                               ? 100.0 * (row.base_cycles - row.final_cycles) /
+                                     row.base_cycles
+                               : 0.0,
+                           2) +
+             "%",
+         std::to_string(row.num_ises)});
+  }
+  std::ostringstream text;
+  table.print(text);
+  std::fputs(text.str().c_str(), stdout);
+
+  std::ofstream out(opt.sweep_out);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", opt.sweep_out.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"cache_sweep\",\n";
+  out << "  \"kernel\": \"" << opt.input_path << "\",\n";
+  out << "  \"machine\": \"" << machine.label() << "\",\n";
+  out << "  \"seed\": " << opt.seed << ",\n";
+  out << "  \"repeats\": " << opt.repeats << ",\n";
+  out << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.4f", row.stats.l1_hit_rate());
+    out << "    {\"l1_size\": " << row.config.l1.size_bytes
+        << ", \"l1_ways\": " << row.config.l1.ways
+        << ", \"l1_line\": " << row.config.l1.line_bytes
+        << ", \"accesses\": " << row.stats.accesses
+        << ", \"l1_hits\": " << row.stats.l1_hits
+        << ", \"l2_hits\": " << row.stats.l2_hits
+        << ", \"mem_accesses\": " << row.stats.mem_accesses
+        << ", \"l1_hit_rate\": " << rate
+        << ", \"base_cycles\": " << row.base_cycles
+        << ", \"final_cycles\": " << row.final_cycles
+        << ", \"ises\": " << row.num_ises << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::fprintf(stderr, "sweep: wrote %s (%zu rows)\n", opt.sweep_out.c_str(),
+               rows.size());
   return 0;
 }
 
@@ -483,6 +632,7 @@ int cmd_portfolio(const CliOptions& opt) {
     config.base.constraints.area_budget = opt.area_budget;
   config.base.algorithm = opt.baseline ? flow::Algorithm::kSingleIssue
                                        : flow::Algorithm::kMultiIssue;
+  if (opt.cache) config.base.cache = *opt.cache;
   if (!report_issues("machine config", sched::validate(config.base.machine)))
     return 1;
 
@@ -502,6 +652,8 @@ int cmd_portfolio(const CliOptions& opt) {
   std::printf("batch: %llu jobs, %llu deduped\n",
               static_cast<unsigned long long>(result->total_jobs),
               static_cast<unsigned long long>(result->deduped_jobs));
+  if (result->cache_modeled && opt.cache)
+    print_cache_stats(*opt.cache, result->cache_stats);
   // Hit/miss *counts* are timing-dependent (two workers can race to evaluate
   // the same key and both miss); stdout stays byte-identical at any --jobs,
   // so the cache telemetry goes to stderr like the other diagnostics.
@@ -685,6 +837,21 @@ int main(int argc, char** argv) {
                          opt->issue, {opt->read_ports, opt->write_ports}))))
     return 1;
 
+  // Memory-hierarchy cost model: annotate the kernel's load/store latencies
+  // once, up front, so every command downstream (schedule, explore, listing)
+  // sees the same cache-derived costs.  The sweep command annotates per grid
+  // point itself.
+  if (opt->cache && opt->command != "sweep") {
+    flow::ProfiledProgram annotated;
+    annotated.name = opt->input_path;
+    annotated.blocks.push_back(
+        flow::ProfiledBlock{"kernel", std::move(block.graph), 1});
+    const mem::CacheStats stats =
+        flow::annotate_program(annotated, *opt->cache);
+    block.graph = std::move(annotated.blocks[0].graph);
+    print_cache_stats(*opt->cache, stats);
+  }
+
   int rc = -1;
   {
     // Root of this run's trace: the command span and everything beneath it
@@ -701,6 +868,7 @@ int main(int argc, char** argv) {
     else if (opt->command == "eval") rc = cmd_eval(*opt, block);
     else if (opt->command == "verilog") rc = cmd_verilog(*opt, block);
     else if (opt->command == "listing") rc = cmd_listing(*opt, block);
+    else if (opt->command == "sweep") rc = cmd_sweep(*opt, block);
   }
   if (rc < 0) usage(("unknown command '" + opt->command + "'").c_str());
   write_observability(*opt);

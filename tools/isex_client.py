@@ -14,8 +14,9 @@ Usage:
 
 Submit options: --id TOKEN --priority N --issue N --ports R/W --repeats N
 --seed N --colonies K --merge-interval N --max-ises N --area-budget A
---baseline --count N (submit the same job N times on one connection — the
-warm-cache demo).
+--baseline --cache-config SPEC (memory-hierarchy cost model, docs/MEMORY.md)
+--count N (submit the same job N times on one connection — the warm-cache
+demo).
 
 Portfolio manifests use the isex_cli format (docs/PORTFOLIO.md): one
 `kernel.tac [weight] [name]` row per line, `#` comments, paths relative to
@@ -67,6 +68,8 @@ def apply_common_options(args, request) -> bool:
         request["area_budget"] = args.area_budget
     if args.baseline:
         request["baseline"] = True
+    if args.cache_config:
+        request["cache_config"] = args.cache_config
     return True
 
 
@@ -180,6 +183,9 @@ def main() -> int:
         p.add_argument("--max-ises", type=int, default=None)
         p.add_argument("--area-budget", type=float, default=None)
         p.add_argument("--baseline", action="store_true")
+        p.add_argument("--cache-config", default="", dest="cache_config",
+                       help="memory-hierarchy model spec (docs/MEMORY.md), "
+                            "e.g. l1_size=4k,l1_ways=2,mem=40")
         p.add_argument("--count", type=int, default=1,
                        help="submit the same job N times (cache demo)")
 
